@@ -1,0 +1,204 @@
+// Command experiments regenerates the paper's tables and figures as
+// text tables.
+//
+// Usage:
+//
+//	experiments -run all                    # everything, paper-scale
+//	experiments -run fig4a,fig4b            # selected artifacts
+//	experiments -run fig5 -quick            # reduced sizes for a fast look
+//
+// Artifacts: table1 table2 table3 fig4a fig4b fig4c fig4d fig5a fig5b
+// fig5c fig5d fig6a fig6b (fig4a/fig4b share one run, as do the fig5
+// variants).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated artifact list or 'all'")
+		quick   = fs.Bool("quick", false, "reduced data sizes for a fast run")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		format  = fs.String("format", "text", "output format: text | markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var render func(experiments.Table) string
+	switch *format {
+	case "text":
+		render = experiments.Table.String
+	case "markdown":
+		render = experiments.Table.Markdown
+	default:
+		return fmt.Errorf("unknown format %q (want text or markdown)", *format)
+	}
+	want := map[string]bool{}
+	for _, a := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToLower(a))] = true
+	}
+	all := want["all"]
+	sel := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if sel("table1") {
+		fmt.Println("== Table 1: movie configuration relations ==")
+		for _, t := range experiments.Table1() {
+			fmt.Println(render(t))
+		}
+	}
+	if sel("table2") {
+		fmt.Println("== Table 2: temporary relations (worked example) ==")
+		t, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(t))
+	}
+	if sel("table3") {
+		fmt.Println("== Table 3: data set configurations ==")
+		for _, t := range experiments.Table3() {
+			fmt.Println(render(t))
+		}
+	}
+
+	if sel("fig4a", "fig4b") {
+		opts := experiments.Set1MoviesOptions{Seed: *seed}
+		if *quick {
+			opts.Movies = 500
+			opts.Windows = []int{2, 4, 8, 12}
+		} else {
+			opts.Movies = 5000
+		}
+		fmt.Printf("== Experiment set 1, Data set 1 (%d movies) ==\n", opts.Movies)
+		r, err := experiments.ExpSet1Movies(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("planted duplicates: %d; all-pairs P=%.3f R=%.3f\n\n",
+			r.PlantedDuplicates, r.AllPairsPrecision, r.AllPairsRecall)
+		if sel("fig4a") {
+			fmt.Println(render(r.RecallTable()))
+		}
+		if sel("fig4b") {
+			fmt.Println(render(r.PrecisionTable()))
+			fmt.Println(render(r.CostTable()))
+		}
+	}
+	if sel("fig4c") {
+		opts := experiments.Set1CDsOptions{Seed: *seed}
+		if *quick {
+			opts.Discs = 200
+			opts.Windows = []int{2, 4, 8, 12}
+		}
+		fmt.Println("== Experiment set 1, Data set 2 (CDs) ==")
+		r, err := experiments.ExpSet1CDs(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(r.FMeasureTable()))
+	}
+	if sel("fig4d") {
+		opts := experiments.Set1LargeOptions{Seed: *seed}
+		if *quick {
+			opts.Discs = 2000
+			opts.Windows = []int{2, 5}
+		}
+		discs := opts.Discs
+		if discs == 0 {
+			discs = 10000
+		}
+		fmt.Printf("== Experiment set 1, Data set 3 (%d discs) ==\n", discs)
+		r, err := experiments.ExpSet1Large(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(r.PrecisionTable()))
+		fmt.Println(render(r.DuplicatesTable()))
+		fmt.Println(render(r.BreakdownTable("SP key1")))
+		fmt.Println(render(r.BreakdownTable("MP")))
+	}
+	if sel("fig5", "fig5a", "fig5b", "fig5c", "fig5d") {
+		opts := experiments.Set2Options{Seed: *seed}
+		if *quick {
+			opts.Sizes = []int{500, 1000, 2000}
+		} else {
+			opts.Sizes = []int{1000, 2000, 5000, 10000, 20000}
+		}
+		fmt.Println("== Experiment set 2: scalability ==")
+		r, err := experiments.ExpSet2Scalability(opts)
+		if err != nil {
+			return err
+		}
+		if sel("fig5", "fig5a") {
+			fmt.Println(render(r.VariantTable("clean")))
+		}
+		if sel("fig5", "fig5b") {
+			fmt.Println(render(r.VariantTable("few duplicates")))
+		}
+		if sel("fig5", "fig5c") {
+			fmt.Println(render(r.VariantTable("many duplicates")))
+		}
+		if sel("fig5", "fig5d") {
+			fmt.Println(render(r.OverheadTable()))
+		}
+	}
+	if sel("ablations") {
+		opts := experiments.AblationOptions{Seed: *seed}
+		if *quick {
+			opts.Movies = 300
+		} else {
+			opts.Movies = 2000
+		}
+		fmt.Println("== Ablations (filter, adaptive window, DE-SNM, all-pairs) ==")
+		r, err := experiments.ExpAblations(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(r.Table()))
+	}
+	if sel("fig6a", "fig6b") {
+		opts := experiments.Set3Options{Seed: *seed}
+		if *quick {
+			opts.Discs = 250
+		}
+		fmt.Println("== Experiment set 3: threshold impact ==")
+		r, err := experiments.ExpSet3Thresholds(opts)
+		if err != nil {
+			return err
+		}
+		if sel("fig6a") {
+			fmt.Println(render(r.ODTable()))
+		}
+		if sel("fig6b") {
+			fmt.Println(render(r.DescTable()))
+		}
+		fmt.Printf("best f-measure: OD-only %.3f (threshold %.2f), with descendants %.3f (threshold %.2f)\n",
+			r.BestODOnlyF, r.BestODOnlyThreshold(), r.BestDescF, r.BestDescThreshold())
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunTablesOnly(t *testing.T) {
+	// Tables are cheap and exercise the full selection plumbing.
+	if err := run([]string{"-run", "table1,table2,table3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunQuickFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	if err := run([]string{"-run", "fig6a", "-quick", "-seed", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownArtifactIsNoop(t *testing.T) {
+	// Unknown artifact names simply select nothing.
+	if err := run([]string{"-run", "bogus"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	if err := run([]string{"-run", "table2", "-format", "markdown"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-run", "table2", "-format", "bogus"}); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

@@ -1,0 +1,126 @@
+// Command sxnm-tune calibrates a candidate's thresholds and window on
+// a labelled sample (elements carrying x-gold identities), following
+// the paper's Sec. 3.4 advice to determine parameters on a small
+// sample, and optionally writes the tuned configuration back out.
+//
+// Usage:
+//
+//	sxnm-tune -config cfg.xml -sample sample.xml -candidate movie \
+//	          [-windows 2,4,8] [-thresholds 0.6,0.7,0.8] [-out tuned.xml]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sxnm "repro"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sxnm-tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sxnm-tune", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "SXNM configuration XML (required)")
+		samplePath = fs.String("sample", "", "labelled sample document (required)")
+		candidate  = fs.String("candidate", "", "candidate to tune (required)")
+		thresholds = fs.String("thresholds", "", "comma-separated thresholds (default 0.50..0.95)")
+		windows    = fs.String("windows", "", "comma-separated window sizes (default: configured window)")
+		descs      = fs.String("desc-thresholds", "", "comma-separated descendant thresholds (either/both rules)")
+		outPath    = fs.String("out", "", "write the tuned configuration here")
+		beta       = fs.Float64("beta", 1, "F_beta weighting (2 favours recall, 0.5 precision)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" || *samplePath == "" || *candidate == "" {
+		fs.Usage()
+		return fmt.Errorf("-config, -sample, and -candidate are required")
+	}
+
+	cfg, err := sxnm.LoadConfigFile(*configPath)
+	if err != nil {
+		return err
+	}
+	sample, err := sxnm.ParseXMLFile(*samplePath)
+	if err != nil {
+		return err
+	}
+	opts := sxnm.TuneOptions{Candidate: *candidate, Beta: *beta}
+	if opts.Thresholds, err = parseFloats(*thresholds); err != nil {
+		return fmt.Errorf("-thresholds: %w", err)
+	}
+	if opts.DescThresholds, err = parseFloats(*descs); err != nil {
+		return fmt.Errorf("-desc-thresholds: %w", err)
+	}
+	if opts.Windows, err = parseInts(*windows); err != nil {
+		return fmt.Errorf("-windows: %w", err)
+	}
+
+	res, err := sxnm.Tune(sample, cfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("threshold  descThr  window  precision  recall  f-measure  score")
+	for _, s := range res.Settings {
+		marker := " "
+		if s == res.Best {
+			marker = "*"
+		}
+		fmt.Printf("%s %.2f      %.2f     %-6d  %.3f      %.3f   %.3f      %.3f\n",
+			marker, s.Threshold, s.DescThreshold, s.Window,
+			s.Metrics.Precision, s.Metrics.Recall, s.Metrics.F1, s.Score)
+	}
+	fmt.Printf("\nbest: threshold %.2f, descendants %.2f, window %d (%s)\n",
+		res.Best.Threshold, res.Best.DescThreshold, res.Best.Window, res.Best.Metrics)
+
+	if *outPath != "" {
+		if err := sxnm.ApplyTuned(cfg, *candidate, res.Best); err != nil {
+			return err
+		}
+		if err := cfg.Document().WriteFile(*outPath, xmltree.WriteOptions{Indent: "  ", Header: true}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote tuned configuration to %s\n", *outPath)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sxnm "repro"
+)
+
+const tuneConfig = `
+<sxnm-config>
+  <candidate name="movie" xpath="movie_database/movies/movie" window="4" threshold="0.8">
+    <path id="1" relPath="title/text()"/>
+    <od pid="1" relevance="1"/>
+    <key><part pid="1" order="1" pattern="K1-K5"/></key>
+  </candidate>
+</sxnm-config>`
+
+const tuneSample = `
+<movie_database>
+  <movies>
+    <movie x-gold="a"><title>Silent River</title></movie>
+    <movie x-gold="a"><title>Silnt River</title></movie>
+    <movie x-gold="b"><title>Broken Storm</title></movie>
+    <movie x-gold="b"><title>Broken Strom</title></movie>
+    <movie x-gold="c"><title>Golden Harbor</title></movie>
+  </movies>
+</movie_database>`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTuneEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", tuneConfig)
+	sample := write(t, dir, "sample.xml", tuneSample)
+	out := filepath.Join(dir, "tuned.xml")
+	if err := run([]string{
+		"-config", cfg, "-sample", sample, "-candidate", "movie",
+		"-thresholds", "0.6,0.8,0.95", "-windows", "3,6", "-out", out,
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tuned, err := sxnm.LoadConfigFile(out)
+	if err != nil {
+		t.Fatalf("tuned config invalid: %v", err)
+	}
+	c := tuned.Candidate("movie")
+	if c.Threshold != 0.6 && c.Threshold != 0.8 {
+		t.Errorf("tuned threshold = %v, want a sweep value below 0.95", c.Threshold)
+	}
+}
+
+func TestRunTuneMissingFlags(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags should fail")
+	}
+	if err := run([]string{"-config", "x", "-sample", "y"}); err == nil {
+		t.Error("missing -candidate should fail")
+	}
+}
+
+func TestRunTuneBadValues(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", tuneConfig)
+	sample := write(t, dir, "sample.xml", tuneSample)
+	if err := run([]string{"-config", cfg, "-sample", sample, "-candidate", "movie",
+		"-thresholds", "abc"}); err == nil {
+		t.Error("bad thresholds should fail")
+	}
+	if err := run([]string{"-config", cfg, "-sample", sample, "-candidate", "movie",
+		"-windows", "x"}); err == nil {
+		t.Error("bad windows should fail")
+	}
+	if err := run([]string{"-config", cfg, "-sample", sample, "-candidate", "nosuch"}); err == nil {
+		t.Error("unknown candidate should fail")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	fs, err := parseFloats(" 0.5 , 0.75 ")
+	if err != nil || len(fs) != 2 || fs[1] != 0.75 {
+		t.Errorf("parseFloats = %v, %v", fs, err)
+	}
+	if out, err := parseFloats(""); err != nil || out != nil {
+		t.Error("empty floats should be nil")
+	}
+	is, err := parseInts("2,4")
+	if err != nil || len(is) != 2 || is[1] != 4 {
+		t.Errorf("parseInts = %v, %v", is, err)
+	}
+	if out, err := parseInts("  "); err != nil || out != nil {
+		t.Error("empty ints should be nil")
+	}
+}

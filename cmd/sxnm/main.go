@@ -1,0 +1,180 @@
+// Command sxnm deduplicates an XML document with the Sorted XML
+// Neighborhood Method.
+//
+// Usage:
+//
+//	sxnm -config config.xml -input data.xml [-output clean.xml] [-clusters] [-stats]
+//
+// The configuration file defines candidates, object descriptions, and
+// keys (see the package documentation of repro for the format). With
+// -clusters the detected duplicate clusters are printed per candidate;
+// with -output a de-duplicated copy of the input is written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sxnm "repro"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sxnm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sxnm", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "SXNM configuration XML (required)")
+		inputPath  = fs.String("input", "", "XML document to deduplicate (required)")
+		outputPath = fs.String("output", "", "write a de-duplicated copy here")
+		clusters   = fs.Bool("clusters", false, "print duplicate clusters per candidate")
+		stats      = fs.Bool("stats", false, "print phase timings and comparison counts")
+		csvPath    = fs.String("clusters-csv", "", "write duplicate groups as CSV here")
+		xmlPath    = fs.String("clusters-xml", "", "write the full cluster sets as XML here")
+		stream     = fs.Bool("stream", false, "streaming key generation (bounded memory; summary and stats only)")
+		gkOut      = fs.String("gk-out", "", "write the generated GK relations here (phase 1 only)")
+		gkIn       = fs.String("gk-in", "", "run detection over previously saved GK relations instead of -input")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" || (*inputPath == "" && *gkIn == "") {
+		fs.Usage()
+		return fmt.Errorf("-config and one of -input or -gk-in are required")
+	}
+
+	cfg, err := sxnm.LoadConfigFile(*configPath)
+	if err != nil {
+		return err
+	}
+	det, err := sxnm.New(cfg)
+	if err != nil {
+		return err
+	}
+	var doc *sxnm.Document
+	var res *sxnm.Result
+	if *gkIn != "" {
+		if *stream || *outputPath != "" || *clusters || *csvPath != "" || *gkOut != "" {
+			return fmt.Errorf("-gk-in supports only the summary, -stats, and -clusters-xml outputs")
+		}
+		f, err := os.Open(*gkIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if res, err = det.RunFromGK(f); err != nil {
+			return err
+		}
+	} else if *stream {
+		if *outputPath != "" || *clusters || *csvPath != "" {
+			return fmt.Errorf("-stream supports only the summary, -stats, and -clusters-xml outputs (no document is materialized)")
+		}
+		if res, err = det.RunStreamFile(*inputPath); err != nil {
+			return err
+		}
+	} else {
+		if doc, err = sxnm.ParseXMLFile(*inputPath); err != nil {
+			return err
+		}
+		if res, err = det.Run(doc); err != nil {
+			return err
+		}
+	}
+
+	if *gkOut != "" {
+		f, err := os.Create(*gkOut)
+		if err != nil {
+			return err
+		}
+		if err := det.WriteGK(doc, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote GK relations to %s\n", *gkOut)
+	}
+
+	for _, s := range sxnm.Summarize(res) {
+		fmt.Printf("%s: %d elements, %d clusters, %d duplicate groups, %d duplicate pairs\n",
+			s.Candidate, s.Elements, s.Clusters, s.NonSingleton, s.Pairs)
+	}
+	if *clusters {
+		printClusters(doc, res)
+	}
+	if *stats {
+		fmt.Printf("key generation:     %v\n", res.Stats.KeyGen)
+		fmt.Printf("sliding window:     %v\n", res.Stats.SlidingWindow)
+		fmt.Printf("transitive closure: %v\n", res.Stats.TransitiveClosure)
+		fmt.Printf("duplicate detection (SW+TC): %v\n", res.Stats.DuplicateDetection())
+		fmt.Printf("comparisons: %d, duplicate pairs: %d\n",
+			res.Stats.Comparisons, res.Stats.DuplicatePairs)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := sxnm.WriteClustersCSV(f, doc, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote duplicate groups to %s\n", *csvPath)
+	}
+	if *xmlPath != "" {
+		if err := sxnm.ClustersDocument(res).WriteFile(*xmlPath, xmltree.WriteOptions{Indent: "  ", Header: true}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote cluster sets to %s\n", *xmlPath)
+	}
+	if *outputPath != "" {
+		clean := sxnm.Deduplicate(doc, res)
+		if err := clean.WriteFile(*outputPath, xmltree.WriteOptions{Indent: "  ", Header: true}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote de-duplicated document to %s\n", *outputPath)
+	}
+	return nil
+}
+
+// printClusters shows each duplicate group with a short description of
+// its members.
+func printClusters(doc *sxnm.Document, res *sxnm.Result) {
+	idx := doc.IndexByID()
+	for _, s := range sxnm.Summarize(res) {
+		cs := res.Clusters[s.Candidate]
+		groups := cs.NonSingletons()
+		if len(groups) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s duplicate groups:\n", s.Candidate)
+		for _, c := range groups {
+			fmt.Printf("  cluster %d:\n", c.ID)
+			for _, eid := range c.Members {
+				desc := ""
+				if n := idx[eid]; n != nil {
+					desc = snippet(n.DeepText(), 60)
+				}
+				fmt.Printf("    #%d %s\n", eid, desc)
+			}
+		}
+	}
+}
+
+func snippet(s string, max int) string {
+	runes := []rune(s)
+	if len(runes) <= max {
+		return s
+	}
+	return string(runes[:max]) + "..."
+}

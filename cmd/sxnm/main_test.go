@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testConfig = `
+<sxnm-config>
+  <candidate name="movie" xpath="movie_database/movies/movie" window="5" threshold="0.8">
+    <path id="1" relPath="title/text()"/>
+    <od pid="1" relevance="1"/>
+    <key><part pid="1" order="1" pattern="K1-K5"/></key>
+  </candidate>
+</sxnm-config>`
+
+const testData = `
+<movie_database>
+  <movies>
+    <movie><title>Silent River</title></movie>
+    <movie><title>Silnt River</title></movie>
+    <movie><title>Broken Storm</title></movie>
+  </movies>
+</movie_database>`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	out := filepath.Join(dir, "clean.xml")
+	if err := run([]string{"-config", cfg, "-input", data, "-output", out, "-clusters", "-stats"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cleaned, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleaned) == 0 {
+		t.Error("empty output document")
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags should fail")
+	}
+	if err := run([]string{"-config", "x.xml"}); err == nil {
+		t.Error("missing -input should fail")
+	}
+}
+
+func TestRunBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	if err := run([]string{"-config", filepath.Join(dir, "absent.xml"), "-input", data}); err == nil {
+		t.Error("absent config should fail")
+	}
+	if err := run([]string{"-config", cfg, "-input", filepath.Join(dir, "absent.xml")}); err == nil {
+		t.Error("absent input should fail")
+	}
+	badCfg := write(t, dir, "bad.xml", "<sxnm-config/>")
+	if err := run([]string{"-config", badCfg, "-input", data}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	if got := snippet("short", 10); got != "short" {
+		t.Errorf("snippet = %q", got)
+	}
+	if got := snippet("a very long text that exceeds the limit", 10); got != "a very lon..." {
+		t.Errorf("snippet = %q", got)
+	}
+}
+
+func TestRunExports(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	csvOut := filepath.Join(dir, "dups.csv")
+	xmlOut := filepath.Join(dir, "clusters.xml")
+	if err := run([]string{"-config", cfg, "-input", data,
+		"-clusters-csv", csvOut, "-clusters-xml", xmlOut}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{csvOut, xmlOut} {
+		info, err := os.Stat(p)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("export %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestRunStreamMode(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	xmlOut := filepath.Join(dir, "clusters.xml")
+	if err := run([]string{"-config", cfg, "-input", data, "-stream", "-stats", "-clusters-xml", xmlOut}); err != nil {
+		t.Fatalf("stream run: %v", err)
+	}
+	if info, err := os.Stat(xmlOut); err != nil || info.Size() == 0 {
+		t.Error("stream run did not write cluster XML")
+	}
+	// Incompatible flags are rejected.
+	if err := run([]string{"-config", cfg, "-input", data, "-stream", "-clusters"}); err == nil {
+		t.Error("-stream with -clusters should fail")
+	}
+}
+
+func TestRunGKPipeline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	gk := filepath.Join(dir, "gk.tsv")
+	if err := run([]string{"-config", cfg, "-input", data, "-gk-out", gk}); err != nil {
+		t.Fatalf("phase 1: %v", err)
+	}
+	if info, err := os.Stat(gk); err != nil || info.Size() == 0 {
+		t.Fatal("GK dump missing")
+	}
+	if err := run([]string{"-config", cfg, "-gk-in", gk, "-stats"}); err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	// Incompatible combinations rejected.
+	if err := run([]string{"-config", cfg, "-gk-in", gk, "-clusters"}); err == nil {
+		t.Error("-gk-in with -clusters should fail")
+	}
+	if err := run([]string{"-config", cfg}); err == nil {
+		t.Error("neither -input nor -gk-in should fail")
+	}
+}

@@ -1,0 +1,133 @@
+// Command xmlgen generates the paper's evaluation data sets to disk:
+// clean and dirty artificial movie databases (ToXGene + Dirty XML Data
+// Generator substitutes) and FreeDB-like CD corpora.
+//
+// Usage:
+//
+//	xmlgen -kind movies  -n 5000 -seed 1 -out movies.xml [-clean]
+//	xmlgen -kind cds     -n 500  -seed 1 -out cds.xml    [-clean]
+//	xmlgen -kind freedb  -n 10000 -seed 1 -out freedb.xml
+//	xmlgen -kind scale -variant many -n 10000 -seed 1 -out scale.xml
+//
+// kinds: movies = Data set 1, cds = Data set 2, freedb = Data set 3,
+// scale = Experiment set 2 variants (-variant clean|few|many). Every
+// generated object carries a hidden x-gold attribute for evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+	"repro/internal/gen/freedb"
+	"repro/internal/gen/toxgene"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("xmlgen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "movies", "movies | cds | freedb | scale")
+		n       = fs.Int("n", 1000, "object count (clean objects before duplication)")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		out     = fs.String("out", "", "output path (required)")
+		clean   = fs.Bool("clean", false, "emit clean data without planted duplicates")
+		variant = fs.String("variant", "few", "scale variant: clean | few | many")
+		cfgOut  = fs.String("config-out", "", "also write the matching SXNM configuration here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-out is required")
+	}
+
+	doc, err := generate(*kind, *n, *seed, *clean, *variant)
+	if err != nil {
+		return err
+	}
+	if err := doc.WriteFile(*out, xmltree.WriteOptions{Indent: "  ", Header: true}); err != nil {
+		return err
+	}
+	st := doc.Stats()
+	fmt.Printf("wrote %s: %d elements, %d text nodes, depth %d\n",
+		*out, st.Elements, st.TextNodes, st.MaxDepth)
+	if *cfgOut != "" {
+		cfg, err := matchingConfig(*kind)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Document().WriteFile(*cfgOut, xmltree.WriteOptions{Indent: "  ", Header: true}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: configuration for kind %q\n", *cfgOut, *kind)
+	}
+	return nil
+}
+
+// matchingConfig returns the paper's Table 3 configuration that fits
+// the generated data kind.
+func matchingConfig(kind string) (*config.Config, error) {
+	switch kind {
+	case "movies":
+		return config.DataSet1(0), nil
+	case "cds":
+		return config.DataSet2(0), nil
+	case "freedb":
+		return config.DataSet3(0), nil
+	case "scale":
+		return dataset.ScalabilityConfig(0), nil
+	}
+	return nil, fmt.Errorf("no configuration for kind %q", kind)
+}
+
+func generate(kind string, n int, seed int64, clean bool, variant string) (*xmltree.Document, error) {
+	switch kind {
+	case "movies":
+		if clean {
+			return toxgene.Movies(n, seed), nil
+		}
+		doc, dups, err := dataset.DataSet1(dataset.Movies1Options{Movies: n, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("planted %d movie duplicates\n", dups)
+		return doc, nil
+	case "cds":
+		if clean {
+			return freedb.Generate(freedb.CleanOptions(n, seed)), nil
+		}
+		return dataset.DataSet2(dataset.CDs2Options{Discs: n, Seed: seed})
+	case "freedb":
+		return dataset.DataSet3(n, seed), nil
+	case "scale":
+		v, err := parseVariant(variant)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.ScalabilityData(n, v, seed)
+	}
+	return nil, fmt.Errorf("unknown kind %q (want movies, cds, freedb, or scale)", kind)
+}
+
+func parseVariant(s string) (dataset.ScaleVariant, error) {
+	switch s {
+	case "clean":
+		return dataset.Clean, nil
+	case "few":
+		return dataset.FewDuplicates, nil
+	case "many":
+		return dataset.ManyDuplicates, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want clean, few, or many)", s)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sxnm "repro"
+	"repro/internal/xmltree"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind    string
+		clean   bool
+		variant string
+		root    string
+	}{
+		{"movies", true, "", "movie_database"},
+		{"movies", false, "", "movie_database"},
+		{"cds", true, "", "cds"},
+		{"cds", false, "", "cds"},
+		{"freedb", false, "", "cds"},
+		{"scale", false, "clean", "movie_database"},
+		{"scale", false, "few", "movie_database"},
+		{"scale", false, "many", "movie_database"},
+	}
+	for _, c := range cases {
+		doc, err := generate(c.kind, 30, 1, c.clean, c.variant)
+		if err != nil {
+			t.Fatalf("generate(%s): %v", c.kind, err)
+		}
+		if doc.Root.Name != c.root {
+			t.Errorf("generate(%s) root = %q, want %q", c.kind, doc.Root.Name, c.root)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("bogus", 10, 1, false, ""); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := generate("scale", 10, 1, false, "bogus"); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.xml")
+	if err := run([]string{"-kind", "movies", "-n", "20", "-seed", "3", "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	doc, err := xmltree.ParseFile(out)
+	if err != nil {
+		t.Fatalf("generated file does not parse: %v", err)
+	}
+	if len(doc.ElementsByPath("movie_database/movies/movie")) < 20 {
+		t.Error("too few movies in output")
+	}
+}
+
+func TestRunMissingOut(t *testing.T) {
+	if err := run([]string{"-kind", "movies"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+}
+
+func TestRunBadOutPath(t *testing.T) {
+	if err := run([]string{"-kind", "movies", "-n", "5", "-out", "/nonexistent-dir/x.xml"}); err == nil {
+		t.Error("unwritable path should fail")
+	}
+	_ = os.ErrNotExist
+}
+
+func TestRunWritesConfig(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.xml")
+	cfgOut := filepath.Join(dir, "cfg.xml")
+	if err := run([]string{"-kind", "cds", "-n", "10", "-out", out, "-config-out", cfgOut}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The emitted configuration must load, validate, and run against
+	// the emitted data.
+	cfg, err := sxnm.LoadConfigFile(cfgOut)
+	if err != nil {
+		t.Fatalf("emitted config invalid: %v", err)
+	}
+	det, err := sxnm.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.RunFile(out); err != nil {
+		t.Fatalf("emitted config failed on emitted data: %v", err)
+	}
+}
+
+func TestMatchingConfigUnknown(t *testing.T) {
+	if _, err := matchingConfig("bogus"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

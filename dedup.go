@@ -1,0 +1,125 @@
+package sxnm
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Deduplicate produces a de-duplicated copy of the document from a
+// detection result: within every duplicate cluster a prime
+// representative is selected and the other members are removed — the
+// "typical approach" the paper describes at the end of Sec. 3.4.
+//
+// Candidates are processed top-down so that removing a duplicate
+// ancestor also removes its descendants before their own clusters are
+// considered; a cluster whose earlier members were removed that way
+// keeps its first surviving member.
+//
+// The representative of a cluster is its member with the longest total
+// text (ties broken by document order), a simple data-fusion heuristic
+// that prefers the most complete record.
+func Deduplicate(doc *Document, res *Result) *Document {
+	out := xmltree.NewDocument(doc.Root.Clone())
+	// Clone preserves node IDs, so result EIDs address the copy.
+	index := out.IndexByID()
+
+	// Top-down: reverse of the engine's bottom-up order.
+	names := make([]string, 0, len(res.Clusters))
+	for name := range res.Clusters {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		di := candidateDepth(res, names[i])
+		dj := candidateDepth(res, names[j])
+		if di != dj {
+			return di < dj
+		}
+		return names[i] < names[j]
+	})
+
+	for _, name := range names {
+		cs := res.Clusters[name]
+		for _, c := range cs.NonSingletons() {
+			var alive []*xmltree.Node
+			for _, eid := range c.Members {
+				if n := index[eid]; n != nil && stillAttached(n, out.Root) {
+					alive = append(alive, n)
+				}
+			}
+			if len(alive) <= 1 {
+				continue
+			}
+			rep := chooseRepresentative(alive)
+			for _, n := range alive {
+				if n != rep && n.Parent != nil {
+					n.Parent.RemoveChild(n)
+				}
+			}
+		}
+	}
+	out.Renumber()
+	return out
+}
+
+// candidateDepth orders candidates top-down by the depth of their
+// configured path (number of steps).
+func candidateDepth(res *Result, name string) int {
+	t, ok := res.Tables[name]
+	if !ok || t.Candidate == nil {
+		return 0
+	}
+	return strings.Count(t.Candidate.XPath, "/")
+}
+
+// stillAttached reports whether n is still reachable from root (it may
+// have been removed together with a duplicate ancestor).
+func stillAttached(n, root *xmltree.Node) bool {
+	for e := n; e != nil; e = e.Parent {
+		if e == root {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseRepresentative prefers the member with the most descendant
+// text; ties go to the earliest in document order.
+func chooseRepresentative(members []*xmltree.Node) *xmltree.Node {
+	best := members[0]
+	bestLen := len(best.DeepText())
+	for _, n := range members[1:] {
+		if l := len(n.DeepText()); l > bestLen || (l == bestLen && n.ID < best.ID) {
+			best, bestLen = n, l
+		}
+	}
+	return best
+}
+
+// DuplicateSummary condenses a result into printable per-candidate
+// lines, e.g. for CLI output.
+type DuplicateSummary struct {
+	Candidate    string
+	Elements     int
+	Clusters     int
+	NonSingleton int
+	Pairs        int
+}
+
+// Summarize extracts per-candidate duplicate summaries, sorted by
+// candidate name.
+func Summarize(res *Result) []DuplicateSummary {
+	out := make([]DuplicateSummary, 0, len(res.Clusters))
+	for name, cs := range res.Clusters {
+		out = append(out, DuplicateSummary{
+			Candidate:    name,
+			Elements:     cs.Elements(),
+			Clusters:     cs.Len(),
+			NonSingleton: len(cs.NonSingletons()),
+			Pairs:        len(cs.DuplicatePairs()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Candidate < out[j].Candidate })
+	return out
+}

@@ -1,0 +1,38 @@
+package sxnm
+
+import "repro/internal/eval"
+
+// Evaluation utilities for measuring detection quality against a gold
+// standard: documents whose candidate elements carry an `x-gold`
+// attribute naming their real-world object (two elements with the same
+// value are duplicates). The bundled data generators plant these
+// identities; users evaluating their own configurations can annotate a
+// labelled sample the same way.
+
+type (
+	// GoldIndex maps element IDs to gold object identities.
+	GoldIndex = eval.GoldIndex
+	// Metrics holds pairwise precision, recall, and f-measure.
+	Metrics = eval.Metrics
+	// ClusterMetrics holds purity / inverse purity / exact-match
+	// cluster-level measures.
+	ClusterMetrics = eval.ClusterMetrics
+)
+
+// BuildGold collects the gold identities of the elements selected by
+// the candidate path expression.
+func BuildGold(doc *Document, candidateXPath string) (*GoldIndex, error) {
+	return eval.BuildGold(doc, candidateXPath)
+}
+
+// PairwiseMetrics scores a detected cluster set against the gold
+// index: a true positive is a detected pair sharing a gold identity.
+func PairwiseMetrics(g *GoldIndex, cs *ClusterSet) Metrics {
+	return eval.PairwiseMetrics(g, cs)
+}
+
+// ClusterLevelMetrics scores the detected partition at cluster level
+// (purity, inverse purity, exact matches).
+func ClusterLevelMetrics(g *GoldIndex, cs *ClusterSet) ClusterMetrics {
+	return eval.ClusterLevelMetrics(g, cs)
+}

@@ -1,0 +1,60 @@
+// CDs: the paper's Data set 2 scenario, demonstrating the value of
+// bottom-up descendant similarity. A FreeDB-like CD corpus with one
+// generated duplicate per disc is deduplicated twice: once using only
+// disc object descriptions (did, artist, title) and once additionally
+// using the already-deduplicated <tracks>/<title> clusters, the
+// paper's Experiment set 3 headline.
+//
+// Run with: go run ./examples/cds [-n 500] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func main() {
+	n := flag.Int("n", 500, "clean disc count (the paper uses 500)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	doc, err := dataset.DataSet2(dataset.CDs2Options{Discs: *n, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gold, err := eval.BuildGold(doc, dataset.DiscPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data set 2: %d clean discs + %d duplicates (one per disc)\n\n", *n, *n)
+
+	run := func(label string, odOnly bool) {
+		cfg := config.DataSet2(4)
+		if err := cfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(doc, cfg, core.Options{DisableDescendants: odOnly})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := eval.PairwiseMetrics(gold, res.Clusters["disc"])
+		fmt.Printf("%-34s %s\n", label, m)
+		if !odOnly {
+			tracks := res.Clusters["title"]
+			fmt.Printf("%-34s track titles: %d elements -> %d clusters\n", "",
+				tracks.Elements(), tracks.Len())
+		}
+	}
+	run("object description only", true)
+	run("with <tracks>/<title> descendants", false)
+
+	fmt.Println("\nThe descendant run recovers duplicate discs whose artist or")
+	fmt.Println("title were mangled beyond OD recognition but whose track lists")
+	fmt.Println("still overlap — the movies-nesting-actors argument of Sec. 2.")
+}

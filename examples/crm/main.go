@@ -1,0 +1,144 @@
+// CRM: the classical customer-deduplication scenario the paper's
+// introduction motivates. Customers are nested XML objects — a name,
+// an address, and a list of orders — and duplicates arise from retyped
+// registrations. The bottom-up pass first deduplicates orders (which
+// carry stable order numbers), then uses shared-order evidence to
+// merge customer records whose names and addresses were typed
+// differently, exactly the movies-nesting-actors argument transplanted
+// to CRM.
+//
+// Run with: go run ./examples/crm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sxnm "repro"
+)
+
+const customers = `
+<crm>
+  <customers>
+    <customer>
+      <name>Johnathan Smith</name>
+      <address>12 Harbour Lane, Springfield</address>
+      <phone>555-0199</phone>
+      <orders>
+        <order><number>ORD-88231</number><item>Espresso Machine</item></order>
+        <order><number>ORD-88507</number><item>Grinder</item></order>
+      </orders>
+    </customer>
+    <customer>
+      <name>Jonathan Smith</name>
+      <address>12 Harbor Ln, Springfield</address>
+      <orders>
+        <order><number>ORD-88231</number><item>Espresso Machine</item></order>
+        <order><number>ORD-88507</number><item>Grindr</item></order>
+        <order><number>ORD-90114</number><item>Descaler</item></order>
+      </orders>
+    </customer>
+    <customer>
+      <name>John Smithee</name>
+      <address>99 Mill Road, Shelbyville</address>
+      <orders>
+        <order><number>ORD-70001</number><item>Kettle</item></order>
+      </orders>
+    </customer>
+    <customer>
+      <name>Maria Alvarez</name>
+      <address>3 Calle Mayor, Valencia</address>
+      <orders>
+        <order><number>ORD-55120</number><item>Toaster</item></order>
+      </orders>
+    </customer>
+  </customers>
+</crm>`
+
+func main() {
+	cfg := &sxnm.Config{
+		Candidates: []sxnm.Candidate{
+			{
+				Name:  "customer",
+				XPath: "crm/customers/customer",
+				Paths: []sxnm.PathDef{
+					{ID: 1, RelPath: "name/text()"},
+					{ID: 2, RelPath: "address/text()"},
+					{ID: 3, RelPath: "phone/text()"},
+				},
+				OD: []sxnm.ODEntry{
+					{PathID: 1, Relevance: 0.5, SimFunc: "mongeelkan"},
+					{PathID: 2, Relevance: 0.4, SimFunc: "trigram"},
+					{PathID: 3, Relevance: 0.1, SimFunc: "exact"},
+				},
+				Keys: []sxnm.KeyDef{
+					// Phonetic surname key: last-name typos sort together.
+					{Name: "soundex", Parts: []sxnm.KeyPart{{PathID: 1, Order: 1, Pattern: "S"}}},
+					{Name: "address", Parts: []sxnm.KeyPart{{PathID: 2, Order: 1, Pattern: "D1,D2,K1-K4"}}},
+				},
+				Rule:          sxnm.RuleEither,
+				ODThreshold:   0.8,
+				DescThreshold: 0.5,
+				Window:        3,
+			},
+			{
+				Name:  "order",
+				XPath: "crm/customers/customer/orders/order",
+				Paths: []sxnm.PathDef{
+					{ID: 1, RelPath: "number/text()"},
+					{ID: 2, RelPath: "item/text()"},
+				},
+				OD: []sxnm.ODEntry{
+					{PathID: 1, Relevance: 0.7},
+					{PathID: 2, Relevance: 0.3},
+				},
+				Keys: []sxnm.KeyDef{
+					{Name: "number", Parts: []sxnm.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C8"}}},
+				},
+				Threshold: 0.9,
+				Window:    3,
+			},
+		},
+	}
+
+	det, err := sxnm.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := sxnm.ParseXMLString(customers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx := doc.IndexByID()
+	fmt.Println("customer duplicate groups (via phonetic keys + shared orders):")
+	for _, c := range res.Clusters["customer"].NonSingletons() {
+		fmt.Printf("  cluster %d:\n", c.ID)
+		for _, eid := range c.Members {
+			n := idx[eid]
+			fmt.Printf("    %-18s %s\n",
+				n.FirstChildElement("name").Text(),
+				n.FirstChildElement("address").Text())
+		}
+	}
+	fmt.Printf("\norder clusters: %d orders -> %d distinct orders\n",
+		res.Clusters["order"].Elements(), res.Clusters["order"].Len())
+
+	fused := sxnm.Fuse(doc, res)
+	kept := fused.ElementsByPath("crm/customers/customer")
+	fmt.Printf("after fusion: %d customer records (was %d)\n",
+		len(kept), len(doc.ElementsByPath("crm/customers/customer")))
+	for _, c := range kept {
+		phone := "-"
+		if p := c.FirstChildElement("phone"); p != nil {
+			phone = p.Text()
+		}
+		fmt.Printf("  %-18s phone=%s orders=%d\n",
+			c.FirstChildElement("name").Text(), phone,
+			len(c.FirstChildElement("orders").ChildElements("order")))
+	}
+}

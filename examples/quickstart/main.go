@@ -1,0 +1,114 @@
+// Quickstart: detect duplicate movies in a small in-memory XML
+// document with an in-code configuration, print the clusters, and
+// write a de-duplicated copy.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	sxnm "repro"
+)
+
+const data = `
+<movie_database>
+  <movies>
+    <movie year="1999">
+      <title>The Matrix</title>
+      <people><person>Keanu Reeves</person><person>Carrie-Anne Moss</person></people>
+    </movie>
+    <movie year="1999">
+      <title>Matrix, The</title>
+      <people><person>Keanu Reves</person><person>Carrie-Anne Moss</person></people>
+    </movie>
+    <movie year="1998">
+      <title>The Mask of Zorro</title>
+      <people><person>Antonio Banderas</person></people>
+    </movie>
+    <movie year="1999">
+      <title>The Matrrix</title>
+      <people><person>Keanu Reeves</person></people>
+    </movie>
+  </movies>
+</movie_database>`
+
+func main() {
+	// Configuration in code: one candidate (movie) whose key is the
+	// first five consonants of the title, compared on title text (the
+	// paper's Table 1 style, simplified). A second candidate (person)
+	// is deduplicated first, bottom-up, so movie similarity can also
+	// use shared-actor information.
+	cfg := &sxnm.Config{
+		Candidates: []sxnm.Candidate{
+			{
+				Name:  "movie",
+				XPath: "movie_database/movies/movie",
+				Paths: []sxnm.PathDef{
+					{ID: 1, RelPath: "title/text()"},
+					{ID: 2, RelPath: "@year"},
+				},
+				OD: []sxnm.ODEntry{
+					{PathID: 1, Relevance: 0.8},
+					{PathID: 2, Relevance: 0.2, SimFunc: "year"},
+				},
+				Keys: []sxnm.KeyDef{
+					{Name: "title", Parts: []sxnm.KeyPart{{PathID: 1, Order: 1, Pattern: "K1-K5"}}},
+					{Name: "year", Parts: []sxnm.KeyPart{
+						{PathID: 2, Order: 1, Pattern: "D3,D4"},
+						{PathID: 1, Order: 2, Pattern: "K1,K2"},
+					}},
+				},
+				Rule:          sxnm.RuleEither,
+				ODThreshold:   0.7,
+				DescThreshold: 0.4,
+				Window:        3,
+			},
+			{
+				Name:  "person",
+				XPath: "movie_database/movies/movie/people/person",
+				Paths: []sxnm.PathDef{{ID: 1, RelPath: "text()"}},
+				OD:    []sxnm.ODEntry{{PathID: 1, Relevance: 1}},
+				Keys: []sxnm.KeyDef{
+					{Name: "name", Parts: []sxnm.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+				},
+				Threshold: 0.85,
+				Window:    3,
+			},
+		},
+	}
+
+	det, err := sxnm.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := sxnm.ParseXMLString(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx := doc.IndexByID()
+	for _, s := range sxnm.Summarize(res) {
+		fmt.Printf("%s: %d elements in %d clusters (%d duplicate groups)\n",
+			s.Candidate, s.Elements, s.Clusters, s.NonSingleton)
+		for _, c := range res.Clusters[s.Candidate].NonSingletons() {
+			fmt.Printf("  duplicates (cluster %d):\n", c.ID)
+			for _, eid := range c.Members {
+				fmt.Printf("    %s\n", idx[eid].DeepText())
+			}
+		}
+	}
+
+	clean := sxnm.Deduplicate(doc, res)
+	fmt.Println("\nde-duplicated document:")
+	if err := clean.Write(os.Stdout, sxnm.WriteOptions{Indent: "  "}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

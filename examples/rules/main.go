@@ -1,0 +1,134 @@
+// Rules: the equational-theory extension of the paper's outlook
+// (Sec. 5). A domain expert replaces the single-threshold
+// classification with a boolean rule over per-field similarities —
+// here: "two movies are duplicates when their titles nearly match AND
+// (their years agree OR a year is missing), or when they share most of
+// their cast".
+//
+// Run with: go run ./examples/rules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sxnm "repro"
+)
+
+const data = `
+<movie_database>
+  <movies>
+    <movie year="1999">
+      <title>The Matrix</title>
+      <people><person>Keanu Reeves</person><person>Don Davis</person></people>
+    </movie>
+    <movie>
+      <title>The Matrrix</title>
+      <people><person>Keanu Reeves</person><person>Don Davis</person></people>
+    </movie>
+    <movie year="1994">
+      <title>The Matrix</title>
+      <people><person>Someone Else</person></people>
+    </movie>
+    <movie year="1998">
+      <title>Mask of Zorro</title>
+      <people><person>Antonio Banderas</person></people>
+    </movie>
+  </movies>
+</movie_database>`
+
+func main() {
+	cfg := &sxnm.Config{
+		Candidates: []sxnm.Candidate{
+			{
+				Name:  "movie",
+				XPath: "movie_database/movies/movie",
+				Paths: []sxnm.PathDef{
+					{ID: 1, RelPath: "title/text()"},
+					{ID: 2, RelPath: "@year"},
+				},
+				OD: []sxnm.ODEntry{
+					{PathID: 1, Relevance: 0.8},
+					{PathID: 2, Relevance: 0.2, SimFunc: "year"},
+				},
+				Keys: []sxnm.KeyDef{
+					{Name: "title", Parts: []sxnm.KeyPart{{PathID: 1, Order: 1, Pattern: "K1-K5"}}},
+				},
+				Threshold: 0.8,
+				Window:    4,
+			},
+			{
+				Name:  "person",
+				XPath: "movie_database/movies/movie/people/person",
+				Paths: []sxnm.PathDef{{ID: 1, RelPath: "text()"}},
+				OD:    []sxnm.ODEntry{{PathID: 1, Relevance: 1}},
+				Keys: []sxnm.KeyDef{
+					{Name: "name", Parts: []sxnm.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+				},
+				Threshold: 0.85,
+				Window:    4,
+			},
+		},
+	}
+
+	// Movie 3 shares movie 1's title but has a different year and a
+	// disjoint cast; movie 2 is a true duplicate of movie 1 with a
+	// typo'd title and a missing year. A flat OD threshold merges the
+	// wrong pair (identical titles dominate) and misses the right one
+	// (the missing year drags the weighted sum down). The equational
+	// rule separates the concerns: near-identical titles only count
+	// together with agreeing years, and shared casts are an
+	// independent reason to merge.
+	const movieRule = `(sim(1) >= 0.9 and sim(2) >= 0.8) or desc >= 0.6`
+
+	rs, err := sxnm.NewRuleSet(cfg, map[string]string{"movie": movieRule})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc, err := sxnm.ParseXMLString(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("rule:", movieRule)
+	fmt.Println()
+
+	show := func(label string, res *sxnm.Result) {
+		idx := doc.IndexByID()
+		fmt.Printf("%s:\n", label)
+		groups := res.Clusters["movie"].NonSingletons()
+		if len(groups) == 0 {
+			fmt.Println("  no duplicates")
+		}
+		for _, c := range groups {
+			fmt.Printf("  cluster %d:\n", c.ID)
+			for _, eid := range c.Members {
+				n := idx[eid]
+				year, _ := n.Attr("year")
+				fmt.Printf("    %-14s year=%q\n", n.FirstChildElement("title").Text(), year)
+			}
+		}
+		fmt.Println()
+	}
+
+	flat, err := sxnm.NewWithOptions(cfg, sxnm.Options{DisableDescendants: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := flat.Run(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("flat OD threshold (no descendants)", plain)
+
+	ruled, err := sxnm.NewWithOptions(cfg, rs.Options())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ruled.Run(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("equational theory rule", res)
+}

@@ -1,0 +1,83 @@
+// Tuning: calibrate thresholds and windows on a labelled sample — the
+// paper's Sec. 3.4 guidance ("performing duplicate detection both
+// manually and automatically on a small sample can help determine
+// suitable parameters values") and the Sec. 5 plan to learn thresholds.
+//
+// A small labelled sample is generated, the movie threshold and window
+// are swept, and the best setting is applied and validated against a
+// larger, fresh data set.
+//
+// Run with: go run ./examples/tuning [-sample 300] [-test 1500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	sxnm "repro"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func main() {
+	sampleN := flag.Int("sample", 300, "labelled sample size (clean movies)")
+	testN := flag.Int("test", 1500, "held-out evaluation size")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	sample, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: *sampleN, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := config.DataSet1(4)
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sxnm.Tune(sample, cfg, sxnm.TuneOptions{
+		Candidate: "movie",
+		Windows:   []int{4, 8, 12},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("swept %d settings on a %d-movie sample\n\n", len(res.Settings), *sampleN)
+	fmt.Println("threshold  window  precision  recall  f-measure")
+	for _, s := range res.Settings {
+		marker := " "
+		if s == res.Best {
+			marker = "*"
+		}
+		fmt.Printf("%s %.2f      %-6d  %.3f      %.3f   %.3f\n",
+			marker, s.Threshold, s.Window, s.Metrics.Precision, s.Metrics.Recall, s.Metrics.F1)
+	}
+	fmt.Printf("\nbest: threshold %.2f, window %d (sample F=%.3f)\n",
+		res.Best.Threshold, res.Best.Window, res.Best.Metrics.F1)
+
+	// Apply and evaluate on held-out data.
+	tuned := config.DataSet1(4)
+	if err := tuned.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sxnm.ApplyTuned(tuned, "movie", res.Best); err != nil {
+		log.Fatal(err)
+	}
+	test, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: *testN, Seed: *seed + 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gold, err := eval.BuildGold(test, dataset.MoviePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := core.Run(test, tuned, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := eval.PairwiseMetrics(gold, run.Clusters["movie"])
+	fmt.Printf("held-out evaluation on %d movies: %s\n", *testN, m)
+}

@@ -1,0 +1,100 @@
+package sxnm
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/xmltree"
+)
+
+// WriteClustersCSV writes the detected duplicate groups as CSV with
+// columns candidate, clusterID, elementID, text (a short description
+// of the element). Singleton clusters are omitted — the CSV lists
+// duplicates, not the whole partition.
+func WriteClustersCSV(w io.Writer, doc *Document, res *Result) error {
+	idx := doc.IndexByID()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"candidate", "cluster", "element", "text"}); err != nil {
+		return err
+	}
+	for _, s := range Summarize(res) {
+		for _, c := range res.Clusters[s.Candidate].NonSingletons() {
+			for _, eid := range c.Members {
+				text := ""
+				if n := idx[eid]; n != nil {
+					text = truncate(n.DeepText(), 120)
+				}
+				if err := cw.Write([]string{
+					s.Candidate,
+					strconv.Itoa(c.ID),
+					strconv.Itoa(eid),
+					text,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ClustersDocument renders the full cluster sets (the CS relations of
+// Def. 1) as an XML document:
+//
+//	<sxnm-clusters>
+//	  <candidate name="movie">
+//	    <cluster id="1"><element id="3"/><element id="17"/></cluster>
+//	    ...
+//	  </candidate>
+//	</sxnm-clusters>
+func ClustersDocument(res *Result) *Document {
+	root := xmltree.NewElement("sxnm-clusters")
+	names := make([]string, 0, len(res.Clusters))
+	for name := range res.Clusters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ce := xmltree.NewElement("candidate")
+		ce.SetAttr("name", name)
+		cs := res.Clusters[name]
+		for _, c := range cs.Clusters {
+			cl := xmltree.NewElement("cluster")
+			cl.SetAttr("id", strconv.Itoa(c.ID))
+			if len(c.Members) > 1 {
+				cl.SetAttr("duplicates", "true")
+			}
+			for _, eid := range c.Members {
+				el := xmltree.NewElement("element")
+				el.SetAttr("id", strconv.Itoa(eid))
+				cl.AppendChild(el)
+			}
+			ce.AppendChild(cl)
+		}
+		root.AppendChild(ce)
+	}
+	return xmltree.NewDocument(root)
+}
+
+// WriteStats writes the phase timings and counters in the layout of
+// the paper's Experiment set 2 (KG, SW, TC, DD).
+func WriteStats(w io.Writer, res *Result) error {
+	st := res.Stats
+	_, err := fmt.Fprintf(w,
+		"KG=%v SW=%v TC=%v DD=%v comparisons=%d filtered=%d duplicate-pairs=%d\n",
+		st.KeyGen, st.SlidingWindow, st.TransitiveClosure, st.DuplicateDetection(),
+		st.Comparisons, st.FilteredOut, st.DuplicatePairs)
+	return err
+}
+
+func truncate(s string, max int) string {
+	runes := []rune(s)
+	if len(runes) <= max {
+		return s
+	}
+	return string(runes[:max]) + "..."
+}

@@ -1,0 +1,181 @@
+package sxnm
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteClustersCSV(t *testing.T) {
+	det := demoDetector(t)
+	doc, err := ParseXMLString(demoXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteClustersCSV(&b, doc, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("csv rows = %d", len(records))
+	}
+	if got := strings.Join(records[0], ","); got != "candidate,cluster,element,text" {
+		t.Errorf("header = %q", got)
+	}
+	// Movie duplicate group: 2 rows; person groups: 4 rows. All rows
+	// have 4 columns and a non-empty candidate.
+	movieRows := 0
+	for _, r := range records[1:] {
+		if len(r) != 4 {
+			t.Fatalf("row width = %d", len(r))
+		}
+		if r[0] == "movie" {
+			movieRows++
+		}
+	}
+	if movieRows != 2 {
+		t.Errorf("movie rows = %d, want 2", movieRows)
+	}
+}
+
+func TestClustersDocument(t *testing.T) {
+	det := demoDetector(t)
+	doc, err := ParseXMLString(demoXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ClustersDocument(res)
+	if out.Root.Name != "sxnm-clusters" {
+		t.Fatalf("root = %q", out.Root.Name)
+	}
+	cands := out.Root.ChildElements("candidate")
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// Candidates sorted by name: movie, person.
+	if n, _ := cands[0].Attr("name"); n != "movie" {
+		t.Errorf("first candidate = %q", n)
+	}
+	// Every element of the partition appears exactly once.
+	movieElems := 0
+	dupClusters := 0
+	for _, cl := range cands[0].ChildElements("cluster") {
+		movieElems += len(cl.ChildElements("element"))
+		if v, ok := cl.Attr("duplicates"); ok && v == "true" {
+			dupClusters++
+		}
+	}
+	if movieElems != 3 {
+		t.Errorf("movie elements = %d, want 3", movieElems)
+	}
+	if dupClusters != 1 {
+		t.Errorf("duplicate clusters = %d, want 1", dupClusters)
+	}
+	// The document serializes and reparses.
+	if _, err := ParseXMLString(out.String()); err != nil {
+		t.Fatalf("clusters document does not round-trip: %v", err)
+	}
+}
+
+func TestWriteStats(t *testing.T) {
+	det := demoDetector(t)
+	res, err := det.RunReader(strings.NewReader(demoXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteStats(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"KG=", "SW=", "TC=", "DD=", "comparisons="} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("stats output missing %q: %s", want, b.String())
+		}
+	}
+}
+
+func TestTuneThroughFacade(t *testing.T) {
+	// Reuse the demo config/data: plant gold ids so tuning has truth.
+	xmlStr := `<movie_database><movies>
+	  <movie x-gold="a"><title>Silent River</title>
+	    <people><person>Keanu Reeves</person></people></movie>
+	  <movie x-gold="a"><title>Silnt River</title>
+	    <people><person>Keanu Reeves</person></people></movie>
+	  <movie x-gold="b"><title>Broken Storm</title>
+	    <people><person>Uma Thurman</person></people></movie>
+	</movies></movie_database>`
+	cfg, err := LoadConfig(strings.NewReader(demoConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseXMLString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(doc, cfg, TuneOptions{
+		Candidate:  "movie",
+		Thresholds: []float64{0.6, 0.8, 0.99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Score != 1 {
+		t.Errorf("best score = %v, want 1 on this trivial sample", res.Best.Score)
+	}
+	if res.Best.Threshold == 0.99 {
+		t.Error("threshold 0.99 cannot detect the typo pair")
+	}
+	if err := ApplyTuned(cfg, "movie", res.Best); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Candidate("movie").Threshold != res.Best.Threshold {
+		t.Error("ApplyTuned did not update the config")
+	}
+}
+
+func TestEvalFacade(t *testing.T) {
+	xmlStr := `<movie_database><movies>
+	  <movie x-gold="a"><title>Silent River</title>
+	    <people><person>K</person></people></movie>
+	  <movie x-gold="a"><title>Silnt River</title>
+	    <people><person>K</person></people></movie>
+	  <movie x-gold="b"><title>Broken Storm</title>
+	    <people><person>U</person></people></movie>
+	</movies></movie_database>`
+	det := demoDetector(t)
+	doc, err := ParseXMLString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := BuildGold(doc, "movie_database/movies/movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PairwiseMetrics(gold, res.Clusters["movie"])
+	if m.F1 != 1 {
+		t.Errorf("pairwise F = %v, want 1 (%s)", m.F1, m)
+	}
+	cm := ClusterLevelMetrics(gold, res.Clusters["movie"])
+	if cm.F != 1 {
+		t.Errorf("cluster-level F = %v, want 1", cm.F)
+	}
+	if _, err := BuildGold(doc, "[["); err == nil {
+		t.Error("bad path should fail")
+	}
+}

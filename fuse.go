@@ -1,0 +1,92 @@
+package sxnm
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Fuse produces a de-duplicated copy of the document like Deduplicate,
+// but instead of discarding the non-representative cluster members it
+// merges their data into the surviving element — the "more
+// sophisticated approaches perform data fusion by resolving conflicts
+// among the different representations" of the paper's Sec. 3.4.
+//
+// The fusion policy is conservative and deterministic:
+//
+//   - attributes: the representative keeps its own values; attributes
+//     it lacks are copied from the other members (first member in
+//     document order wins);
+//   - child elements: for every child element name the representative
+//     keeps its own children; names it lacks entirely are copied from
+//     the first member that has them (subtrees are cloned);
+//   - text: the representative's text is kept (it was chosen as the
+//     most complete record).
+//
+// Candidates are processed top-down as in Deduplicate.
+func Fuse(doc *Document, res *Result) *Document {
+	out := xmltree.NewDocument(doc.Root.Clone())
+	index := out.IndexByID()
+
+	names := make([]string, 0, len(res.Clusters))
+	for name := range res.Clusters {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		di := candidateDepth(res, names[i])
+		dj := candidateDepth(res, names[j])
+		if di != dj {
+			return di < dj
+		}
+		return names[i] < names[j]
+	})
+
+	for _, name := range names {
+		cs := res.Clusters[name]
+		for _, c := range cs.NonSingletons() {
+			var alive []*xmltree.Node
+			for _, eid := range c.Members {
+				if n := index[eid]; n != nil && stillAttached(n, out.Root) {
+					alive = append(alive, n)
+				}
+			}
+			if len(alive) <= 1 {
+				continue
+			}
+			rep := chooseRepresentative(alive)
+			for _, n := range alive {
+				if n == rep {
+					continue
+				}
+				mergeInto(rep, n)
+				if n.Parent != nil {
+					n.Parent.RemoveChild(n)
+				}
+			}
+		}
+	}
+	out.Renumber()
+	return out
+}
+
+// mergeInto copies data from donor into rep without overwriting
+// anything rep already has.
+func mergeInto(rep, donor *xmltree.Node) {
+	for _, a := range donor.Attrs {
+		if _, ok := rep.Attr(a.Name); !ok {
+			rep.SetAttr(a.Name, a.Value)
+		}
+	}
+	repChildNames := map[string]bool{}
+	for _, c := range rep.Children {
+		if c.Kind == xmltree.ElementNode {
+			repChildNames[c.Name] = true
+		}
+	}
+	for _, c := range donor.Children {
+		if c.Kind == xmltree.ElementNode && !repChildNames[c.Name] {
+			rep.AppendChild(c.Clone())
+			repChildNames[c.Name] = true
+		}
+	}
+}

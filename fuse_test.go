@@ -1,0 +1,117 @@
+package sxnm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFuseMergesMissingData(t *testing.T) {
+	// First movie lacks the year and the review; its duplicate carries
+	// both. Fusion must keep one movie with all of title, year, people,
+	// and review.
+	xmlStr := `
+<movie_database>
+  <movies>
+    <movie>
+      <title>Silent River</title>
+      <people><person>Keanu Reeves</person></people>
+    </movie>
+    <movie year="1999">
+      <title>Silent Rivr</title>
+      <review>A quiet film that rewards patience.</review>
+      <people><person>Keanu Reeves</person></people>
+    </movie>
+  </movies>
+</movie_database>`
+	det := demoDetector(t)
+	doc, err := ParseXMLString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters["movie"].NonSingletons()) != 1 {
+		t.Fatalf("expected the pair to be detected:\n%s", res.Clusters["movie"])
+	}
+	fused := Fuse(doc, res)
+	movies := fused.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 1 {
+		t.Fatalf("fused movie count = %d, want 1", len(movies))
+	}
+	m := movies[0]
+	if _, ok := m.Attr("year"); !ok {
+		t.Error("fused movie lost the year carried by the duplicate")
+	}
+	if m.FirstChildElement("review") == nil {
+		t.Error("fused movie lost the review carried by the duplicate")
+	}
+	if m.FirstChildElement("title") == nil || m.FirstChildElement("people") == nil {
+		t.Error("fused movie lost its own children")
+	}
+	// The original is untouched.
+	if got := len(doc.ElementsByPath("movie_database/movies/movie")); got != 2 {
+		t.Errorf("original mutated: %d movies", got)
+	}
+}
+
+func TestFuseKeepsRepresentativeValues(t *testing.T) {
+	// Both carry a year; the representative's value must win.
+	xmlStr := `
+<movie_database>
+  <movies>
+    <movie year="1999">
+      <title>Silent River</title>
+      <people><person>Keanu Reeves</person></people>
+      <review>longer text marking this as the most complete record</review>
+    </movie>
+    <movie year="2001">
+      <title>Silent Rivr</title>
+      <people><person>Keanu Reeves</person></people>
+    </movie>
+  </movies>
+</movie_database>`
+	det := demoDetector(t)
+	doc, err := ParseXMLString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(doc, res)
+	movies := fused.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 1 {
+		t.Fatalf("fused movie count = %d", len(movies))
+	}
+	// The first movie has more text, so it is the representative; its
+	// year survives.
+	if y, _ := movies[0].Attr("year"); y != "1999" {
+		t.Errorf("year = %q, want the representative's 1999", y)
+	}
+}
+
+func TestFuseNoDuplicatesIsIdentity(t *testing.T) {
+	xmlStr := `<movie_database><movies>
+	  <movie><title>Alpha Storm</title><people><person>A</person></people></movie>
+	  <movie><title>Beta Voyage</title><people><person>B</person></people></movie>
+	</movies></movie_database>`
+	det := demoDetector(t)
+	doc, err := ParseXMLString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(doc, res)
+	if got := len(fused.ElementsByPath("movie_database/movies/movie")); got != 2 {
+		t.Errorf("identity fusion changed movie count to %d", got)
+	}
+	if !strings.Contains(fused.String(), "Alpha Storm") {
+		t.Error("content lost")
+	}
+}

@@ -1,0 +1,266 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/xmltree"
+)
+
+func movieConfig(window int) *config.Config {
+	cfg := config.DataSet1(window)
+	return cfg
+}
+
+func smallDirtyMovies(t *testing.T, n int, seed int64) *xmltree.Document {
+	t.Helper()
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestAllPairsFindsEverythingWindowedFinds(t *testing.T) {
+	doc := smallDirtyMovies(t, 120, 42)
+	cfg := movieConfig(5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := core.Run(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := movieConfig(5)
+	if err := cfg2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := AllPairs(doc, cfg2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair the windowed method finds, all-pairs must also find
+	// (same similarity, superset of comparisons).
+	wp := windowed.Clusters["movie"].DuplicatePairs()
+	ap := map[string]bool{}
+	for _, p := range all.Clusters["movie"].DuplicatePairs() {
+		ap[fmt.Sprintf("%d-%d", p.A, p.B)] = true
+	}
+	for _, p := range wp {
+		if !ap[fmt.Sprintf("%d-%d", p.A, p.B)] {
+			t.Errorf("windowed pair (%d,%d) missing from all-pairs", p.A, p.B)
+		}
+	}
+	// All-pairs performs C(n,2) comparisons.
+	n := windowed.Stats.Candidates["movie"].Rows
+	if all.Comparisons != n*(n-1)/2 {
+		t.Errorf("all-pairs comparisons = %d, want %d", all.Comparisons, n*(n-1)/2)
+	}
+	if all.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+}
+
+func TestAllPairsRecallCeiling(t *testing.T) {
+	doc := smallDirtyMovies(t, 150, 7)
+	cfg := movieConfig(3)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := AllPairs(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := eval.BuildGold(doc, dataset.MoviePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eval.PairwiseMetrics(gold, all.Clusters["movie"])
+	// The similarity itself should recover most planted duplicates.
+	if m.Recall < 0.6 {
+		t.Errorf("all-pairs recall = %v (%s)", m.Recall, m)
+	}
+}
+
+func TestDESNMEliminatesExactDuplicates(t *testing.T) {
+	// Build data with exact copies: duplicate with zero typos.
+	xmlStr := `<movie_database><movies>` +
+		`<movie x-gold="a"><title>Silent River</title></movie>` +
+		`<movie x-gold="a"><title>Silent River</title></movie>` +
+		`<movie x-gold="a"><title>Silent River</title></movie>` +
+		`<movie x-gold="b"><title>Broken Storm</title></movie>` +
+		`</movies></movie_database>`
+	doc, err := xmltree.ParseString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &config.Config{Candidates: []config.Candidate{{
+		Name:  "movie",
+		XPath: "movie_database/movies/movie",
+		Paths: []config.PathDef{{ID: 1, RelPath: "title/text()"}},
+		OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+		Keys: []config.KeyDef{
+			{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "K1-K5"}}},
+		},
+		Threshold: 0.8,
+		Window:    3,
+	}}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DESNM(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eliminated != 2 {
+		t.Errorf("eliminated = %d, want 2 exact copies", res.Eliminated)
+	}
+	cs := res.Clusters["movie"]
+	dups := cs.NonSingletons()
+	if len(dups) != 1 || len(dups[0].Members) != 3 {
+		t.Errorf("clusters:\n%s", cs)
+	}
+	// Only the two representatives enter the window: 1 comparison.
+	if res.Comparisons != 1 {
+		t.Errorf("comparisons = %d, want 1", res.Comparisons)
+	}
+}
+
+func TestDESNMMatchesSXNMOnCleanishData(t *testing.T) {
+	doc := smallDirtyMovies(t, 100, 11)
+	cfg := movieConfig(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sxnm, err := core.Run(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := movieConfig(4)
+	if err := cfg2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	de, err := DESNM(doc, cfg2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := eval.BuildGold(doc, dataset.MoviePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := eval.PairwiseMetrics(gold, sxnm.Clusters["movie"])
+	md := eval.PairwiseMetrics(gold, de.Clusters["movie"])
+	// DE-SNM should be at least as good on recall: eliminated rows are
+	// exact duplicates that are always found, window contents only
+	// improve.
+	if md.Recall < ms.Recall-0.05 {
+		t.Errorf("DE-SNM recall %v much worse than SXNM %v", md.Recall, ms.Recall)
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	cfg := movieConfig(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two batches of distinct movies with one duplicate pair spanning
+	// batch 1 and batch 2.
+	batch1 := `<movie_database><movies>
+	  <movie x-gold="a" year="1999" length="100"><title>Silent River</title></movie>
+	  <movie x-gold="b" year="1988" length="90"><title>Broken Storm</title></movie>
+	</movies></movie_database>`
+	batch2 := `<movie_database><movies>
+	  <movie x-gold="a" year="1999" length="100"><title>Silent Rivers</title></movie>
+	  <movie x-gold="c" year="2001" length="120"><title>Golden Dawn</title></movie>
+	</movies></movie_database>`
+	d1, err := xmltree.ParseString(batch1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := xmltree.ParseString(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(d1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inc.Clusters("movie").NonSingletons()); got != 0 {
+		t.Fatalf("batch 1 alone has no duplicates, got %d", got)
+	}
+	if err := inc.Add(d2); err != nil {
+		t.Fatal(err)
+	}
+	cs := inc.Clusters("movie")
+	if inc.Rows("movie") != 4 {
+		t.Errorf("rows = %d, want 4", inc.Rows("movie"))
+	}
+	dups := cs.NonSingletons()
+	if len(dups) != 1 || len(dups[0].Members) != 2 {
+		t.Fatalf("cross-batch duplicate not found:\n%s", cs)
+	}
+}
+
+func TestIncrementalSkipsOldOldPairs(t *testing.T) {
+	cfg := movieConfig(10)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := inc.Comparisons
+	// Adding an empty batch must cost zero comparisons.
+	empty, err := xmltree.ParseString(`<movie_database><movies/></movie_database>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(empty); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Comparisons != afterFirst {
+		t.Errorf("empty batch performed %d comparisons", inc.Comparisons-afterFirst)
+	}
+}
+
+func TestIncrementalRejectsDescendantConfigs(t *testing.T) {
+	cfg := config.DataSet2(4) // disc uses track-title descendants
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIncremental(cfg); err == nil {
+		t.Fatal("incremental must reject descendant-using configs")
+	}
+}
+
+func TestIncrementalEmptyCandidate(t *testing.T) {
+	cfg := movieConfig(3)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Clusters("movie").Len() != 0 {
+		t.Error("empty incremental state should have no clusters")
+	}
+	if inc.Clusters("nosuch").Len() != 0 {
+		t.Error("unknown candidate should yield empty cluster set")
+	}
+}

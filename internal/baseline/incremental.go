@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// Incremental implements the incremental SNM variant the paper's
+// Sec. 2.2 mentions for "large amounts of data as well as for
+// repeatedly updated data": data arrives in batches; each batch's keys
+// are generated, merged into the already-sorted key lists, and only
+// the windows that contain at least one new row are compared. Cluster
+// sets grow monotonically across batches.
+//
+// Descendant similarity is not available across batches (the cluster
+// sets of nested candidates would need re-resolution against rows from
+// earlier batches), so Incremental requires a configuration whose
+// candidates do not use descendants; Add returns an error otherwise.
+type Incremental struct {
+	cfg  *config.Config
+	rows map[string][]core.GKRow // per candidate, in arrival order
+	uf   map[string]*cluster.UnionFind
+	// nextEID offsets node IDs so documents from different batches
+	// cannot collide.
+	nextEID int
+	// Comparisons counts similarity computations across all batches.
+	Comparisons int
+}
+
+// NewIncremental creates an incremental deduplicator for the given
+// validated configuration.
+func NewIncremental(cfg *config.Config) (*Incremental, error) {
+	for i := range cfg.Candidates {
+		c := &cfg.Candidates[i]
+		if c.DescendantsEnabled() && len(core.SchemaChildren(cfg, c)) > 0 {
+			return nil, fmt.Errorf("baseline: incremental SNM does not support descendant similarity (candidate %q); set UseDescendants=false", c.Name)
+		}
+	}
+	return &Incremental{
+		cfg:  cfg,
+		rows: make(map[string][]core.GKRow),
+		uf:   make(map[string]*cluster.UnionFind),
+	}, nil
+}
+
+// Add merges a new batch into the deduplicated state. Element IDs in
+// the returned cluster sets are batch-offset node IDs; use Lookup to
+// translate.
+func (inc *Incremental) Add(doc *xmltree.Document) error {
+	kg, err := core.GenerateKeys(doc, inc.cfg)
+	if err != nil {
+		return err
+	}
+	offset := inc.nextEID
+	maxID := 0
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+		return true
+	})
+	inc.nextEID += maxID + 1
+
+	for _, cand := range core.ProcessingOrder(inc.cfg) {
+		t := kg.Tables[cand.Name]
+		uf := inc.uf[cand.Name]
+		if uf == nil {
+			uf = cluster.NewUnionFind()
+			inc.uf[cand.Name] = uf
+		}
+		newRows := make([]core.GKRow, len(t.Rows))
+		copy(newRows, t.Rows)
+		for i := range newRows {
+			newRows[i].EID += offset
+			uf.Add(newRows[i].EID)
+		}
+
+		old := inc.rows[cand.Name]
+		merged := append(append([]core.GKRow{}, old...), newRows...)
+		isNew := func(eid int) bool { return eid >= offset }
+
+		w := cand.Window
+		seen := make(map[[2]int]struct{})
+		for pass := range cand.CompiledKeys() {
+			k := pass
+			order := make([]int, len(merged))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				ra, rb := &merged[order[a]], &merged[order[b]]
+				if ra.Keys[k] != rb.Keys[k] {
+					return ra.Keys[k] < rb.Keys[k]
+				}
+				return ra.EID < rb.EID
+			})
+			for i := 1; i < len(order); i++ {
+				lo := i - (w - 1)
+				if lo < 0 {
+					lo = 0
+				}
+				for j := lo; j < i; j++ {
+					a, b := &merged[order[j]], &merged[order[i]]
+					// Only windows touching a new row need work; pairs
+					// of two old rows were compared in earlier batches.
+					if !isNew(a.EID) && !isNew(b.EID) {
+						continue
+					}
+					pk := [2]int{minInt(a.EID, b.EID), maxInt(a.EID, b.EID)}
+					if _, done := seen[pk]; done {
+						continue
+					}
+					seen[pk] = struct{}{}
+					if uf.Same(a.EID, b.EID) {
+						continue
+					}
+					inc.Comparisons++
+					_, _, _, dup, err := t.ComparePair(a, b, false)
+					if err != nil {
+						return err
+					}
+					if dup {
+						uf.Union(a.EID, b.EID)
+					}
+				}
+			}
+		}
+		inc.rows[cand.Name] = merged
+	}
+	return nil
+}
+
+// Clusters materializes the current cluster set for a candidate.
+func (inc *Incremental) Clusters(candidate string) *cluster.ClusterSet {
+	uf, ok := inc.uf[candidate]
+	if !ok {
+		return cluster.Build(cluster.NewUnionFind())
+	}
+	return cluster.Build(uf)
+}
+
+// Rows returns the number of accumulated rows for a candidate.
+func (inc *Incremental) Rows(candidate string) int {
+	return len(inc.rows[candidate])
+}

@@ -1,0 +1,243 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func validConfig() *Config {
+	return Table1Movie()
+}
+
+func TestValidateFixtures(t *testing.T) {
+	fixtures := map[string]*Config{
+		"table1":   Table1Movie(),
+		"dataset1": DataSet1(0),
+		"dataset2": DataSet2(0),
+		"dataset3": DataSet3(0),
+	}
+	for name, cfg := range fixtures {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", name, err)
+		}
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	cfg := validConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DefaultWindow != DefaultWindow {
+		t.Errorf("DefaultWindow = %d, want %d", cfg.DefaultWindow, DefaultWindow)
+	}
+	c := cfg.Candidate("movie")
+	if c.Window != DefaultWindow {
+		t.Errorf("candidate window = %d", c.Window)
+	}
+	if c.Threshold != DefaultThreshold {
+		t.Errorf("candidate threshold = %v", c.Threshold)
+	}
+	if c.Rule != RuleCombined {
+		t.Errorf("rule = %q", c.Rule)
+	}
+	if c.ODWeight != DefaultODWeight {
+		t.Errorf("od weight = %v", c.ODWeight)
+	}
+	if !c.DescendantsEnabled() {
+		t.Error("descendants should default to enabled")
+	}
+}
+
+func TestValidateCompiles(t *testing.T) {
+	cfg := validConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Candidate("movie")
+	if c.AbsPath() == nil {
+		t.Error("abs path not compiled")
+	}
+	if len(c.CompiledKeys()) != 2 {
+		t.Errorf("compiled keys = %d, want 2", len(c.CompiledKeys()))
+	}
+	if p, ok := c.PathByID(1); !ok || p.Path() == nil {
+		t.Error("path 1 not compiled")
+	}
+	if _, ok := c.PathByID(99); ok {
+		t.Error("unknown path id resolved")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mutate := func(f func(*Config)) *Config {
+		cfg := validConfig()
+		f(cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  *Config
+		want string
+	}{
+		{"no candidates", &Config{}, "no candidates"},
+		{"empty name", mutate(func(c *Config) { c.Candidates[0].Name = "" }), "has no name"},
+		{"dup name", mutate(func(c *Config) {
+			c.Candidates = append(c.Candidates, c.Candidates[0])
+		}), "duplicate candidate name"},
+		{"dup xpath", mutate(func(c *Config) {
+			c2 := Table1Movie().Candidates[0]
+			c2.Name = "other"
+			c.Candidates = append(c.Candidates, c2)
+		}), "share xpath"},
+		{"no xpath", mutate(func(c *Config) { c.Candidates[0].XPath = "" }), "no xpath"},
+		{"value xpath", mutate(func(c *Config) { c.Candidates[0].XPath = "a/b/text()" }), "must select elements"},
+		{"bad xpath", mutate(func(c *Config) { c.Candidates[0].XPath = "a[[" }), "xpath"},
+		{"window 1", mutate(func(c *Config) { c.Candidates[0].Window = 1 }), "window 1 < 2"},
+		{"bad rule", mutate(func(c *Config) { c.Candidates[0].Rule = "bogus" }), "unknown rule"},
+		{"threshold range", mutate(func(c *Config) { c.Candidates[0].Threshold = 1.5 }), "outside [0,1]"},
+		{"no paths", mutate(func(c *Config) { c.Candidates[0].Paths = nil }), "no paths"},
+		{"dup path id", mutate(func(c *Config) {
+			c.Candidates[0].Paths = append(c.Candidates[0].Paths, PathDef{ID: 1, RelPath: "x/text()"})
+		}), "duplicate path id"},
+		{"bad rel path", mutate(func(c *Config) { c.Candidates[0].Paths[0].RelPath = "@" }), "path 1"},
+		{"no od", mutate(func(c *Config) { c.Candidates[0].OD = nil }), "no object description"},
+		{"od bad pid", mutate(func(c *Config) { c.Candidates[0].OD[0].PathID = 42 }), "unknown path id 42"},
+		{"od bad relevance", mutate(func(c *Config) { c.Candidates[0].OD[0].Relevance = -0.5 }), "must be positive"},
+		{"od bad sim", mutate(func(c *Config) { c.Candidates[0].OD[0].SimFunc = "nope" }), "unknown function"},
+		{"od relevance sum", mutate(func(c *Config) {
+			c.Candidates[0].OD = []ODEntry{{PathID: 1, Relevance: 0.1}}
+		}), "sum to"},
+		{"no keys", mutate(func(c *Config) { c.Candidates[0].Keys = nil }), "no keys"},
+		{"empty key", mutate(func(c *Config) { c.Candidates[0].Keys[0].Parts = nil }), "no parts"},
+		{"key bad pid", mutate(func(c *Config) { c.Candidates[0].Keys[0].Parts[0].PathID = 42 }), "unknown path id 42"},
+		{"key dup order", mutate(func(c *Config) {
+			c.Candidates[0].Keys[0].Parts[1].Order = c.Candidates[0].Keys[0].Parts[0].Order
+		}), "duplicate order"},
+		{"key bad pattern", mutate(func(c *Config) { c.Candidates[0].Keys[0].Parts[0].Pattern = "Z9" }), "unknown class"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRuleEitherRequiresThresholds(t *testing.T) {
+	cfg := validConfig()
+	cfg.Candidates[0].Rule = RuleEither
+	cfg.Candidates[0].ODThreshold = 0.65
+	cfg.Candidates[0].DescThreshold = 0.3
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("either rule with thresholds: %v", err)
+	}
+	bad := validConfig()
+	bad.Candidates[0].Rule = RuleEither
+	bad.Candidates[0].ODThreshold = 1.7
+	if err := bad.Validate(); err == nil {
+		t.Error("od threshold 1.7 should fail")
+	}
+}
+
+func TestCandidateLookup(t *testing.T) {
+	cfg := validConfig()
+	if cfg.Candidate("movie") == nil {
+		t.Error("movie candidate not found")
+	}
+	if cfg.Candidate("absent") != nil {
+		t.Error("absent candidate found")
+	}
+}
+
+func TestODFields(t *testing.T) {
+	cfg := validConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fields, err := cfg.Candidate("movie").ODFields()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 {
+		t.Fatalf("fields = %d, want 2", len(fields))
+	}
+	if fields[0].Relevance != 0.8 || fields[1].Relevance != 0.2 {
+		t.Errorf("relevances = %v, %v", fields[0].Relevance, fields[1].Relevance)
+	}
+	if fields[0].Sim == nil {
+		t.Error("sim func not resolved")
+	}
+}
+
+func TestSetWindows(t *testing.T) {
+	cfg := DataSet2(0)
+	cfg.SetWindows(7)
+	for _, c := range cfg.Candidates {
+		if c.Window != 7 {
+			t.Errorf("candidate %q window = %d, want 7", c.Name, c.Window)
+		}
+	}
+}
+
+func TestKeepKeys(t *testing.T) {
+	cfg := DataSet1(0)
+	if !cfg.KeepKeys("movie", 1) {
+		t.Fatal("KeepKeys failed")
+	}
+	c := cfg.Candidate("movie")
+	if len(c.Keys) != 1 || c.Keys[0].Name != "key2" {
+		t.Errorf("kept keys = %v", c.Keys)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("validate after KeepKeys: %v", err)
+	}
+	if len(c.CompiledKeys()) != 1 {
+		t.Error("compiled keys not rebuilt")
+	}
+	if cfg.KeepKeys("movie", 5) {
+		t.Error("out of range index should fail")
+	}
+	if cfg.KeepKeys("absent", 0) {
+		t.Error("unknown candidate should fail")
+	}
+}
+
+func TestDataSet1KeyShapes(t *testing.T) {
+	cfg := DataSet1(0)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	keys := cfg.Candidate("movie").CompiledKeys()
+	if len(keys) != 3 {
+		t.Fatalf("keys = %d, want 3", len(keys))
+	}
+	lookup := func(pid int) string {
+		switch pid {
+		case 1:
+			return "The Shawshank Redemption"
+		case 2:
+			return "1994"
+		case 3:
+			return "142"
+		}
+		return ""
+	}
+	// Key 1: first five consonants of the title.
+	if got := keys[0].Generate(lookup); got != "THSHW" {
+		t.Errorf("key1 = %q, want THSHW", got)
+	}
+	// Key 2 leads with year digits 3,4.
+	if got := keys[1].Generate(lookup); got != "94TH" {
+		t.Errorf("key2 = %q, want 94TH", got)
+	}
+	// Key 3 leads with length digits 1,2.
+	if got := keys[2].Generate(lookup); got != "14THSH" {
+		t.Errorf("key3 = %q, want 14THSH", got)
+	}
+}

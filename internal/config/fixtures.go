@@ -1,0 +1,226 @@
+package config
+
+// Fixtures reproducing the paper's configuration tables. Each function
+// returns a fresh, unvalidated Config so callers may adjust windows and
+// thresholds before validating.
+
+// Table1Movie reproduces Table 1: the PATH, OD, and two KEY relations
+// for <movie> elements used in the illustrative example of Sec. 3.1
+// (the Matrix movie of Fig. 2(a) yields keys MT99 and 5MA).
+func Table1Movie() *Config {
+	return &Config{
+		Candidates: []Candidate{{
+			Name:  "movie",
+			XPath: "movie_database/movies/movie",
+			Paths: []PathDef{
+				{ID: 1, RelPath: "title/text()"},
+				{ID: 2, RelPath: "@ID"},
+				{ID: 3, RelPath: "@year"},
+			},
+			OD: []ODEntry{
+				{PathID: 1, Relevance: 0.8},
+				{PathID: 3, Relevance: 0.2},
+			},
+			Keys: []KeyDef{
+				{Name: "key1", Parts: []KeyPart{
+					{PathID: 1, Order: 1, Pattern: "K1,K2"},
+					{PathID: 3, Order: 2, Pattern: "D3,D4"},
+				}},
+				{Name: "key2", Parts: []KeyPart{
+					{PathID: 2, Order: 1, Pattern: "D1"},
+					{PathID: 1, Order: 2, Pattern: "C1,C2"},
+				}},
+			},
+		}},
+	}
+}
+
+// DataSet1 reproduces Table 3(a): the configuration for the artificial
+// movie data of Data set 1. The object description is title/text()
+// (relevance 0.8) and @length (relevance 0.2), as specified in Sec. 4.1.
+//
+// The three keys follow the paper's discussion: Key 1 sorts by the
+// first five title consonants (best), Key 2 leads with the year digits
+// (worst — missing or dirty years destroy the sort order), Key 3 leads
+// with the length digits.
+func DataSet1(window int) *Config {
+	return &Config{
+		DefaultWindow: windowOrDefault(window),
+		Candidates: []Candidate{{
+			Name:  "movie",
+			XPath: "movie_database/movies/movie",
+			Paths: []PathDef{
+				{ID: 1, RelPath: "title/text()"},
+				{ID: 2, RelPath: "@year"},
+				{ID: 3, RelPath: "@length"},
+			},
+			OD: []ODEntry{
+				{PathID: 1, Relevance: 0.8},
+				{PathID: 3, Relevance: 0.2, SimFunc: "numeric"},
+			},
+			Keys: []KeyDef{
+				{Name: "key1", Parts: []KeyPart{
+					{PathID: 1, Order: 1, Pattern: "K1-K5"},
+				}},
+				{Name: "key2", Parts: []KeyPart{
+					{PathID: 2, Order: 1, Pattern: "D3,D4"},
+					{PathID: 1, Order: 2, Pattern: "K1,K2"},
+				}},
+				{Name: "key3", Parts: []KeyPart{
+					{PathID: 3, Order: 1, Pattern: "D1,D2"},
+					{PathID: 1, Order: 2, Pattern: "K1-K4"},
+				}},
+			},
+			Threshold: 0.8,
+		}},
+	}
+}
+
+// DataSet2 reproduces Table 3(b): the CD configuration for Data set 2.
+// The disc object description is did/text(), artist[1]/text(), and
+// dtitle[1]/text() with relevancies 0.4, 0.3, 0.3 (Sec. 4.1).
+// Candidates are disc and its descendant disc/tracks/title, enabling
+// the bottom-up use of track-title duplicate clusters.
+//
+// The disc candidate uses the two-threshold rule of Experiment set 3:
+// OD threshold 0.65 (the paper's optimum) and descendants threshold
+// 0.3 (the paper's best).
+func DataSet2(window int) *Config {
+	return &Config{
+		DefaultWindow: windowOrDefault(window),
+		Candidates: []Candidate{
+			{
+				Name:  "disc",
+				XPath: "cds/disc",
+				Paths: []PathDef{
+					{ID: 1, RelPath: "did/text()"},
+					{ID: 2, RelPath: "artist[1]/text()"},
+					{ID: 3, RelPath: "dtitle[1]/text()"},
+					{ID: 4, RelPath: "genre/text()"},
+					{ID: 5, RelPath: "year/text()"},
+				},
+				OD: []ODEntry{
+					{PathID: 1, Relevance: 0.4},
+					{PathID: 2, Relevance: 0.3},
+					{PathID: 3, Relevance: 0.3},
+				},
+				Keys: []KeyDef{
+					{Name: "key1", Parts: []KeyPart{
+						{PathID: 2, Order: 1, Pattern: "K1-K4"},
+						{PathID: 5, Order: 2, Pattern: "D3,D4"},
+					}},
+					{Name: "key2", Parts: []KeyPart{
+						{PathID: 1, Order: 1, Pattern: "C1-C4"},
+						{PathID: 3, Order: 2, Pattern: "C1-C4"},
+					}},
+					{Name: "key3", Parts: []KeyPart{
+						{PathID: 4, Order: 1, Pattern: "C1,C2"},
+						{PathID: 5, Order: 2, Pattern: "D3,D4"},
+						{PathID: 2, Order: 3, Pattern: "K1,K2"},
+						{PathID: 1, Order: 4, Pattern: "C1,C2"},
+					}},
+				},
+				Rule:          RuleEither,
+				ODThreshold:   0.65,
+				DescThreshold: 0.3,
+			},
+			trackTitleCandidate("cds/disc/tracks/title"),
+		},
+	}
+}
+
+// DataSet3 reproduces Table 3(c): the configuration for the large
+// real-world CD corpus of Data set 3. Candidates are disc and its
+// descendants disc/dtitle, disc/artist, and disc/tracks/title
+// (Sec. 4.1). Key 1 leads with the disc title consonants; Key 2 is the
+// did-prefix key that the paper reports as the most precise.
+func DataSet3(window int) *Config {
+	return &Config{
+		DefaultWindow: windowOrDefault(window),
+		Candidates: []Candidate{
+			{
+				Name:  "disc",
+				XPath: "cds/disc",
+				Paths: []PathDef{
+					{ID: 1, RelPath: "did/text()"},
+					{ID: 2, RelPath: "artist[1]/text()"},
+					{ID: 3, RelPath: "dtitle[1]/text()"},
+				},
+				OD: []ODEntry{
+					{PathID: 1, Relevance: 0.4},
+					{PathID: 2, Relevance: 0.3},
+					{PathID: 3, Relevance: 0.3},
+				},
+				Keys: []KeyDef{
+					{Name: "key1", Parts: []KeyPart{
+						{PathID: 3, Order: 1, Pattern: "K1-K6"},
+						{PathID: 2, Order: 2, Pattern: "K1-K4"},
+					}},
+					{Name: "key2", Parts: []KeyPart{
+						{PathID: 1, Order: 1, Pattern: "C1-C4"},
+						{PathID: 3, Order: 2, Pattern: "C1-C4"},
+					}},
+				},
+				Rule:          RuleEither,
+				ODThreshold:   0.6,
+				DescThreshold: 0.5,
+			},
+			textCandidate("dtitle", "cds/disc/dtitle"),
+			textCandidate("artist", "cds/disc/artist"),
+			trackTitleCandidate("cds/disc/tracks/title"),
+		},
+	}
+}
+
+// trackTitleCandidate configures the disc/tracks/title candidate used
+// by Data sets 2 and 3: OD is the text node with relevance 1, the key
+// is the first six characters of the text (Table 3(b) last row).
+func trackTitleCandidate(xp string) Candidate {
+	return textCandidate("title", xp)
+}
+
+// textCandidate builds a leaf candidate whose OD and key both derive
+// from its text() node, per the paper's convention ("When not
+// specified, the OD of a candidate is its text node with relative path
+// text() and relevance 1") and the C1-C6 keys of Table 3.
+func textCandidate(name, xp string) Candidate {
+	return Candidate{
+		Name:  name,
+		XPath: xp,
+		Paths: []PathDef{{ID: 1, RelPath: "text()"}},
+		OD:    []ODEntry{{PathID: 1, Relevance: 1}},
+		Keys: []KeyDef{
+			{Name: "key1", Parts: []KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+		},
+		Threshold: 0.85,
+	}
+}
+
+func windowOrDefault(w int) int {
+	if w <= 0 {
+		return DefaultWindow
+	}
+	return w
+}
+
+// SetWindows sets the window size of every candidate; convenient for
+// the window-size sweeps of Experiment set 1.
+func (cfg *Config) SetWindows(w int) {
+	cfg.DefaultWindow = w
+	for i := range cfg.Candidates {
+		cfg.Candidates[i].Window = w
+	}
+}
+
+// KeepKeys restricts the named candidate to the single key at the given
+// index (0-based), enabling the single-pass runs of Experiment set 1.
+// It returns false if the candidate or index does not exist.
+func (cfg *Config) KeepKeys(candidate string, index int) bool {
+	c := cfg.Candidate(candidate)
+	if c == nil || index < 0 || index >= len(c.Keys) {
+		return false
+	}
+	c.Keys = []KeyDef{c.Keys[index]}
+	c.compiledKeys = nil
+	return true
+}

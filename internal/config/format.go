@@ -1,0 +1,280 @@
+package config
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/similarity"
+	"repro/internal/xmltree"
+)
+
+// odSim resolves the similarity function configured for an OD entry.
+func odSim(od ODEntry) (similarity.Func, error) {
+	return similarity.ByName(od.SimFunc)
+}
+
+// ODFields materializes the similarity.ODField slice for a validated
+// candidate, in the canonical (PathID-sorted) OD order.
+func (c *Candidate) ODFields() ([]similarity.ODField, error) {
+	fields := make([]similarity.ODField, len(c.OD))
+	for i, od := range c.OD {
+		fn, err := odSim(od)
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = similarity.ODField{Relevance: od.Relevance, Sim: fn}
+	}
+	return fields, nil
+}
+
+// Parse reads a configuration from its XML representation:
+//
+//	<sxnm-config window="3" threshold="0.75">
+//	  <candidate name="movie" xpath="movie_database/movies/movie"
+//	             window="5" threshold="0.8" rule="combined">
+//	    <path id="1" relPath="title/text()"/>
+//	    <path id="3" relPath="@year"/>
+//	    <od pid="1" relevance="0.8" sim="edit"/>
+//	    <od pid="3" relevance="0.2" sim="year"/>
+//	    <key name="key1">
+//	      <part pid="1" order="1" pattern="K1,K2"/>
+//	      <part pid="3" order="2" pattern="D3,D4"/>
+//	    </key>
+//	    <descendants use="true" threshold="0.3"/>
+//	  </candidate>
+//	</sxnm-config>
+//
+// The returned configuration is already validated.
+func Parse(r io.Reader) (*Config, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return FromDocument(doc)
+}
+
+// FromDocument converts a parsed configuration document and validates it.
+func FromDocument(doc *xmltree.Document) (*Config, error) {
+	root := doc.Root
+	if root.Name != "sxnm-config" {
+		return nil, fmt.Errorf("config: root element is <%s>, want <sxnm-config>", root.Name)
+	}
+	cfg := &Config{}
+	var err error
+	if cfg.DefaultWindow, err = intAttr(root, "window", 0); err != nil {
+		return nil, err
+	}
+	if cfg.DefaultThreshold, err = floatAttr(root, "threshold", 0); err != nil {
+		return nil, err
+	}
+	for _, ce := range root.ChildElements("candidate") {
+		cand, err := parseCandidate(ce)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Candidates = append(cfg.Candidates, cand)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func parseCandidate(e *xmltree.Node) (Candidate, error) {
+	var c Candidate
+	c.Name, _ = e.Attr("name")
+	c.XPath, _ = e.Attr("xpath")
+	where := fmt.Sprintf("config: candidate %q", c.Name)
+	var err error
+	if c.Window, err = intAttr(e, "window", 0); err != nil {
+		return c, fmt.Errorf("%s: %w", where, err)
+	}
+	if c.Threshold, err = floatAttr(e, "threshold", 0); err != nil {
+		return c, fmt.Errorf("%s: %w", where, err)
+	}
+	if c.ODThreshold, err = floatAttr(e, "odThreshold", 0); err != nil {
+		return c, fmt.Errorf("%s: %w", where, err)
+	}
+	if c.ODWeight, err = floatAttr(e, "odWeight", 0); err != nil {
+		return c, fmt.Errorf("%s: %w", where, err)
+	}
+	if c.AdaptiveKeySim, err = floatAttr(e, "adaptiveKeySim", 0); err != nil {
+		return c, fmt.Errorf("%s: %w", where, err)
+	}
+	if c.AdaptiveMaxWindow, err = intAttr(e, "adaptiveMaxWindow", 0); err != nil {
+		return c, fmt.Errorf("%s: %w", where, err)
+	}
+	if rule, ok := e.Attr("rule"); ok {
+		c.Rule = RuleKind(rule)
+	}
+	for _, pe := range e.ChildElements("path") {
+		id, err := intAttr(pe, "id", 0)
+		if err != nil {
+			return c, fmt.Errorf("%s: path: %w", where, err)
+		}
+		rel, _ := pe.Attr("relPath")
+		c.Paths = append(c.Paths, PathDef{ID: id, RelPath: rel})
+	}
+	for _, oe := range e.ChildElements("od") {
+		pid, err := intAttr(oe, "pid", 0)
+		if err != nil {
+			return c, fmt.Errorf("%s: od: %w", where, err)
+		}
+		rel, err := floatAttr(oe, "relevance", 0)
+		if err != nil {
+			return c, fmt.Errorf("%s: od: %w", where, err)
+		}
+		sim, _ := oe.Attr("sim")
+		c.OD = append(c.OD, ODEntry{PathID: pid, Relevance: rel, SimFunc: sim})
+	}
+	for _, ke := range e.ChildElements("key") {
+		var kd KeyDef
+		kd.Name, _ = ke.Attr("name")
+		for _, pe := range ke.ChildElements("part") {
+			pid, err := intAttr(pe, "pid", 0)
+			if err != nil {
+				return c, fmt.Errorf("%s: key %q: %w", where, kd.Name, err)
+			}
+			order, err := intAttr(pe, "order", 0)
+			if err != nil {
+				return c, fmt.Errorf("%s: key %q: %w", where, kd.Name, err)
+			}
+			pattern, _ := pe.Attr("pattern")
+			kd.Parts = append(kd.Parts, KeyPart{PathID: pid, Order: order, Pattern: pattern})
+		}
+		c.Keys = append(c.Keys, kd)
+	}
+	if re := e.FirstChildElement("rule"); re != nil {
+		c.RuleExpr = re.Text()
+	}
+	if de := e.FirstChildElement("descendants"); de != nil {
+		if useStr, ok := de.Attr("use"); ok {
+			use, err := strconv.ParseBool(useStr)
+			if err != nil {
+				return c, fmt.Errorf("%s: descendants use=%q: %w", where, useStr, err)
+			}
+			c.UseDescendants = &use
+		}
+		if c.DescThreshold, err = floatAttr(de, "threshold", 0); err != nil {
+			return c, fmt.Errorf("%s: descendants: %w", where, err)
+		}
+	}
+	return c, nil
+}
+
+// Document renders the configuration back to its XML form; Parse and
+// Document round-trip.
+func (cfg *Config) Document() *xmltree.Document {
+	root := xmltree.NewElement("sxnm-config")
+	if cfg.DefaultWindow != 0 {
+		root.SetAttr("window", strconv.Itoa(cfg.DefaultWindow))
+	}
+	if cfg.DefaultThreshold != 0 {
+		root.SetAttr("threshold", formatFloat(cfg.DefaultThreshold))
+	}
+	for i := range cfg.Candidates {
+		root.AppendChild(candidateElement(&cfg.Candidates[i]))
+	}
+	return xmltree.NewDocument(root)
+}
+
+func candidateElement(c *Candidate) *xmltree.Node {
+	e := xmltree.NewElement("candidate")
+	e.SetAttr("name", c.Name)
+	e.SetAttr("xpath", c.XPath)
+	if c.Window != 0 {
+		e.SetAttr("window", strconv.Itoa(c.Window))
+	}
+	if c.Rule != "" && c.Rule != RuleCombined {
+		e.SetAttr("rule", string(c.Rule))
+	}
+	if c.Threshold != 0 {
+		e.SetAttr("threshold", formatFloat(c.Threshold))
+	}
+	if c.ODThreshold != 0 {
+		e.SetAttr("odThreshold", formatFloat(c.ODThreshold))
+	}
+	if c.ODWeight != 0 && c.ODWeight != DefaultODWeight {
+		e.SetAttr("odWeight", formatFloat(c.ODWeight))
+	}
+	if c.AdaptiveKeySim != 0 {
+		e.SetAttr("adaptiveKeySim", formatFloat(c.AdaptiveKeySim))
+	}
+	if c.AdaptiveMaxWindow != 0 {
+		e.SetAttr("adaptiveMaxWindow", strconv.Itoa(c.AdaptiveMaxWindow))
+	}
+	for _, p := range c.Paths {
+		pe := xmltree.NewElement("path")
+		pe.SetAttr("id", strconv.Itoa(p.ID))
+		pe.SetAttr("relPath", p.RelPath)
+		e.AppendChild(pe)
+	}
+	for _, od := range c.OD {
+		oe := xmltree.NewElement("od")
+		oe.SetAttr("pid", strconv.Itoa(od.PathID))
+		oe.SetAttr("relevance", formatFloat(od.Relevance))
+		if od.SimFunc != "" {
+			oe.SetAttr("sim", od.SimFunc)
+		}
+		e.AppendChild(oe)
+	}
+	for _, k := range c.Keys {
+		ke := xmltree.NewElement("key")
+		if k.Name != "" {
+			ke.SetAttr("name", k.Name)
+		}
+		for _, part := range k.Parts {
+			pe := xmltree.NewElement("part")
+			pe.SetAttr("pid", strconv.Itoa(part.PathID))
+			pe.SetAttr("order", strconv.Itoa(part.Order))
+			pe.SetAttr("pattern", part.Pattern)
+			ke.AppendChild(pe)
+		}
+		e.AppendChild(ke)
+	}
+	if c.RuleExpr != "" {
+		re := xmltree.NewElement("rule")
+		re.SetText(c.RuleExpr)
+		e.AppendChild(re)
+	}
+	if c.UseDescendants != nil || c.DescThreshold != 0 {
+		de := xmltree.NewElement("descendants")
+		if c.UseDescendants != nil {
+			de.SetAttr("use", strconv.FormatBool(*c.UseDescendants))
+		}
+		if c.DescThreshold != 0 {
+			de.SetAttr("threshold", formatFloat(c.DescThreshold))
+		}
+		e.AppendChild(de)
+	}
+	return e
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func intAttr(e *xmltree.Node, name string, def int) (int, error) {
+	s, ok := e.Attr(name)
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s=%q: %w", name, s, err)
+	}
+	return n, nil
+}
+
+func floatAttr(e *xmltree.Node, name string, def float64) (float64, error) {
+	s, ok := e.Attr(name)
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s=%q: %w", name, s, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,153 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleConfigXML = `
+<sxnm-config window="4" threshold="0.8">
+  <candidate name="movie" xpath="movie_database/movies/movie" window="5">
+    <path id="1" relPath="title/text()"/>
+    <path id="3" relPath="@year"/>
+    <od pid="1" relevance="0.8"/>
+    <od pid="3" relevance="0.2" sim="year"/>
+    <key name="key1">
+      <part pid="1" order="1" pattern="K1,K2"/>
+      <part pid="3" order="2" pattern="D3,D4"/>
+    </key>
+  </candidate>
+  <candidate name="person" xpath="movie_database/movies/movie/people/person"
+             rule="either" odThreshold="0.7">
+    <path id="1" relPath="text()"/>
+    <od pid="1" relevance="1"/>
+    <key><part pid="1" order="1" pattern="C1-C6"/></key>
+    <descendants use="false"/>
+  </candidate>
+</sxnm-config>`
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sampleConfigXML))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.DefaultWindow != 4 || cfg.DefaultThreshold != 0.8 {
+		t.Errorf("defaults = %d, %v", cfg.DefaultWindow, cfg.DefaultThreshold)
+	}
+	m := cfg.Candidate("movie")
+	if m == nil {
+		t.Fatal("movie candidate missing")
+	}
+	if m.Window != 5 {
+		t.Errorf("movie window = %d, want 5", m.Window)
+	}
+	if m.Threshold != 0.8 {
+		t.Errorf("movie threshold = %v, want inherited 0.8", m.Threshold)
+	}
+	if len(m.Paths) != 2 || len(m.OD) != 2 || len(m.Keys) != 1 {
+		t.Errorf("movie relations = %d paths, %d od, %d keys", len(m.Paths), len(m.OD), len(m.Keys))
+	}
+	if m.OD[1].SimFunc != "year" {
+		t.Errorf("od sim = %q", m.OD[1].SimFunc)
+	}
+	p := cfg.Candidate("person")
+	if p == nil {
+		t.Fatal("person candidate missing")
+	}
+	if p.Rule != RuleEither || p.ODThreshold != 0.7 {
+		t.Errorf("person rule = %q, odThreshold = %v", p.Rule, p.ODThreshold)
+	}
+	if p.DescendantsEnabled() {
+		t.Error("person descendants should be disabled")
+	}
+	// Parse validates: keys are compiled.
+	if len(m.CompiledKeys()) != 1 {
+		t.Error("keys not compiled by Parse")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		name, xml, want string
+	}{
+		{"not xml", "garbage", "parse"},
+		{"wrong root", "<config/>", "want <sxnm-config>"},
+		{"bad window", `<sxnm-config window="x"/>`, "attribute window"},
+		{"bad threshold", `<sxnm-config threshold="x"/>`, "attribute threshold"},
+		{"no candidates", `<sxnm-config/>`, "no candidates"},
+		{"bad pid", `<sxnm-config><candidate name="c" xpath="a/b">
+			<path id="z" relPath="text()"/></candidate></sxnm-config>`, "attribute id"},
+		{"bad use flag", `<sxnm-config><candidate name="c" xpath="a/b">
+			<path id="1" relPath="text()"/><od pid="1" relevance="1"/>
+			<key><part pid="1" order="1" pattern="C1"/></key>
+			<descendants use="maybe"/></candidate></sxnm-config>`, "descendants use"},
+		{"invalid semantics", `<sxnm-config><candidate name="c" xpath="a/b">
+			<path id="1" relPath="text()"/><od pid="7" relevance="1"/>
+			<key><part pid="1" order="1" pattern="C1"/></key>
+			</candidate></sxnm-config>`, "unknown path id 7"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.xml))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestConfigDocumentRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleConfigXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialized := orig.Document().String()
+	again, err := Parse(strings.NewReader(serialized))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, serialized)
+	}
+	if len(again.Candidates) != len(orig.Candidates) {
+		t.Fatalf("candidate count changed: %d vs %d", len(again.Candidates), len(orig.Candidates))
+	}
+	for i := range orig.Candidates {
+		a, b := &orig.Candidates[i], &again.Candidates[i]
+		if a.Name != b.Name || a.XPath != b.XPath || a.Window != b.Window ||
+			a.Rule != b.Rule || a.Threshold != b.Threshold ||
+			a.ODThreshold != b.ODThreshold || a.DescThreshold != b.DescThreshold {
+			t.Errorf("candidate %q changed in round trip:\n%+v\nvs\n%+v", a.Name, a, b)
+		}
+		if len(a.Paths) != len(b.Paths) || len(a.OD) != len(b.OD) || len(a.Keys) != len(b.Keys) {
+			t.Errorf("candidate %q relations changed", a.Name)
+		}
+		if a.DescendantsEnabled() != b.DescendantsEnabled() {
+			t.Errorf("candidate %q descendants flag changed", a.Name)
+		}
+	}
+}
+
+func TestFixtureDocumentsRoundTrip(t *testing.T) {
+	for name, mk := range map[string]func() *Config{
+		"table1":   Table1Movie,
+		"dataset1": func() *Config { return DataSet1(5) },
+		"dataset2": func() *Config { return DataSet2(5) },
+		"dataset3": func() *Config { return DataSet3(5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := mk()
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			out := cfg.Document().String()
+			again, err := Parse(strings.NewReader(out))
+			if err != nil {
+				t.Fatalf("reparse: %v\n%s", err, out)
+			}
+			if len(again.Candidates) != len(cfg.Candidates) {
+				t.Errorf("candidates %d vs %d", len(again.Candidates), len(cfg.Candidates))
+			}
+		})
+	}
+}

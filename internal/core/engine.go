@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/similarity"
+	"repro/internal/xmltree"
+)
+
+// PairObservation describes one window comparison; experiments use it
+// for false-positive analysis and comparison counting.
+type PairObservation struct {
+	Candidate string
+	KeyIndex  int // pass (key) during which the pair was first compared
+	A, B      int // element IDs, A < B
+	ODSim     float64
+	DescSim   float64
+	HasDesc   bool
+	Duplicate bool
+}
+
+// Options tune a detection run.
+type Options struct {
+	// PairObserver, when non-nil, is invoked for every distinct pair
+	// comparison performed inside sliding windows.
+	PairObserver func(PairObservation)
+	// DisableDescendants globally ignores descendant information, as
+	// in the OD-only runs of Experiment set 3. Per-candidate
+	// UseDescendants still applies when this is false.
+	DisableDescendants bool
+	// DecisionRule, when non-nil, replaces the built-in threshold
+	// rules — the "equational theory" hook the paper's relational SNM
+	// uses and SXNM is "ready for" (Sec. 5). It receives the candidate
+	// and the two similarities and decides duplicate-ness.
+	DecisionRule func(c *config.Candidate, odSim, descSim float64, hasDesc bool) bool
+	// FieldRule, when non-nil, replaces the built-in rules with a
+	// per-field equational theory: it receives the per-OD-field
+	// similarities (similarity.FieldAbsent marks fields missing on
+	// both sides) instead of the aggregate. Takes precedence over
+	// DecisionRule.
+	FieldRule func(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool
+	// UseFilter enables the comparison filter of Sec. 5: a length-based
+	// upper bound on the OD similarity skips the edit-distance
+	// computation for pairs that could not be classified duplicates
+	// even in the best case. Disabled automatically when a custom
+	// DecisionRule or FieldRule is set (the bound only understands the
+	// built-in rules).
+	UseFilter bool
+	// Parallel runs candidates of the same nesting depth concurrently;
+	// bottom-up dependencies only point to strictly deeper candidates,
+	// so same-depth candidates never read each other's cluster sets.
+	// Results are identical to sequential runs. Phase durations then
+	// overlap in wall-clock terms, so keep this off for Fig. 5 style
+	// measurements.
+	Parallel bool
+}
+
+// CandidateStats holds per-candidate phase measurements.
+type CandidateStats struct {
+	Rows              int
+	Comparisons       int // distinct similarity computations
+	WindowPairs       int // window pair slots, including repeats across passes
+	FilteredOut       int // comparisons skipped by the upper-bound filter
+	DuplicatePairs    int // distinct pairs classified duplicate (pre-closure)
+	Clusters          int
+	NonSingleton      int
+	SlidingWindow     time.Duration
+	TransitiveClosure time.Duration
+}
+
+// Stats aggregates the phase measurements the paper reports in
+// Experiment set 2: key generation (KG), sliding window (SW),
+// transitive closure (TC), and duplicate detection (DD = SW + TC).
+type Stats struct {
+	KeyGen            time.Duration
+	SlidingWindow     time.Duration
+	TransitiveClosure time.Duration
+	Comparisons       int
+	FilteredOut       int
+	DuplicatePairs    int
+	Candidates        map[string]*CandidateStats
+}
+
+// DuplicateDetection returns SW + TC, the paper's DD measure.
+func (s *Stats) DuplicateDetection() time.Duration {
+	return s.SlidingWindow + s.TransitiveClosure
+}
+
+// Result is the outcome of a full SXNM run: one cluster set per
+// candidate (Def. 1), the GK tables, and the phase statistics.
+type Result struct {
+	Clusters map[string]*cluster.ClusterSet
+	Tables   map[string]*GKTable
+	Stats    Stats
+}
+
+// Run executes SXNM over the document: key generation, then bottom-up
+// multi-pass sliding-window duplicate detection with transitive
+// closure per candidate. The configuration must be validated.
+func Run(doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, error) {
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Detect(kg, cfg, opts)
+}
+
+// Detect executes the duplicate detection phase over previously
+// generated keys; splitting it from Run lets benchmarks time the
+// phases separately.
+func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error) {
+	res := &Result{
+		Clusters: make(map[string]*cluster.ClusterSet, len(cfg.Candidates)),
+		Tables:   kg.Tables,
+		Stats: Stats{
+			KeyGen:     kg.Duration,
+			Candidates: make(map[string]*CandidateStats, len(cfg.Candidates)),
+		},
+	}
+	for _, group := range DetectionOrder(kg, cfg) {
+		type outcome struct {
+			name   string
+			cs     *cluster.ClusterSet
+			cstats *CandidateStats
+			err    error
+		}
+		outcomes := make([]outcome, len(group))
+		runOne := func(i int) {
+			cand := group[i]
+			t := kg.Tables[cand.Name]
+			if t == nil {
+				outcomes[i] = outcome{err: fmt.Errorf("core: no GK table for candidate %q", cand.Name)}
+				return
+			}
+			cs, cstats, err := detectCandidate(t, res.Clusters, opts)
+			outcomes[i] = outcome{name: cand.Name, cs: cs, cstats: cstats, err: err}
+		}
+		if opts.Parallel && len(group) > 1 {
+			var wg sync.WaitGroup
+			for i := range group {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					runOne(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range group {
+				runOne(i)
+			}
+		}
+		for _, o := range outcomes {
+			if o.err != nil {
+				return nil, o.err
+			}
+			res.Clusters[o.name] = o.cs
+			res.Stats.Candidates[o.name] = o.cstats
+			res.Stats.SlidingWindow += o.cstats.SlidingWindow
+			res.Stats.TransitiveClosure += o.cstats.TransitiveClosure
+			res.Stats.Comparisons += o.cstats.Comparisons
+			res.Stats.FilteredOut += o.cstats.FilteredOut
+			res.Stats.DuplicatePairs += o.cstats.DuplicatePairs
+		}
+	}
+	return res, nil
+}
+
+// detectCandidate runs the multi-pass sliding window (Sec. 3.4,
+// "general duplicate detection process") for one candidate and closes
+// the detected pairs into a cluster set.
+func detectCandidate(t *GKTable, clusters map[string]*cluster.ClusterSet, opts Options) (*cluster.ClusterSet, *CandidateStats, error) {
+	cand := t.Candidate
+	cstats := &CandidateStats{Rows: len(t.Rows)}
+
+	swStart := time.Now()
+	useDesc := cand.DescendantsEnabled() && !opts.DisableDescendants
+	if useDesc {
+		resolveDescClusters(t, clusters)
+	}
+
+	keys := cand.CompiledKeys()
+	w := cand.Window
+	compared := make(map[uint64]struct{})
+	var pairs []cluster.Pair
+
+	order := make([]int, len(t.Rows))
+	for pass := range keys {
+		for i := range order {
+			order[i] = i
+		}
+		k := pass
+		sort.SliceStable(order, func(a, b int) bool {
+			ra, rb := &t.Rows[order[a]], &t.Rows[order[b]]
+			if ra.Keys[k] != rb.Keys[k] {
+				return ra.Keys[k] < rb.Keys[k]
+			}
+			return ra.EID < rb.EID
+		})
+		for i := 1; i < len(order); i++ {
+			lo := i - (w - 1)
+			if lo < 0 {
+				lo = 0
+			}
+			if cand.AdaptiveKeySim > 0 {
+				lo = adaptiveLow(t, order, i, lo, k, cand)
+			}
+			for j := lo; j < i; j++ {
+				a, b := &t.Rows[order[j]], &t.Rows[order[i]]
+				cstats.WindowPairs++
+				key := packPair(a.EID, b.EID)
+				if _, seen := compared[key]; seen {
+					continue
+				}
+				compared[key] = struct{}{}
+				odSim, descSim, hasDesc, dup, filtered, err := comparePair(t, a, b, useDesc, opts)
+				if err != nil {
+					return nil, nil, err
+				}
+				if filtered {
+					cstats.FilteredOut++
+				} else {
+					cstats.Comparisons++
+				}
+				if opts.PairObserver != nil {
+					opts.PairObserver(PairObservation{
+						Candidate: cand.Name,
+						KeyIndex:  pass,
+						A:         minInt(a.EID, b.EID),
+						B:         maxInt(a.EID, b.EID),
+						ODSim:     odSim,
+						DescSim:   descSim,
+						HasDesc:   hasDesc,
+						Duplicate: dup,
+					})
+				}
+				if dup {
+					pairs = append(pairs, cluster.MakePair(a.EID, b.EID))
+				}
+			}
+		}
+	}
+	cstats.DuplicatePairs = len(pairs)
+	cstats.SlidingWindow = time.Since(swStart)
+
+	tcStart := time.Now()
+	uf := cluster.NewUnionFind()
+	for i := range t.Rows {
+		uf.Add(t.Rows[i].EID)
+	}
+	for _, p := range pairs {
+		uf.Union(p.A, p.B)
+	}
+	cs := cluster.Build(uf)
+	cstats.TransitiveClosure = time.Since(tcStart)
+	cstats.Clusters = cs.Len()
+	cstats.NonSingleton = len(cs.NonSingletons())
+	return cs, cstats, nil
+}
+
+// adaptiveLow extends the window start below the fixed bound while the
+// sort keys stay within the candidate's adaptive key similarity — the
+// dynamic window sizing the paper's outlook attributes to Lehti &
+// Fankhauser's precise blocking. The extension is capped by
+// AdaptiveMaxWindow (0 means 3x the base window).
+func adaptiveLow(t *GKTable, order []int, i, lo, key int, cand *config.Candidate) int {
+	maxW := cand.AdaptiveMaxWindow
+	if maxW <= 0 {
+		maxW = 3 * cand.Window
+	}
+	ki := t.Rows[order[i]].Keys[key]
+	for lo > 0 && i-(lo-1) <= maxW-1 {
+		kj := t.Rows[order[lo-1]].Keys[key]
+		if similarity.NormalizedEditRaw(ki, kj) < cand.AdaptiveKeySim {
+			break
+		}
+		lo--
+	}
+	return lo
+}
+
+// ComparePair exposes the pair comparison (Defs. 2 and 3 plus the
+// classification rule) for baselines and tools built on the GK tables.
+func (t *GKTable) ComparePair(a, b *GKRow, useDesc bool) (odSim, descSim float64, hasDesc, dup bool, err error) {
+	odSim, descSim, hasDesc, dup, _, err = comparePair(t, a, b, useDesc, Options{})
+	return odSim, descSim, hasDesc, dup, err
+}
+
+// ResolveDescendantClusters prepares the rows' descendant cluster-ID
+// lists from already-computed descendant cluster sets; callers that
+// bypass Detect (e.g. the all-pairs baseline) must invoke it before
+// ComparePair with useDesc=true.
+func ResolveDescendantClusters(t *GKTable, clusters map[string]*cluster.ClusterSet) {
+	resolveDescClusters(t, clusters)
+}
+
+// resolveDescClusters maps each row's descendant element IDs to the
+// cluster IDs assigned by the (already processed) descendant
+// candidates — the l_e lists feeding Definition 3.
+func resolveDescClusters(t *GKTable, clusters map[string]*cluster.ClusterSet) {
+	for i := range t.Rows {
+		row := &t.Rows[i]
+		if len(row.Desc) == 0 {
+			continue
+		}
+		row.descClusters = make(map[string][]int, len(row.Desc))
+		for name, eids := range row.Desc {
+			cs, ok := clusters[name]
+			if !ok {
+				continue // descendant candidate was not processed (should not happen bottom-up)
+			}
+			cids := make([]int, 0, len(eids))
+			for _, eid := range eids {
+				if cid, ok := cs.CID(eid); ok {
+					cids = append(cids, cid)
+				}
+			}
+			row.descClusters[name] = cids
+		}
+	}
+}
+
+// comparePair computes OD similarity (Def. 2), descendant similarity
+// (Def. 3), and the duplicate classification for one pair.
+func comparePair(t *GKTable, a, b *GKRow, useDesc bool, opts Options) (odSim, descSim float64, hasDesc, dup, filtered bool, err error) {
+	if useDesc {
+		descSim, hasDesc = descendantSimilarity(a, b)
+	}
+	if opts.FieldRule != nil {
+		fieldSims, ferr := similarity.ODFieldSims(t.fields, a.OD, b.OD)
+		if ferr != nil {
+			return 0, 0, false, false, false, fmt.Errorf("core: candidate %q: %w", t.Candidate.Name, ferr)
+		}
+		odSim = aggregateFieldSims(t.fields, fieldSims)
+		dup = opts.FieldRule(t.Candidate, fieldSims, descSim, hasDesc)
+		return odSim, descSim, hasDesc, dup, false, nil
+	}
+	if opts.UseFilter && opts.DecisionRule == nil {
+		ub := similarity.ODUpperBound(t.fields, t.bounds, a.OD, b.OD)
+		if !decide(t.Candidate, ub, descSim, hasDesc) {
+			// Even the most optimistic OD similarity cannot make this
+			// pair a duplicate: skip the edit-distance computation and
+			// report the bound.
+			return ub, descSim, hasDesc, false, true, nil
+		}
+	}
+	odSim, err = similarity.ODSimilarity(t.fields, a.OD, b.OD)
+	if err != nil {
+		return 0, 0, false, false, false, fmt.Errorf("core: candidate %q: %w", t.Candidate.Name, err)
+	}
+	if opts.DecisionRule != nil {
+		dup = opts.DecisionRule(t.Candidate, odSim, descSim, hasDesc)
+	} else {
+		dup = decide(t.Candidate, odSim, descSim, hasDesc)
+	}
+	return odSim, descSim, hasDesc, dup, false, nil
+}
+
+// aggregateFieldSims folds per-field similarities into the Def. 2
+// weighted sum so observers still see an OD similarity under a
+// FieldRule. Absent fields renormalize exactly as ODSimilarity does.
+func aggregateFieldSims(fields []similarity.ODField, sims []float64) float64 {
+	var sum, weight float64
+	for i, f := range fields {
+		if sims[i] == similarity.FieldAbsent {
+			continue
+		}
+		weight += f.Relevance
+		sum += f.Relevance * sims[i]
+	}
+	if weight == 0 {
+		return 0
+	}
+	return sum / weight
+}
+
+// descendantSimilarity implements Def. 3 with the paper's choices:
+// φ^desc is the multiset overlap of cluster-ID lists and agg() is the
+// unweighted average over descendant types. Types where both elements
+// lack descendants are uninformative and skipped; if every type is
+// uninformative the pair has no usable descendant signal (hasDesc is
+// false) and classification falls back to the OD alone, matching the
+// paper's leaf-node rule.
+func descendantSimilarity(a, b *GKRow) (float64, bool) {
+	if a.descClusters == nil && b.descClusters == nil {
+		return 0, false
+	}
+	types := make(map[string]struct{}, len(a.descClusters)+len(b.descClusters))
+	for name := range a.descClusters {
+		types[name] = struct{}{}
+	}
+	for name := range b.descClusters {
+		types[name] = struct{}{}
+	}
+	names := make([]string, 0, len(types))
+	for name := range types {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sims []float64
+	for _, name := range names {
+		la, lb := a.descClusters[name], b.descClusters[name]
+		if len(la) == 0 && len(lb) == 0 {
+			continue
+		}
+		sims = append(sims, similarity.Overlap(la, lb))
+	}
+	if len(sims) == 0 {
+		return 0, false
+	}
+	return similarity.Average(sims), true
+}
+
+// decide applies the candidate's classification rule.
+func decide(c *config.Candidate, odSim, descSim float64, hasDesc bool) bool {
+	switch c.Rule {
+	case config.RuleEither:
+		return odSim >= c.ODThreshold || (hasDesc && descSim >= c.DescThreshold)
+	case config.RuleBoth:
+		if odSim < c.ODThreshold {
+			return false
+		}
+		return !hasDesc || descSim >= c.DescThreshold
+	default: // RuleCombined
+		return similarity.Combine(odSim, descSim, c.ODWeight, hasDesc) >= c.Threshold
+	}
+}
+
+func packPair(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// Fig. 3 of the paper: a movie database where <movie> nests <title>,
+// <actor>, and <screenplay>, and <screenplay> nests <person>. The
+// extracted candidate tree must preserve ancestor-descendant
+// relationships with each instance attached to its NEAREST candidate
+// ancestor: persons belong to screenplays, not directly to movies.
+const fig3XML = `
+<movie_database>
+  <movies>
+    <movie>
+      <title>Silent River</title>
+      <actor>Keanu Reeves</actor>
+      <actor>Don Davis</actor>
+      <screenplay>
+        <author><person>Lilly W.</person></author>
+        <person>Lana W.</person>
+      </screenplay>
+    </movie>
+    <movie>
+      <title>Broken Storm</title>
+      <actor>Uma Thurman</actor>
+      <screenplay>
+        <person>Quentin T.</person>
+      </screenplay>
+    </movie>
+  </movies>
+</movie_database>`
+
+func fig3Config() *config.Config {
+	leaf := func(name, xp string) config.Candidate {
+		return config.Candidate{
+			Name:  name,
+			XPath: xp,
+			Paths: []config.PathDef{{ID: 1, RelPath: "text()"}},
+			OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+			Keys: []config.KeyDef{
+				{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+			},
+			Threshold: 0.9,
+			Window:    4,
+		}
+	}
+	return &config.Config{Candidates: []config.Candidate{
+		{
+			Name:  "movie",
+			XPath: "movie_database/movies/movie",
+			Paths: []config.PathDef{{ID: 1, RelPath: "title/text()"}},
+			OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+			Keys: []config.KeyDef{
+				{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "K1-K5"}}},
+			},
+			Threshold: 0.8,
+			Window:    4,
+		},
+		{
+			Name:  "screenplay",
+			XPath: "movie_database/movies/movie/screenplay",
+			Paths: []config.PathDef{{ID: 1, RelPath: "person[1]/text()"}},
+			OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+			Keys: []config.KeyDef{
+				{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C4"}}},
+			},
+			Threshold: 0.85,
+			Window:    4,
+		},
+		leaf("actor", "movie_database/movies/movie/actor"),
+		leaf("title", "movie_database/movies/movie/title"),
+		// Persons anywhere below screenplay (including inside
+		// <author>), via the descendant axis.
+		leaf("person", "//person"),
+	}}
+}
+
+func TestFig3ExtractedTree(t *testing.T) {
+	doc := mustDoc(t, fig3XML)
+	cfg := mustValidate(t, fig3Config())
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	movies := kg.Tables["movie"]
+	if len(movies.Rows) != 2 {
+		t.Fatalf("movie rows = %d", len(movies.Rows))
+	}
+	first := movies.Rows[0]
+	// Movie 1's extracted-tree children: 1 title, 2 actors, 1
+	// screenplay — and NO persons (they belong to the screenplay).
+	if got := len(first.Desc["title"]); got != 1 {
+		t.Errorf("movie title descendants = %d, want 1", got)
+	}
+	if got := len(first.Desc["actor"]); got != 2 {
+		t.Errorf("movie actor descendants = %d, want 2", got)
+	}
+	if got := len(first.Desc["screenplay"]); got != 1 {
+		t.Errorf("movie screenplay descendants = %d, want 1", got)
+	}
+	if got := len(first.Desc["person"]); got != 0 {
+		t.Errorf("movie person descendants = %d, want 0 (nearest ancestor is screenplay)", got)
+	}
+	// The screenplay owns both persons, including the one nested in
+	// <author> (a non-candidate intermediate element).
+	sp := kg.Tables["screenplay"]
+	if len(sp.Rows) != 2 {
+		t.Fatalf("screenplay rows = %d", len(sp.Rows))
+	}
+	if got := len(sp.Rows[0].Desc["person"]); got != 2 {
+		t.Errorf("screenplay person descendants = %d, want 2", got)
+	}
+}
+
+func TestFig3ProcessingOrder(t *testing.T) {
+	cfg := mustValidate(t, fig3Config())
+	order := ProcessingOrder(cfg)
+	pos := map[string]int{}
+	for i, c := range order {
+		pos[c.Name] = i
+	}
+	// Leaves before screenplay before movie (Fig. 3(b)'s numbering).
+	if !(pos["screenplay"] < pos["movie"]) {
+		t.Errorf("screenplay must be processed before movie: %v", pos)
+	}
+	for _, leafName := range []string{"actor", "title"} {
+		if !(pos[leafName] < pos["movie"]) {
+			t.Errorf("%s must be processed before movie: %v", leafName, pos)
+		}
+	}
+}
+
+func TestFig3EndToEnd(t *testing.T) {
+	doc := mustDoc(t, fig3XML)
+	cfg := mustValidate(t, fig3Config())
+	res, err := Run(doc, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"movie", "screenplay", "actor", "title", "person"} {
+		if res.Clusters[name] == nil {
+			t.Errorf("missing cluster set for %q", name)
+		}
+	}
+	if res.Clusters["person"].Elements() != 3 {
+		t.Errorf("person elements = %d, want 3", res.Clusters["person"].Elements())
+	}
+}

@@ -1,0 +1,209 @@
+// Package core implements the SXNM algorithm of Sec. 3: single-pass
+// key generation into GK relations, bottom-up multi-pass sliding-window
+// duplicate detection, and transitive closure into cluster sets.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/similarity"
+	"repro/internal/xmltree"
+)
+
+// GKRow is one row of a GK_s relation (Sec. 3.3): the element ID, the
+// generated keys (one per key definition), the extracted object
+// description values (aligned with the candidate's OD entries), and —
+// for the bottom-up phase — the element IDs of descendant candidate
+// instances grouped by descendant candidate name.
+type GKRow struct {
+	EID  int
+	Keys []string
+	OD   [][]string
+	Desc map[string][]int
+
+	// descClusters caches, per descendant candidate name, the cluster
+	// IDs corresponding to Desc once the descendant's cluster set is
+	// known; filled in by the engine before the candidate's own passes.
+	descClusters map[string][]int
+}
+
+// GKTable is the GK_s relation for one candidate plus the resolved OD
+// similarity fields.
+type GKTable struct {
+	Candidate *config.Candidate
+	Rows      []GKRow
+
+	fields []similarity.ODField
+	bounds []bool      // per OD field: does the length upper bound apply?
+	byEID  map[int]int // EID -> row index
+}
+
+// Row returns the row for the given element ID, or nil.
+func (t *GKTable) Row(eid int) *GKRow {
+	i, ok := t.byEID[eid]
+	if !ok {
+		return nil
+	}
+	return &t.Rows[i]
+}
+
+// KeyGenResult is the outcome of the key generation phase: one GK
+// table per candidate (keyed by candidate name) and the phase duration.
+type KeyGenResult struct {
+	Tables   map[string]*GKTable
+	Duration time.Duration
+}
+
+// GenerateKeys performs the key generation phase (Sec. 3.3): a single
+// walk over the document that, for every candidate instance, generates
+// all defined keys, extracts the object description values, and records
+// which candidate instances are nested under which (via the nearest
+// candidate ancestor, mirroring the extracted candidate trees of
+// Fig. 3(b)).
+//
+// The configuration must be validated.
+func GenerateKeys(doc *xmltree.Document, cfg *config.Config) (*KeyGenResult, error) {
+	start := time.Now()
+
+	tables := make(map[string]*GKTable, len(cfg.Candidates))
+	for i := range cfg.Candidates {
+		c := &cfg.Candidates[i]
+		fields, err := c.ODFields()
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate %q: %w", c.Name, err)
+		}
+		simNames := make([]string, len(c.OD))
+		for j, od := range c.OD {
+			simNames[j] = od.SimFunc
+		}
+		tables[c.Name] = &GKTable{
+			Candidate: c,
+			fields:    fields,
+			bounds:    similarity.FieldBounds(simNames),
+			byEID:     make(map[int]int),
+		}
+	}
+
+	// Match elements to candidates by absolute path. Candidate paths
+	// that use the descendant axis or wildcards are resolved up front
+	// into an element-pointer set; plain paths match by string, which
+	// avoids materializing node sets for the common case.
+	byAbsPath := make(map[string]*config.Candidate, len(cfg.Candidates))
+	special := make(map[*xmltree.Node]*config.Candidate)
+	for i := range cfg.Candidates {
+		c := &cfg.Candidates[i]
+		if isPlainPath(c.XPath) {
+			byAbsPath[c.XPath] = c
+			continue
+		}
+		for _, n := range c.AbsPath().SelectDocument(doc) {
+			special[n] = c
+		}
+	}
+	candidateOf := func(n *xmltree.Node) *config.Candidate {
+		if c, ok := special[n]; ok {
+			return c
+		}
+		return byAbsPath[n.AbsolutePath()]
+	}
+
+	// Depth-first walk with an explicit stack of open candidate
+	// instances so each candidate element registers with its nearest
+	// candidate ancestor.
+	type open struct {
+		cand *config.Candidate
+		row  int // index into tables[cand.Name].Rows
+	}
+	var stack []open
+	var walk func(n *xmltree.Node) error
+	walk = func(n *xmltree.Node) error {
+		if n.Kind != xmltree.ElementNode {
+			return nil
+		}
+		pushed := false
+		if c := candidateOf(n); c != nil {
+			row, err := buildRow(n, c)
+			if err != nil {
+				return err
+			}
+			t := tables[c.Name]
+			t.byEID[row.EID] = len(t.Rows)
+			t.Rows = append(t.Rows, row)
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				pt := tables[parent.cand.Name]
+				pr := &pt.Rows[parent.row]
+				if pr.Desc == nil {
+					pr.Desc = make(map[string][]int, 2)
+				}
+				pr.Desc[c.Name] = append(pr.Desc[c.Name], row.EID)
+			}
+			stack = append(stack, open{cand: c, row: len(t.Rows) - 1})
+			pushed = true
+		}
+		for _, ch := range n.Children {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		if pushed {
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+	if err := walk(doc.Root); err != nil {
+		return nil, err
+	}
+
+	return &KeyGenResult{Tables: tables, Duration: time.Since(start)}, nil
+}
+
+// buildRow extracts keys and OD values for one candidate instance.
+func buildRow(n *xmltree.Node, c *config.Candidate) (GKRow, error) {
+	row := GKRow{EID: n.ID}
+
+	// Raw value per referenced path, extracted once and shared between
+	// key generation and the OD (the paper's "save an extra pass").
+	values := make(map[int][]string, len(c.Paths))
+	for _, pd := range c.Paths {
+		values[pd.ID] = pd.Path().SelectValues(n)
+	}
+	first := func(pid int) string {
+		v := values[pid]
+		if len(v) == 0 {
+			return ""
+		}
+		return v[0]
+	}
+
+	keys := c.CompiledKeys()
+	row.Keys = make([]string, len(keys))
+	for i, k := range keys {
+		row.Keys[i] = k.Generate(first)
+	}
+
+	row.OD = make([][]string, len(c.OD))
+	for i, od := range c.OD {
+		row.OD[i] = values[od.PathID]
+	}
+	return row, nil
+}
+
+// isPlainPath reports whether an xpath string is a simple slash-joined
+// element-name path (no predicates, wildcards, or descendant axis), so
+// instance matching can use AbsolutePath string comparison.
+func isPlainPath(p string) bool {
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case '[', ']', '*', '@', '(':
+			return false
+		case '/':
+			if i+1 < len(p) && p[i+1] == '/' {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gen/freedb"
+)
+
+// The CD corpus has three same-depth leaf candidates (dtitle, artist,
+// tracks/title) below disc, exercising real concurrency.
+func cdConfig() *config.Config {
+	return &config.Config{Candidates: []config.Candidate{
+		{
+			Name:  "disc",
+			XPath: "cds/disc",
+			Paths: []config.PathDef{
+				{ID: 1, RelPath: "artist[1]/text()"},
+				{ID: 2, RelPath: "dtitle[1]/text()"},
+			},
+			OD: []config.ODEntry{
+				{PathID: 1, Relevance: 0.5},
+				{PathID: 2, Relevance: 0.5},
+			},
+			Keys: []config.KeyDef{
+				{Parts: []config.KeyPart{{PathID: 2, Order: 1, Pattern: "K1-K5"}}},
+			},
+			Rule:          config.RuleEither,
+			ODThreshold:   0.85,
+			DescThreshold: 0.5,
+			Window:        5,
+		},
+		leafCand("dtitle", "cds/disc/dtitle"),
+		leafCand("artist", "cds/disc/artist"),
+		leafCand("track", "cds/disc/tracks/title"),
+	}}
+}
+
+func leafCand(name, xp string) config.Candidate {
+	return config.Candidate{
+		Name:  name,
+		XPath: xp,
+		Paths: []config.PathDef{{ID: 1, RelPath: "text()"}},
+		OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+		Keys: []config.KeyDef{
+			{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+		},
+		Threshold: 0.9,
+		Window:    5,
+	}
+}
+
+func TestDetectionOrderGroups(t *testing.T) {
+	cfg := mustValidate(t, cdConfig())
+	doc := freedb.Generate(freedb.DefaultOptions(50, 3))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := DetectionOrder(kg, cfg)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (all leaves; disc)", len(groups))
+	}
+	if len(groups[0]) != 3 {
+		t.Errorf("leaf group = %v, want track+dtitle+artist", names(groups[0]))
+	}
+	if len(groups[1]) != 1 || groups[1][0].Name != "disc" {
+		t.Errorf("final group = %v, want disc", names(groups[1]))
+	}
+}
+
+// A descendant-axis candidate nested below another candidate must be
+// processed first even though its static path depth is shallower —
+// the order derives from observed instances, not path syntax.
+func TestDetectionOrderDescendantAxis(t *testing.T) {
+	xml := `<movie_database><movies>
+	  <movie><screenplay><author><person>X</person></author></screenplay></movie>
+	</movies></movie_database>`
+	doc := mustDoc(t, xml)
+	cfg := &config.Config{Candidates: []config.Candidate{
+		{
+			Name:  "screenplay",
+			XPath: "movie_database/movies/movie/screenplay",
+			Paths: []config.PathDef{{ID: 1, RelPath: "author/person/text()"}},
+			OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+			Keys: []config.KeyDef{
+				{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C4"}}},
+			},
+			Threshold: 0.9,
+			Window:    3,
+		},
+		leafCand("person", "//person"),
+	}}
+	mustValidate(t, cfg)
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := DetectionOrder(kg, cfg)
+	if len(groups) != 2 || groups[0][0].Name != "person" || groups[1][0].Name != "screenplay" {
+		var all [][]string
+		for _, g := range groups {
+			all = append(all, names(g))
+		}
+		t.Fatalf("order = %v, want [[person] [screenplay]]", all)
+	}
+}
+
+// Self-nesting candidates (a type occurring inside itself) must not
+// deadlock the ordering.
+func TestDetectionOrderSelfNesting(t *testing.T) {
+	doc := mustDoc(t, `<r><s>a<s>b</s></s></r>`)
+	cfg := &config.Config{Candidates: []config.Candidate{leafCand("s", "//s")}}
+	mustValidate(t, cfg)
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := DetectionOrder(kg, cfg)
+	if len(groups) != 1 || len(groups[0]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if _, err := Detect(kg, cfg, Options{}); err != nil {
+		t.Fatalf("self-nesting detection failed: %v", err)
+	}
+}
+
+func names(cs []*config.Candidate) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	doc := freedb.Generate(freedb.DefaultOptions(400, 7))
+	seq, err := Run(doc, mustValidate(t, cdConfig()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(doc, mustValidate(t, cdConfig()), Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range seq.Clusters {
+		if seq.Clusters[name].String() != par.Clusters[name].String() {
+			t.Errorf("candidate %q: parallel results differ", name)
+		}
+	}
+	if seq.Stats.Comparisons != par.Stats.Comparisons {
+		t.Errorf("comparisons differ: %d vs %d", seq.Stats.Comparisons, par.Stats.Comparisons)
+	}
+	if seq.Stats.DuplicatePairs != par.Stats.DuplicatePairs {
+		t.Errorf("duplicate pairs differ: %d vs %d", seq.Stats.DuplicatePairs, par.Stats.DuplicatePairs)
+	}
+}
+
+func TestParallelMissingTable(t *testing.T) {
+	cfg := mustValidate(t, cdConfig())
+	kg := &KeyGenResult{Tables: map[string]*GKTable{}}
+	if _, err := Detect(kg, cfg, Options{Parallel: true}); err == nil {
+		t.Fatal("missing tables should fail under parallel too")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+)
+
+func TestGKRoundTrip(t *testing.T) {
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustValidate(t, dataset.ScalabilityConfig(3))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteGK(&b, kg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGK(strings.NewReader(b.String()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, kg, back, cfg)
+}
+
+func TestGKRoundTripDetectionEquivalence(t *testing.T) {
+	doc := mustDoc(t, typoMoviesXML)
+	cfg := mustValidate(t, movieConfig(config.RuleCombined))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteGK(&b, kg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGK(strings.NewReader(b.String()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Detect(kg, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Detect(back, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range direct.Clusters {
+		if direct.Clusters[name].String() != loaded.Clusters[name].String() {
+			t.Errorf("%s: clusters differ after GK round trip", name)
+		}
+	}
+}
+
+func TestGKEscaping(t *testing.T) {
+	// Values containing every structural character must survive.
+	nasty := "a\tb|c;d=e,f%g\nh"
+	xmlDoc := `<movie_database><movies><movie><title>` +
+		"a&#9;b|c;d=e,f%g&#10;h" + `</title></movie></movies></movie_database>`
+	doc := mustDoc(t, xmlDoc)
+	cfg := mustValidate(t, movieConfig(config.RuleCombined))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kg.Tables["movie"].Rows[0].OD[0][0]; got != nasty {
+		t.Fatalf("setup: OD value = %q, want %q", got, nasty)
+	}
+	var b strings.Builder
+	if err := WriteGK(&b, kg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGK(strings.NewReader(b.String()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Tables["movie"].Rows[0].OD[0][0]; got != nasty {
+		t.Errorf("round-tripped value = %q, want %q", got, nasty)
+	}
+}
+
+func TestEscapeGKProperty(t *testing.T) {
+	f := func(s string) bool {
+		return unescapeGK(escapeGK(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Escaped output never contains structural characters except the
+	// escape marker itself.
+	g := func(s string) bool {
+		return !strings.ContainsAny(escapeGK(s), "\t\n\r|;=,")
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadGKErrors(t *testing.T) {
+	cfg := mustValidate(t, movieConfig(config.RuleCombined))
+	cases := []struct{ name, in string }{
+		{"row before header", "1\tX\tY\t\n"},
+		{"unknown candidate", "#gk\tnosuch\tkeys=1\tod=1\n"},
+		{"bad header", "#gk\tmovie\n"},
+		{"bad counts", "#gk\tmovie\tkeys=x\tod=1\n"},
+		{"count mismatch", "#gk\tmovie\tkeys=5\tod=1\n"},
+		{"bad eid", "#gk\tmovie\tkeys=1\tod=1\nxx\tK\tV\t\n"},
+		{"wrong width", "#gk\tmovie\tkeys=1\tod=1\n1\tK\n"},
+		{"bad desc", "#gk\tmovie\tkeys=1\tod=1\n1\tK\tV\tjunk\n"},
+		{"bad desc eid", "#gk\tmovie\tkeys=1\tod=1\n1\tK\tV\tperson=zz\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadGK(strings.NewReader(c.in), cfg); err == nil {
+				t.Errorf("ReadGK(%q) succeeded", c.in)
+			}
+		})
+	}
+}

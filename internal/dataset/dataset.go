@@ -1,0 +1,271 @@
+// Package dataset assembles the paper's three evaluation data sets
+// (Sec. 4.1) from the generator substrates: clean generation
+// (gen/toxgene, gen/freedb) followed by duplicate injection
+// (gen/dirty), paired with the matching configuration fixtures
+// (config.DataSet1/2/3).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gen/dirty"
+	"repro/internal/gen/freedb"
+	"repro/internal/gen/toxgene"
+	"repro/internal/xmltree"
+)
+
+// MoviePath is the absolute path of movie candidates in Data set 1.
+const MoviePath = "movie_database/movies/movie"
+
+// TitlePath and PersonPath address the nested objects duplicated in
+// the scalability experiments.
+const (
+	TitlePath  = "movie_database/movies/movie/title"
+	PersonPath = "movie_database/movies/movie/people/person"
+)
+
+// DiscPath is the absolute path of disc candidates in Data sets 2 and 3.
+const DiscPath = "cds/disc"
+
+// TrackTitlePath addresses the disc/tracks/title candidates.
+const TrackTitlePath = "cds/disc/tracks/title"
+
+// Movies1Options configure Data set 1 (artificial movies, dirtied).
+type Movies1Options struct {
+	// Movies is the clean movie count before duplication.
+	Movies int
+	Seed   int64
+	// DupProb duplicates each movie with this probability (default 0.3).
+	DupProb float64
+	// SevereTitleProb is the fraction of duplicates whose title prefix
+	// is scrambled so the key sorts far away — the paper's "5% of the
+	// titles were polluted in such a way that their keys are sorted
+	// far apart" (default 0.05).
+	SevereTitleProb float64
+}
+
+func (o *Movies1Options) defaults() {
+	if o.Movies == 0 {
+		o.Movies = 1000
+	}
+	if o.DupProb == 0 {
+		o.DupProb = 0.3
+	}
+	if o.SevereTitleProb == 0 {
+		o.SevereTitleProb = 0.05
+	}
+}
+
+// DataSet1 builds the dirty artificial movie data of Data set 1 and
+// reports how many duplicates were planted. Use config.DataSet1 for
+// the matching candidate configuration.
+func DataSet1(opts Movies1Options) (*xmltree.Document, int, error) {
+	opts.defaults()
+	clean := toxgene.Movies(opts.Movies, opts.Seed)
+	res, err := dirty.Pollute(clean, []dirty.Spec{{
+		Path:    MoviePath,
+		Prob:    opts.DupProb,
+		MaxDups: 1,
+		Errors: dirty.ErrorModel{
+			MinTypos:     1,
+			MaxTypos:     2,
+			TypoProb:     0.6,
+			WordSwapProb: 0.05,
+			DropAttrProb: 0.06,
+			// Titles are retyped more carefully than numeric attributes
+			// (a single typo, and only for roughly half the duplicates),
+			// which is what makes the title-consonant key the most
+			// reliable sort key — the paper's central Fig. 4(a) finding.
+			// The severe pollution share scrambles the title prefix so
+			// those duplicates sort far apart (the paper's 5%).
+			PerElement: map[string]dirty.ErrorModel{
+				"title": {
+					MinTypos:   1,
+					MaxTypos:   1,
+					TypoProb:   0.55,
+					SevereProb: opts.SevereTitleProb,
+				},
+			},
+		},
+	}}, opts.Seed+1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: data set 1: %w", err)
+	}
+	return res.Doc, res.DuplicatesByPath[MoviePath], nil
+}
+
+// ScaleVariant selects the duplication profile of the scalability
+// experiments (Experiment set 2).
+type ScaleVariant int
+
+const (
+	// Clean has no planted duplicates (Fig. 5(a)).
+	Clean ScaleVariant = iota
+	// FewDuplicates applies 20% dupProb to movies, titles, and persons,
+	// one duplicate each (Fig. 5(b)).
+	FewDuplicates
+	// ManyDuplicates applies 100% dupProb with up to two duplicates to
+	// movies and persons, and 20% with one duplicate to titles
+	// (Fig. 5(c)).
+	ManyDuplicates
+)
+
+// String names the variant for experiment output.
+func (v ScaleVariant) String() string {
+	switch v {
+	case Clean:
+		return "clean"
+	case FewDuplicates:
+		return "few duplicates"
+	case ManyDuplicates:
+		return "many duplicates"
+	}
+	return fmt.Sprintf("ScaleVariant(%d)", int(v))
+}
+
+// ScalabilityData builds the movie data for one point of Experiment
+// set 2: n clean movies, dirtied per the variant.
+func ScalabilityData(n int, variant ScaleVariant, seed int64) (*xmltree.Document, error) {
+	clean := toxgene.Movies(n, seed)
+	if variant == Clean {
+		return clean, nil
+	}
+	errors := dirty.ErrorModel{MinTypos: 1, MaxTypos: 3, TypoProb: 0.85}
+	var specs []dirty.Spec
+	switch variant {
+	case FewDuplicates:
+		specs = []dirty.Spec{
+			{Path: MoviePath, Prob: 0.2, MaxDups: 1, Errors: errors},
+			{Path: TitlePath, Prob: 0.2, MaxDups: 1, Errors: errors},
+			{Path: PersonPath, Prob: 0.2, MaxDups: 1, Errors: errors},
+		}
+	case ManyDuplicates:
+		specs = []dirty.Spec{
+			{Path: MoviePath, Prob: 1, MaxDups: 2, Errors: errors},
+			{Path: PersonPath, Prob: 1, MaxDups: 2, Errors: errors},
+			{Path: TitlePath, Prob: 0.2, MaxDups: 1, Errors: errors},
+		}
+	default:
+		return nil, fmt.Errorf("dataset: unknown variant %v", variant)
+	}
+	res, err := dirty.Pollute(clean, specs, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: scalability: %w", err)
+	}
+	return res.Doc, nil
+}
+
+// ScalabilityConfig returns the candidate configuration for Experiment
+// set 2: movie, title, and person candidates with window size 3 (the
+// paper's choice), processed bottom-up.
+func ScalabilityConfig(window int) *config.Config {
+	if window == 0 {
+		window = 3
+	}
+	return &config.Config{
+		DefaultWindow: window,
+		Candidates: []config.Candidate{
+			{
+				Name:  "movie",
+				XPath: MoviePath,
+				Paths: []config.PathDef{
+					{ID: 1, RelPath: "title/text()"},
+					{ID: 2, RelPath: "@year"},
+					{ID: 3, RelPath: "@length"},
+				},
+				OD: []config.ODEntry{
+					{PathID: 1, Relevance: 0.8},
+					{PathID: 3, Relevance: 0.2, SimFunc: "numeric"},
+				},
+				Keys: []config.KeyDef{
+					{Name: "key1", Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "K1-K5"}}},
+				},
+				Threshold: 0.75,
+			},
+			{
+				Name:  "title",
+				XPath: TitlePath,
+				Paths: []config.PathDef{{ID: 1, RelPath: "text()"}},
+				OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+				Keys: []config.KeyDef{
+					{Name: "key1", Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+				},
+				Threshold: 0.85,
+			},
+			{
+				Name:  "person",
+				XPath: PersonPath,
+				Paths: []config.PathDef{
+					{ID: 1, RelPath: "lastname/text()"},
+					{ID: 2, RelPath: "firstname[1]/text()"},
+				},
+				OD: []config.ODEntry{
+					{PathID: 1, Relevance: 0.6},
+					{PathID: 2, Relevance: 0.4},
+				},
+				Keys: []config.KeyDef{
+					{Name: "key1", Parts: []config.KeyPart{
+						{PathID: 1, Order: 1, Pattern: "K1-K4"},
+						{PathID: 2, Order: 2, Pattern: "K1,K2"},
+					}},
+				},
+				Threshold: 0.8,
+			},
+		},
+	}
+}
+
+// CDs2Options configure Data set 2 (500 clean FreeDB-like CDs plus 500
+// generated duplicates, one per disc).
+type CDs2Options struct {
+	Discs int // clean disc count (default 500)
+	Seed  int64
+}
+
+// DataSet2 builds the dirty CD data of Data set 2: a clean corpus and
+// exactly one polluted duplicate per disc. Use config.DataSet2 for the
+// matching configuration.
+func DataSet2(opts CDs2Options) (*xmltree.Document, error) {
+	if opts.Discs == 0 {
+		opts.Discs = 500
+	}
+	clean := freedb.Generate(freedb.CleanOptions(opts.Discs, opts.Seed))
+	res, err := dirty.Pollute(clean, []dirty.Spec{{
+		Path:    DiscPath,
+		Prob:    1,
+		MaxDups: 1,
+		Errors: dirty.ErrorModel{
+			MinTypos:      1,
+			MaxTypos:      2,
+			TypoProb:      0.7,
+			DropChildProb: 0.04,
+			// Disc IDs are resubmitted nearly verbatim: the paper notes
+			// the did "in only some cases is incorrect and missing",
+			// which is what makes the did-prefix key the best one.
+			// Artist and disc title, in contrast, are occasionally
+			// mangled beyond OD recognition (re-typed submissions),
+			// which is the headroom descendant similarity exploits in
+			// Experiment set 3.
+			PerElement: map[string]dirty.ErrorModel{
+				"did":    {MinTypos: 1, MaxTypos: 1, TypoProb: 0.15},
+				"artist": {MinTypos: 1, MaxTypos: 2, TypoProb: 0.7, SevereProb: 0.18},
+				"dtitle": {MinTypos: 1, MaxTypos: 2, TypoProb: 0.7, SevereProb: 0.18},
+			},
+		},
+	}}, opts.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: data set 2: %w", err)
+	}
+	return res.Doc, nil
+}
+
+// DataSet3 builds the large CD corpus of Data set 3 (default 10,000
+// discs) with natural duplicates and the FP pathologies. Use
+// config.DataSet3 for the matching configuration.
+func DataSet3(discs int, seed int64) *xmltree.Document {
+	if discs == 0 {
+		discs = 10000
+	}
+	return freedb.Generate(freedb.DefaultOptions(discs, seed))
+}

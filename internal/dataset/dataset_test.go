@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+func TestDataSet1Shapes(t *testing.T) {
+	doc, dups, err := DataSet1(Movies1Options{Movies: 200, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	movies := doc.ElementsByPath(MoviePath)
+	if len(movies) != 200+dups {
+		t.Errorf("movie count = %d, want %d", len(movies), 200+dups)
+	}
+	if dups < 30 || dups > 90 {
+		t.Errorf("dups = %d, expected ~60 at 30%%", dups)
+	}
+}
+
+func TestDataSet1EndToEnd(t *testing.T) {
+	doc, _, err := DataSet1(Movies1Options{Movies: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.DataSet1(10)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := eval.BuildGold(doc, MoviePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eval.PairwiseMetrics(gold, res.Clusters["movie"])
+	if m.Recall < 0.5 {
+		t.Errorf("recall = %v, want >= 0.5 on planted duplicates (%s)", m.Recall, m)
+	}
+	if m.Precision < 0.8 {
+		t.Errorf("precision = %v, want >= 0.8 (%s)", m.Precision, m)
+	}
+}
+
+func TestScalabilityVariants(t *testing.T) {
+	for _, v := range []ScaleVariant{Clean, FewDuplicates, ManyDuplicates} {
+		doc, err := ScalabilityData(100, v, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		n := len(doc.ElementsByPath(MoviePath))
+		switch v {
+		case Clean:
+			if n != 100 {
+				t.Errorf("clean movie count = %d", n)
+			}
+		case FewDuplicates:
+			if n <= 100 || n > 140 {
+				t.Errorf("few-dups movie count = %d, want ~120", n)
+			}
+		case ManyDuplicates:
+			if n < 200 || n > 310 {
+				t.Errorf("many-dups movie count = %d, want ~250", n)
+			}
+		}
+	}
+}
+
+func TestScalabilityVariantString(t *testing.T) {
+	if Clean.String() != "clean" || FewDuplicates.String() != "few duplicates" ||
+		ManyDuplicates.String() != "many duplicates" {
+		t.Error("variant names wrong")
+	}
+	if ScaleVariant(9).String() == "" {
+		t.Error("unknown variant should still render")
+	}
+}
+
+func TestScalabilityUnknownVariant(t *testing.T) {
+	if _, err := ScalabilityData(10, ScaleVariant(9), 1); err == nil {
+		t.Error("unknown variant should fail")
+	}
+}
+
+func TestScalabilityConfigRuns(t *testing.T) {
+	doc, err := ScalabilityData(150, FewDuplicates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScalabilityConfig(3)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"movie", "title", "person"} {
+		if res.Clusters[name] == nil {
+			t.Errorf("missing cluster set for %q", name)
+		}
+	}
+	// Bottom-up: titles and persons processed before movies; movies
+	// have descendant info available.
+	if res.Stats.Candidates["movie"].Rows == 0 {
+		t.Error("no movie rows")
+	}
+}
+
+func TestDataSet2Shapes(t *testing.T) {
+	doc, err := DataSet2(CDs2Options{Discs: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	discs := doc.ElementsByPath(DiscPath)
+	if len(discs) != 200 {
+		t.Errorf("disc count = %d, want 200 (100 clean + 100 dups)", len(discs))
+	}
+	gold, err := eval.BuildGold(doc, DiscPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gold.TruePairs() != 100 {
+		t.Errorf("true pairs = %d, want 100", gold.TruePairs())
+	}
+}
+
+func TestDataSet2EndToEnd(t *testing.T) {
+	doc, err := DataSet2(CDs2Options{Discs: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.DataSet2(6)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := eval.BuildGold(doc, DiscPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eval.PairwiseMetrics(gold, res.Clusters["disc"])
+	if m.F1 < 0.6 {
+		t.Errorf("disc f-measure = %v, want >= 0.6 (%s)", m.F1, m)
+	}
+}
+
+func TestDataSet3Shapes(t *testing.T) {
+	doc := DataSet3(1000, 11)
+	discs := doc.ElementsByPath(DiscPath)
+	if len(discs) != 1000 {
+		t.Errorf("disc count = %d, want 1000", len(discs))
+	}
+	gold, err := eval.BuildGold(doc, DiscPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gold.TruePairs() == 0 {
+		t.Error("data set 3 should contain genuine duplicate submissions")
+	}
+	if gold.TruePairs() > 100 {
+		t.Errorf("true pairs = %d, expected a thin duplicate layer", gold.TruePairs())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	doc, _, err := DataSet1(Movies1Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(doc.ElementsByPath(MoviePath)); n < 1000 {
+		t.Errorf("default movies = %d, want >= 1000", n)
+	}
+	if DataSet3(0, 1) == nil {
+		t.Error("default data set 3 failed")
+	}
+}

@@ -1,0 +1,140 @@
+package eval
+
+import "repro/internal/cluster"
+
+// ClusterMetrics complements the pairwise measures with cluster-level
+// views of detection quality: purity (how homogeneous the predicted
+// clusters are), inverse purity (how completely gold objects are
+// covered by single predicted clusters), their harmonic mean, and
+// exact-match counts.
+type ClusterMetrics struct {
+	// Purity is the fraction of elements whose predicted cluster's
+	// majority gold identity matches their own.
+	Purity float64
+	// InversePurity is the fraction of elements whose gold cluster's
+	// majority predicted cluster contains them.
+	InversePurity float64
+	// F is the harmonic mean of Purity and InversePurity.
+	F float64
+	// ExactMatches counts predicted clusters that coincide exactly
+	// with a gold cluster (same member set), including singletons.
+	ExactMatches int
+	// PredictedClusters and GoldClusters are the partition sizes.
+	PredictedClusters int
+	GoldClusters      int
+}
+
+// ClusterLevelMetrics computes cluster-level quality for one candidate.
+// Elements without gold identity are treated as singleton gold objects
+// identified by their own element ID.
+func ClusterLevelMetrics(g *GoldIndex, cs *cluster.ClusterSet) ClusterMetrics {
+	var m ClusterMetrics
+	total := cs.Elements()
+	if total == 0 {
+		return m
+	}
+	goldOf := func(eid int) string {
+		if id, ok := g.ByEID[eid]; ok {
+			return id
+		}
+		return "" // filled by caller-specific key below
+	}
+
+	// Build gold partition over exactly the elements the cluster set
+	// covers (gold-less elements become their own objects).
+	goldMembers := make(map[string][]int)
+	keyOf := make(map[int]string, total)
+	for _, c := range cs.Clusters {
+		for _, eid := range c.Members {
+			key := goldOf(eid)
+			if key == "" {
+				key = singletonKey(eid)
+			}
+			keyOf[eid] = key
+			goldMembers[key] = append(goldMembers[key], eid)
+		}
+	}
+	m.PredictedClusters = cs.Len()
+	m.GoldClusters = len(goldMembers)
+
+	// Purity: majority gold identity per predicted cluster.
+	purer := 0
+	for _, c := range cs.Clusters {
+		counts := map[string]int{}
+		for _, eid := range c.Members {
+			counts[keyOf[eid]]++
+		}
+		purer += maxCount(counts)
+	}
+	m.Purity = float64(purer) / float64(total)
+
+	// Inverse purity: majority predicted cluster per gold object.
+	inv := 0
+	for _, members := range goldMembers {
+		counts := map[int]int{}
+		for _, eid := range members {
+			if cid, ok := cs.CID(eid); ok {
+				counts[cid]++
+			}
+		}
+		inv += maxCount(counts)
+	}
+	m.InversePurity = float64(inv) / float64(total)
+
+	if m.Purity+m.InversePurity > 0 {
+		m.F = 2 * m.Purity * m.InversePurity / (m.Purity + m.InversePurity)
+	}
+
+	// Exact matches: predicted cluster member sets equal to a gold set.
+	goldSet := make(map[string]int, len(goldMembers)) // canonical member string -> 1
+	for _, members := range goldMembers {
+		goldSet[canonical(members)] = 1
+	}
+	for _, c := range cs.Clusters {
+		if _, ok := goldSet[canonical(c.Members)]; ok {
+			m.ExactMatches++
+		}
+	}
+	return m
+}
+
+func singletonKey(eid int) string {
+	// Element IDs are positive; prefix avoids collisions with real
+	// gold identifiers.
+	const digits = "0123456789"
+	if eid == 0 {
+		return "\x00:0"
+	}
+	buf := make([]byte, 0, 12)
+	for v := eid; v > 0; v /= 10 {
+		buf = append(buf, digits[v%10])
+	}
+	return "\x00:" + string(buf)
+}
+
+func maxCount[K comparable](counts map[K]int) int {
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// canonical renders a sorted member list (members of cluster.Set are
+// already sorted ascending; gold member lists are sorted here).
+func canonical(members []int) string {
+	sorted := make([]int, len(members))
+	copy(sorted, members)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := make([]byte, 0, len(sorted)*4)
+	for _, m := range sorted {
+		out = append(out, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return string(out)
+}

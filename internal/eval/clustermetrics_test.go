@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// goldIndexFor builds a GoldIndex directly from eid->gold assignments.
+func goldIndexFor(assign map[int]string) *GoldIndex {
+	g := &GoldIndex{ByEID: map[int]string{}, Clusters: map[string][]int{}}
+	for eid, id := range assign {
+		g.ByEID[eid] = id
+		g.Clusters[id] = append(g.Clusters[id], eid)
+	}
+	return g
+}
+
+func TestClusterLevelPerfect(t *testing.T) {
+	g := goldIndexFor(map[int]string{1: "a", 2: "a", 3: "b"})
+	cs := cluster.FromPairs([]int{1, 2, 3}, []cluster.Pair{{A: 1, B: 2}})
+	m := ClusterLevelMetrics(g, cs)
+	if m.Purity != 1 || m.InversePurity != 1 || m.F != 1 {
+		t.Errorf("perfect clustering: %+v", m)
+	}
+	if m.ExactMatches != 2 {
+		t.Errorf("exact matches = %d, want 2", m.ExactMatches)
+	}
+	if m.PredictedClusters != 2 || m.GoldClusters != 2 {
+		t.Errorf("cluster counts: %+v", m)
+	}
+}
+
+func TestClusterLevelOverMerged(t *testing.T) {
+	// Everything merged into one cluster: purity suffers, inverse
+	// purity is perfect.
+	g := goldIndexFor(map[int]string{1: "a", 2: "a", 3: "b", 4: "b"})
+	cs := cluster.FromPairs([]int{1, 2, 3, 4}, []cluster.Pair{
+		{A: 1, B: 2}, {A: 2, B: 3}, {A: 3, B: 4},
+	})
+	m := ClusterLevelMetrics(g, cs)
+	if math.Abs(m.Purity-0.5) > 1e-9 {
+		t.Errorf("purity = %v, want 0.5", m.Purity)
+	}
+	if m.InversePurity != 1 {
+		t.Errorf("inverse purity = %v, want 1", m.InversePurity)
+	}
+	if m.ExactMatches != 0 {
+		t.Errorf("exact matches = %d, want 0", m.ExactMatches)
+	}
+}
+
+func TestClusterLevelOverSplit(t *testing.T) {
+	// Nothing merged: purity perfect, inverse purity suffers.
+	g := goldIndexFor(map[int]string{1: "a", 2: "a", 3: "a", 4: "b"})
+	cs := cluster.FromPairs([]int{1, 2, 3, 4}, nil)
+	m := ClusterLevelMetrics(g, cs)
+	if m.Purity != 1 {
+		t.Errorf("purity = %v, want 1", m.Purity)
+	}
+	// Gold a (3 elements) majority cluster holds 1; gold b holds 1:
+	// inverse purity = (1+1)/4.
+	if math.Abs(m.InversePurity-0.5) > 1e-9 {
+		t.Errorf("inverse purity = %v, want 0.5", m.InversePurity)
+	}
+	// Exactly the singleton {4} matches gold b.
+	if m.ExactMatches != 1 {
+		t.Errorf("exact matches = %d, want 1", m.ExactMatches)
+	}
+}
+
+func TestClusterLevelGoldlessElements(t *testing.T) {
+	// Elements without gold ids act as their own objects.
+	g := goldIndexFor(map[int]string{1: "a", 2: "a"})
+	cs := cluster.FromPairs([]int{1, 2, 7, 9}, []cluster.Pair{{A: 1, B: 2}, {A: 7, B: 9}})
+	m := ClusterLevelMetrics(g, cs)
+	// Cluster {7,9} mixes two singleton gold objects: purity
+	// contribution 1 of 2.
+	if math.Abs(m.Purity-0.75) > 1e-9 {
+		t.Errorf("purity = %v, want 0.75", m.Purity)
+	}
+	if m.GoldClusters != 3 {
+		t.Errorf("gold clusters = %d, want 3", m.GoldClusters)
+	}
+}
+
+func TestClusterLevelEmpty(t *testing.T) {
+	g := goldIndexFor(nil)
+	cs := cluster.FromPairs(nil, nil)
+	m := ClusterLevelMetrics(g, cs)
+	if m.Purity != 0 || m.F != 0 {
+		t.Errorf("empty metrics: %+v", m)
+	}
+}
+
+func TestClusterLevelConsistentWithPairwise(t *testing.T) {
+	// A perfect pairwise result implies perfect cluster-level scores.
+	g := goldIndexFor(map[int]string{1: "x", 2: "x", 3: "y", 4: "y", 5: "z"})
+	cs := cluster.FromPairs([]int{1, 2, 3, 4, 5},
+		[]cluster.Pair{{A: 1, B: 2}, {A: 3, B: 4}})
+	pm := PairwiseMetrics(g, cs)
+	cm := ClusterLevelMetrics(g, cs)
+	if pm.F1 == 1 && cm.F != 1 {
+		t.Errorf("pairwise perfect but cluster-level F = %v", cm.F)
+	}
+}

@@ -1,0 +1,183 @@
+// Package eval measures duplicate detection quality against the gold
+// identities planted by the data generators: pairwise precision,
+// recall, and f-measure (the paper's Experiment sets 1 and 3), plus
+// the false-positive taxonomy used in the discussion of Fig. 4(d).
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/gen/freedb"
+	"repro/internal/gen/toxgene"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// GoldIndex is the ground truth for one candidate: which elements
+// (node IDs) represent which real-world object.
+type GoldIndex struct {
+	// ByEID maps a node ID to its gold object ID. Elements lacking a
+	// gold attribute are absent and treated as unique objects.
+	ByEID map[int]string
+	// Clusters maps each gold ID to the node IDs carrying it.
+	Clusters map[string][]int
+}
+
+// BuildGold collects the gold identities of all elements selected by
+// the candidate path expression.
+func BuildGold(doc *xmltree.Document, candidateXPath string) (*GoldIndex, error) {
+	p, err := xpath.Compile(candidateXPath)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	g := &GoldIndex{
+		ByEID:    make(map[int]string),
+		Clusters: make(map[string][]int),
+	}
+	for _, n := range p.SelectDocument(doc) {
+		gold, ok := n.Attr(toxgene.GoldAttr)
+		if !ok {
+			continue
+		}
+		g.ByEID[n.ID] = gold
+		g.Clusters[gold] = append(g.Clusters[gold], n.ID)
+	}
+	return g, nil
+}
+
+// IsDuplicate reports whether two elements are gold duplicates.
+func (g *GoldIndex) IsDuplicate(a, b int) bool {
+	ga, oka := g.ByEID[a]
+	gb, okb := g.ByEID[b]
+	return oka && okb && ga == gb
+}
+
+// TruePairs returns the number of gold duplicate pairs: the pairs an
+// ideal detector would return.
+func (g *GoldIndex) TruePairs() int {
+	total := 0
+	for _, eids := range g.Clusters {
+		k := len(eids)
+		total += k * (k - 1) / 2
+	}
+	return total
+}
+
+// Metrics holds pairwise quality measures.
+type Metrics struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// String renders the metrics compactly for experiment tables.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		m.Precision, m.Recall, m.F1, m.TP, m.FP, m.FN)
+}
+
+// PairwiseMetrics compares the detected cluster set against the gold
+// index: a true positive is a detected pair whose elements share a
+// gold ID. Precision defaults to 1 when nothing was detected, and
+// recall to 1 when no gold pairs exist, so clean-data runs report
+// sensible values.
+func PairwiseMetrics(g *GoldIndex, cs *cluster.ClusterSet) Metrics {
+	var m Metrics
+	detected := cs.DuplicatePairs()
+	for _, p := range detected {
+		if g.IsDuplicate(p.A, p.B) {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	m.FN = g.TruePairs() - m.TP
+	if m.FN < 0 {
+		m.FN = 0
+	}
+	m.Precision = ratio(m.TP, m.TP+m.FP)
+	m.Recall = ratio(m.TP, m.TP+m.FN)
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// FPBreakdown classifies false-positive pairs by corpus pathology,
+// reproducing the taxonomy of the Fig. 4(d) discussion: CD-series /
+// various-artist pairs, unreadable-text pairs, and everything else.
+type FPBreakdown struct {
+	Series     int
+	Unreadable int
+	Other      int
+	Total      int
+}
+
+// Fractions returns the taxonomy shares in [0,1]; zero totals yield
+// zeros.
+func (b FPBreakdown) Fractions() (series, unreadable, other float64) {
+	if b.Total == 0 {
+		return 0, 0, 0
+	}
+	t := float64(b.Total)
+	return float64(b.Series) / t, float64(b.Unreadable) / t, float64(b.Other) / t
+}
+
+// ClassifyFalsePositives inspects every detected non-gold pair and
+// attributes it to a pathology. A pair counts as "unreadable" when
+// either element is an unreadable-text disc, as "series" when either
+// element belongs to a disc series or is a various-artists disc, and
+// as "other" otherwise.
+func ClassifyFalsePositives(doc *xmltree.Document, g *GoldIndex, cs *cluster.ClusterSet) FPBreakdown {
+	idx := doc.IndexByID()
+	var b FPBreakdown
+	for _, p := range cs.DuplicatePairs() {
+		if g.IsDuplicate(p.A, p.B) {
+			continue
+		}
+		b.Total++
+		na, nb := idx[p.A], idx[p.B]
+		switch {
+		case isUnreadable(na) || isUnreadable(nb):
+			b.Unreadable++
+		case isSeriesLike(na) || isSeriesLike(nb):
+			b.Series++
+		default:
+			b.Other++
+		}
+	}
+	return b
+}
+
+func isUnreadable(n *xmltree.Node) bool {
+	if n == nil {
+		return false
+	}
+	cat, _ := n.Attr(freedb.CategoryAttr)
+	return cat == freedb.CategoryUnreadable
+}
+
+func isSeriesLike(n *xmltree.Node) bool {
+	if n == nil {
+		return false
+	}
+	if cat, _ := n.Attr(freedb.CategoryAttr); cat == freedb.CategorySeries {
+		return true
+	}
+	if a := n.FirstChildElement("artist"); a != nil {
+		if strings.HasPrefix(strings.ToLower(a.Text()), "various") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/xmltree"
+)
+
+const goldXML = `
+<cds>
+  <disc x-gold="d1" x-cat="normal"><artist>A</artist></disc>
+  <disc x-gold="d1" x-cat="normal"><artist>A</artist></disc>
+  <disc x-gold="d2" x-cat="series"><artist>Various</artist></disc>
+  <disc x-gold="d3" x-cat="series"><artist>Various</artist></disc>
+  <disc x-gold="d4" x-cat="unreadable"><artist>????</artist></disc>
+  <disc x-gold="d5" x-cat="unreadable"><artist>####</artist></disc>
+  <disc x-gold="d6" x-cat="normal"><artist>B</artist></disc>
+  <disc><artist>no gold</artist></disc>
+</cds>`
+
+func goldDoc(t *testing.T) (*xmltree.Document, *GoldIndex, []int) {
+	t.Helper()
+	doc, err := xmltree.ParseString(goldXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGold(doc, "cds/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	discs := doc.ElementsByPath("cds/disc")
+	eids := make([]int, len(discs))
+	for i, d := range discs {
+		eids[i] = d.ID
+	}
+	return doc, g, eids
+}
+
+func TestBuildGold(t *testing.T) {
+	_, g, eids := goldDoc(t)
+	if len(g.ByEID) != 7 {
+		t.Errorf("ByEID size = %d, want 7 (gold-less disc excluded)", len(g.ByEID))
+	}
+	if len(g.Clusters["d1"]) != 2 {
+		t.Errorf("d1 cluster = %v", g.Clusters["d1"])
+	}
+	if g.TruePairs() != 1 {
+		t.Errorf("TruePairs = %d, want 1", g.TruePairs())
+	}
+	if !g.IsDuplicate(eids[0], eids[1]) {
+		t.Error("first two discs should be gold duplicates")
+	}
+	if g.IsDuplicate(eids[0], eids[2]) {
+		t.Error("d1 and d2 discs are not duplicates")
+	}
+	if g.IsDuplicate(eids[0], eids[7]) {
+		t.Error("gold-less element cannot be a duplicate")
+	}
+}
+
+func TestBuildGoldBadPath(t *testing.T) {
+	doc, _ := xmltree.ParseString(goldXML)
+	if _, err := BuildGold(doc, "[["); err == nil {
+		t.Error("bad path should fail")
+	}
+}
+
+func TestPairwiseMetricsPerfect(t *testing.T) {
+	_, g, eids := goldDoc(t)
+	cs := cluster.FromPairs(eids, []cluster.Pair{cluster.MakePair(eids[0], eids[1])})
+	m := PairwiseMetrics(g, cs)
+	if m.TP != 1 || m.FP != 0 || m.FN != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect run should be all 1s: %s", m)
+	}
+}
+
+func TestPairwiseMetricsMixed(t *testing.T) {
+	_, g, eids := goldDoc(t)
+	// One true pair missed; one false pair detected.
+	cs := cluster.FromPairs(eids, []cluster.Pair{cluster.MakePair(eids[2], eids[3])})
+	m := PairwiseMetrics(g, cs)
+	if m.TP != 0 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("all-wrong run: %s", m)
+	}
+}
+
+func TestPairwiseMetricsTransitiveFP(t *testing.T) {
+	_, g, eids := goldDoc(t)
+	// Chain d1,d1,d2: closure adds two FP pairs.
+	cs := cluster.FromPairs(eids, []cluster.Pair{
+		cluster.MakePair(eids[0], eids[1]),
+		cluster.MakePair(eids[1], eids[2]),
+	})
+	m := PairwiseMetrics(g, cs)
+	if m.TP != 1 || m.FP != 2 {
+		t.Errorf("closure metrics = %+v", m)
+	}
+	want := 1.0 / 3.0
+	if math.Abs(m.Precision-want) > 1e-9 {
+		t.Errorf("precision = %v, want %v", m.Precision, want)
+	}
+}
+
+func TestPairwiseMetricsEmptyDetection(t *testing.T) {
+	_, g, eids := goldDoc(t)
+	cs := cluster.FromPairs(eids, nil)
+	m := PairwiseMetrics(g, cs)
+	if m.Precision != 1 {
+		t.Errorf("precision with no detections = %v, want 1", m.Precision)
+	}
+	if m.Recall != 0 {
+		t.Errorf("recall = %v, want 0 (one pair missed)", m.Recall)
+	}
+}
+
+func TestPairwiseMetricsNoGold(t *testing.T) {
+	g := &GoldIndex{ByEID: map[int]string{}, Clusters: map[string][]int{}}
+	cs := cluster.FromPairs([]int{1, 2}, nil)
+	m := PairwiseMetrics(g, cs)
+	if m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("clean data should score 1/1: %s", m)
+	}
+}
+
+func TestClassifyFalsePositives(t *testing.T) {
+	doc, g, eids := goldDoc(t)
+	cs := cluster.FromPairs(eids, []cluster.Pair{
+		cluster.MakePair(eids[0], eids[1]), // TP, not counted
+		cluster.MakePair(eids[2], eids[3]), // series FP
+		cluster.MakePair(eids[4], eids[5]), // unreadable FP
+		cluster.MakePair(eids[0], eids[6]), // other FP (closure adds eids[1]-eids[6] too)
+	})
+	b := ClassifyFalsePositives(doc, g, cs)
+	if b.Series != 1 {
+		t.Errorf("series = %d, want 1", b.Series)
+	}
+	if b.Unreadable != 1 {
+		t.Errorf("unreadable = %d, want 1", b.Unreadable)
+	}
+	if b.Other != 2 { // (0,6) and closure pair (1,6)
+		t.Errorf("other = %d, want 2", b.Other)
+	}
+	if b.Total != 4 {
+		t.Errorf("total = %d, want 4", b.Total)
+	}
+	s, u, o := b.Fractions()
+	if math.Abs(s-0.25) > 1e-9 || math.Abs(u-0.25) > 1e-9 || math.Abs(o-0.5) > 1e-9 {
+		t.Errorf("fractions = %v %v %v", s, u, o)
+	}
+}
+
+func TestFractionsEmpty(t *testing.T) {
+	s, u, o := (FPBreakdown{}).Fractions()
+	if s != 0 || u != 0 || o != 0 {
+		t.Error("empty breakdown should yield zero fractions")
+	}
+}
+
+func TestVariousArtistCountsAsSeries(t *testing.T) {
+	xmlStr := `<cds>
+	  <disc x-gold="a" x-cat="normal"><artist>Various Artists</artist></disc>
+	  <disc x-gold="b" x-cat="normal"><artist>Someone</artist></disc>
+	</cds>`
+	doc, err := xmltree.ParseString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGold(doc, "cds/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	discs := doc.ElementsByPath("cds/disc")
+	cs := cluster.FromPairs([]int{discs[0].ID, discs[1].ID},
+		[]cluster.Pair{cluster.MakePair(discs[0].ID, discs[1].ID)})
+	b := ClassifyFalsePositives(doc, g, cs)
+	if b.Series != 1 || b.Total != 1 {
+		t.Errorf("breakdown = %+v, want various-artist pair classified as series", b)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{TP: 1, FP: 2, FN: 3, Precision: 0.5, Recall: 0.25, F1: 0.333}
+	s := m.String()
+	if s == "" {
+		t.Error("empty string")
+	}
+}

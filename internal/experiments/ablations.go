@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// AblationOptions configure the design-choice ablations of DESIGN.md:
+// the Sec. 5 comparison filter, the adaptive window, DE-SNM, and the
+// all-pairs ceiling, all on Data set 1.
+type AblationOptions struct {
+	Movies int // clean movies (default 1000)
+	Seed   int64
+	Window int // base window (default 5)
+}
+
+func (o *AblationOptions) defaults() {
+	if o.Movies == 0 {
+		o.Movies = 1000
+	}
+	if o.Window == 0 {
+		o.Window = 5
+	}
+}
+
+// AblationRow is one variant's measurements.
+type AblationRow struct {
+	Variant     string
+	Comparisons int
+	FilteredOut int
+	Precision   float64
+	Recall      float64
+	F1          float64
+	Duration    time.Duration
+}
+
+// AblationResult holds all variant rows.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// ExpAblations measures SXNM variants against each other on one dirty
+// movie data set:
+//
+//	sxnm            the plain engine (multi-pass, fixed window)
+//	sxnm+filter     with the Sec. 5 upper-bound comparison filter
+//	sxnm+adaptive   with key-distance window extension
+//	de-snm          with exact-duplicate elimination before windowing
+//	all-pairs       the exhaustive quality ceiling
+func ExpAblations(opts AblationOptions) (*AblationResult, error) {
+	opts.defaults()
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: opts.Movies, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	gold, err := eval.BuildGold(doc, dataset.MoviePath)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{}
+
+	addCore := func(variant string, mutate func(*config.Config), o core.Options) error {
+		cfg := config.DataSet1(opts.Window)
+		if mutate != nil {
+			mutate(cfg)
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		start := time.Now()
+		run, err := core.Run(doc, cfg, o)
+		if err != nil {
+			return err
+		}
+		m := eval.PairwiseMetrics(gold, run.Clusters["movie"])
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:     variant,
+			Comparisons: run.Stats.Comparisons,
+			FilteredOut: run.Stats.FilteredOut,
+			Precision:   m.Precision,
+			Recall:      m.Recall,
+			F1:          m.F1,
+			Duration:    time.Since(start),
+		})
+		return nil
+	}
+
+	if err := addCore("sxnm", nil, core.Options{}); err != nil {
+		return nil, err
+	}
+	if err := addCore("sxnm+filter", nil, core.Options{UseFilter: true}); err != nil {
+		return nil, err
+	}
+	if err := addCore("sxnm+adaptive", func(cfg *config.Config) {
+		m := cfg.Candidate("movie")
+		m.AdaptiveKeySim = 0.8
+		m.AdaptiveMaxWindow = 3 * opts.Window
+	}, core.Options{}); err != nil {
+		return nil, err
+	}
+
+	// DE-SNM.
+	{
+		cfg := config.DataSet1(opts.Window)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		de, err := baseline.DESNM(doc, cfg, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m := eval.PairwiseMetrics(gold, de.Clusters["movie"])
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:     "de-snm",
+			Comparisons: de.Comparisons,
+			Precision:   m.Precision,
+			Recall:      m.Recall,
+			F1:          m.F1,
+			Duration:    time.Since(start),
+		})
+	}
+
+	// All-pairs ceiling.
+	{
+		cfg := config.DataSet1(opts.Window)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ap, err := baseline.AllPairs(doc, cfg, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m := eval.PairwiseMetrics(gold, ap.Clusters["movie"])
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:     "all-pairs",
+			Comparisons: ap.Comparisons,
+			Precision:   m.Precision,
+			Recall:      m.Recall,
+			F1:          m.F1,
+			Duration:    time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the ablation rows.
+func (r *AblationResult) Table() Table {
+	t := Table{
+		Title:  "Ablations (Data set 1)",
+		Header: []string{"variant", "comparisons", "filtered", "precision", "recall", "f-measure", "time"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Variant,
+			fmt.Sprint(row.Comparisons),
+			fmt.Sprint(row.FilteredOut),
+			fmt.Sprintf("%.3f", row.Precision),
+			fmt.Sprintf("%.3f", row.Recall),
+			fmt.Sprintf("%.3f", row.F1),
+			formatDur(row.Duration),
+		})
+	}
+	return t
+}
+
+// Row returns the named variant's row, or nil.
+func (r *AblationResult) Row(variant string) *AblationRow {
+	for i := range r.Rows {
+		if r.Rows[i].Variant == variant {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpAblationsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpAblations(AblationOptions{Movies: 300, Seed: 5, Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	base := r.Row("sxnm")
+	filt := r.Row("sxnm+filter")
+	adapt := r.Row("sxnm+adaptive")
+	desnm := r.Row("de-snm")
+	all := r.Row("all-pairs")
+	if base == nil || filt == nil || adapt == nil || desnm == nil || all == nil {
+		t.Fatal("missing variants")
+	}
+	// Filter: identical quality, strictly fewer full comparisons.
+	if filt.F1 != base.F1 || filt.Precision != base.Precision || filt.Recall != base.Recall {
+		t.Errorf("filter changed quality: %+v vs %+v", filt, base)
+	}
+	if filt.FilteredOut == 0 {
+		t.Error("filter skipped nothing")
+	}
+	if filt.Comparisons+filt.FilteredOut != base.Comparisons {
+		t.Errorf("filter accounting broken: %d+%d != %d",
+			filt.Comparisons, filt.FilteredOut, base.Comparisons)
+	}
+	// Adaptive window: at least as many comparisons, recall not worse.
+	if adapt.Comparisons < base.Comparisons {
+		t.Errorf("adaptive made fewer comparisons: %d < %d", adapt.Comparisons, base.Comparisons)
+	}
+	if adapt.Recall < base.Recall-1e-9 {
+		t.Errorf("adaptive recall %v below base %v", adapt.Recall, base.Recall)
+	}
+	// All-pairs: comparison count dominates everything and recall is
+	// the ceiling.
+	if all.Comparisons <= base.Comparisons {
+		t.Error("all-pairs should compare far more")
+	}
+	if all.Recall < adapt.Recall-1e-9 {
+		t.Errorf("all-pairs recall %v below adaptive %v", all.Recall, adapt.Recall)
+	}
+	// Table renders all variants.
+	out := r.Table().String()
+	for _, v := range []string{"sxnm", "sxnm+filter", "sxnm+adaptive", "de-snm", "all-pairs"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("table missing %q:\n%s", v, out)
+		}
+	}
+	if r.Row("nosuch") != nil {
+		t.Error("unknown variant should be nil")
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run reduced-size versions of each figure and
+// assert the qualitative shapes the paper reports, not absolute
+// numbers.
+
+func TestTable1(t *testing.T) {
+	tables := Table1()
+	if len(tables) != 4 { // PATH, OD, KEY1, KEY2
+		t.Fatalf("Table1 returned %d tables", len(tables))
+	}
+	out := ""
+	for _, tb := range tables {
+		out += tb.String()
+	}
+	for _, want := range []string{"title/text()", "@ID", "@year", "K1,K2", "D3,D4", "D1", "C1,C2", "0.8", "0.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2PaperKeys(t *testing.T) {
+	tb, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"MT99", "5MA", "Matrix", "1999"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	tables := Table3()
+	if len(tables) != 3 {
+		t.Fatalf("Table3 returned %d tables", len(tables))
+	}
+	out := tables[0].String() + tables[1].String() + tables[2].String()
+	for _, want := range []string{"K1-K5", "did/text()", "dtitle[1]/text()", "C1-C6", "artist[1]/text()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := Table{Title: "t", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	out := tb.String()
+	if !strings.Contains(out, "t\n") || !strings.Contains(out, "a ") {
+		t.Errorf("table render:\n%s", out)
+	}
+}
+
+func fig4aOpts() Set1MoviesOptions {
+	return Set1MoviesOptions{Movies: 500, Seed: 42, Windows: []int{2, 4, 8, 16}}
+}
+
+func TestExpSet1MoviesShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpSet1Movies(fig4aOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlantedDuplicates == 0 {
+		t.Fatal("no planted duplicates")
+	}
+	last := len(r.Windows) - 1
+
+	// Shape: recall grows with window size for every series.
+	for label, series := range r.Recall {
+		if series[last] < series[0]-0.02 {
+			t.Errorf("%s: recall did not grow: %v", label, series)
+		}
+	}
+	// Shape: MP recall >= every single-pass recall at each window
+	// (multi-pass pairs are a superset).
+	for i := range r.Windows {
+		mp := r.Recall["MP"][i]
+		for _, label := range []string{"SP key1", "SP key2", "SP key3"} {
+			if mp < r.Recall[label][i]-1e-9 {
+				t.Errorf("window %d: MP recall %.3f < %s %.3f", r.Windows[i], mp, label, r.Recall[label][i])
+			}
+		}
+	}
+	// Shape: key1 (title consonants) beats key2 (year-led) on recall at
+	// the largest window.
+	if r.Recall["SP key1"][last] <= r.Recall["SP key2"][last] {
+		t.Errorf("key1 recall %.3f should beat key2 %.3f",
+			r.Recall["SP key1"][last], r.Recall["SP key2"][last])
+	}
+	// Shape: precision stays high and converges toward the all-pairs
+	// precision.
+	if r.AllPairsPrecision < 0.7 {
+		t.Errorf("all-pairs precision = %.3f, too low for shape checks", r.AllPairsPrecision)
+	}
+	diff := r.Precision["SP key1"][last] - r.AllPairsPrecision
+	if diff < -0.15 || diff > 0.15 {
+		t.Errorf("key1 precision %.3f far from all-pairs %.3f",
+			r.Precision["SP key1"][last], r.AllPairsPrecision)
+	}
+	// Tables render.
+	if out := r.RecallTable().String(); !strings.Contains(out, "SP key1") {
+		t.Error("recall table missing series")
+	}
+	if out := r.PrecisionTable().String(); !strings.Contains(out, "all-pairs") {
+		t.Error("precision table missing all-pairs row")
+	}
+}
+
+func TestExpSet1CDsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpSet1CDs(Set1CDsOptions{Discs: 200, Seed: 7, Windows: []int{2, 4, 8, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(r.Windows) - 1
+	// Shape: f-measure increases with window size for MP.
+	if r.FMeasure["MP"][last] < r.FMeasure["MP"][0]-0.02 {
+		t.Errorf("MP f-measure did not grow: %v", r.FMeasure["MP"])
+	}
+	// Shape: multi-pass at the smallest window beats every single key
+	// at the largest tested window (the paper's headline for 4(c)).
+	mpSmall := r.FMeasure["MP"][0]
+	for _, label := range []string{"SP key1", "SP key2", "SP key3"} {
+		if mpSmall < r.FMeasure[label][last]-0.05 {
+			t.Errorf("MP@w=2 (%.3f) should rival %s@w=12 (%.3f)",
+				mpSmall, label, r.FMeasure[label][last])
+		}
+	}
+	// Shape: key3 (genre+year led) is the weakest key.
+	if r.FMeasure["SP key3"][last] > r.FMeasure["SP key2"][last] {
+		t.Errorf("key3 (%.3f) should not beat key2 (%.3f)",
+			r.FMeasure["SP key3"][last], r.FMeasure["SP key2"][last])
+	}
+	if out := r.FMeasureTable().String(); !strings.Contains(out, "MP") {
+		t.Error("f-measure table missing MP")
+	}
+}
+
+func TestExpSet1LargeShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpSet1Large(Set1LargeOptions{Discs: 2000, Seed: 11, Windows: []int{2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: the did-prefix key (key2) is the most precise; the
+	// title/artist key (key1) detects more duplicates at lower
+	// precision; multi-pass accumulates both keys' false positives.
+	for i := range r.Windows {
+		if r.Precision["SP key2"][i] < r.Precision["SP key1"][i]-0.02 {
+			t.Errorf("window %d: key2 precision %.3f below key1 %.3f",
+				r.Windows[i], r.Precision["SP key2"][i], r.Precision["SP key1"][i])
+		}
+		if r.Duplicates["SP key1"][i] <= r.Duplicates["SP key2"][i] {
+			t.Errorf("window %d: key1 should find more duplicates (%d vs %d)",
+				r.Windows[i], r.Duplicates["SP key1"][i], r.Duplicates["SP key2"][i])
+		}
+		if r.Precision["MP"][i] > r.Precision["SP key2"][i]+1e-9 {
+			t.Errorf("window %d: MP precision %.3f should not beat key2 %.3f",
+				r.Windows[i], r.Precision["MP"][i], r.Precision["SP key2"][i])
+		}
+	}
+	// Shape: series + unreadable dominate the key1 false positives.
+	lastIdx := len(r.Windows) - 1
+	b := r.Breakdown["SP key1"][lastIdx]
+	if b.Total > 0 {
+		s, u, _ := b.Fractions()
+		if s+u < 0.5 {
+			t.Errorf("pathologies should dominate FPs: series=%.2f unreadable=%.2f (total %d)", s, u, b.Total)
+		}
+	}
+	if out := r.PrecisionTable().String(); !strings.Contains(out, "SP key1") {
+		t.Error("precision table broken")
+	}
+	if out := r.DuplicatesTable().String(); !strings.Contains(out, "MP") {
+		t.Error("duplicates table broken")
+	}
+	if out := r.BreakdownTable("SP key1").String(); !strings.Contains(out, "series%") {
+		t.Error("breakdown table broken")
+	}
+}
+
+func TestExpSet2ScalabilityShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpSet2Scalability(Set2Options{Sizes: []int{200, 800}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := r.Series["clean"]
+	many := r.Series["many duplicates"]
+	if len(clean) != 2 || len(many) != 2 {
+		t.Fatalf("series lengths wrong: %d/%d", len(clean), len(many))
+	}
+	// Shape: more data, more elements processed.
+	if clean[1].Elements <= clean[0].Elements {
+		t.Error("element counts should grow with size")
+	}
+	// Shape: many duplicates processes more elements than clean at the
+	// same base size (roughly 2-3x).
+	if many[1].Elements <= clean[1].Elements {
+		t.Error("many-duplicates data should be larger than clean")
+	}
+	// Shape: durations were measured.
+	for _, p := range append(clean, many...) {
+		if p.KG <= 0 || p.DD <= 0 {
+			t.Errorf("phase timings missing: %+v", p)
+		}
+	}
+	// Tables render.
+	if out := r.VariantTable("clean").String(); !strings.Contains(out, "KG") {
+		t.Error("variant table broken")
+	}
+	if out := r.OverheadTable().String(); !strings.Contains(out, "overhead") {
+		t.Error("overhead table broken")
+	}
+	if got := r.Overheads("few duplicates"); len(got) != 2 {
+		t.Errorf("overheads = %v", got)
+	}
+}
+
+func TestExpSet3ThresholdShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpSet3Thresholds(Set3Options{Discs: 250, Seed: 3, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape (6a): as the OD threshold rises, recall must not increase
+	// and precision must not decrease (monotone in threshold).
+	for i := 1; i < len(r.ODOnly); i++ {
+		if r.ODOnly[i].Metrics.Recall > r.ODOnly[i-1].Metrics.Recall+1e-9 {
+			t.Errorf("recall increased with threshold: %v -> %v",
+				r.ODOnly[i-1], r.ODOnly[i])
+		}
+		if r.ODOnly[i].Metrics.Precision < r.ODOnly[i-1].Metrics.Precision-0.05 {
+			t.Errorf("precision dropped notably with threshold: %v -> %v",
+				r.ODOnly[i-1], r.ODOnly[i])
+		}
+	}
+	// Shape (6a): the best threshold is interior (not 0.5, not 1.0).
+	best := r.BestODOnlyThreshold()
+	if best <= 0.5 || best >= 0.99 {
+		t.Errorf("best OD threshold = %.2f, want interior peak", best)
+	}
+	// Shape (6b): descendants improve the best f-measure.
+	if r.BestDescF < r.BestODOnlyF-1e-9 {
+		t.Errorf("best with descendants %.3f below OD-only best %.3f",
+			r.BestDescF, r.BestODOnlyF)
+	}
+	// Shape (6b): a low descendants threshold wins; very high ones
+	// degrade toward (or below) the OD-only result.
+	bestDesc := r.BestDescThreshold()
+	if bestDesc > 0.6 {
+		t.Errorf("best descendants threshold = %.2f, expected low", bestDesc)
+	}
+	lastF := r.WithDescendants[len(r.WithDescendants)-1].Metrics.F1
+	if lastF > r.BestDescF-0.005 {
+		t.Errorf("f at desc threshold 0.9 (%.3f) should be below the peak (%.3f)", lastF, r.BestDescF)
+	}
+	if out := r.ODTable().String(); !strings.Contains(out, "odThreshold") {
+		t.Error("OD table broken")
+	}
+	if out := r.DescTable().String(); !strings.Contains(out, "descThreshold") {
+		t.Error("desc table broken")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"a", "b"}, Rows: [][]string{{"1", "x|y"}}}
+	out := tb.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "| --- | --- |", "x\\|y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCostTableMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	r, err := ExpSet1Movies(Set1MoviesOptions{Movies: 300, Seed: 9, Windows: []int{2, 6, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comparisons grow with window size and never exceed all-pairs.
+	for label, series := range r.Comparisons {
+		for i := 1; i < len(series); i++ {
+			if series[i] < series[i-1] {
+				t.Errorf("%s: comparisons dropped: %v", label, series)
+			}
+		}
+		if series[len(series)-1] > r.AllPairsCost {
+			t.Errorf("%s: windowed comparisons %d exceed all-pairs %d",
+				label, series[len(series)-1], r.AllPairsCost)
+		}
+	}
+	if out := r.CostTable().String(); !strings.Contains(out, "all-pairs") {
+		t.Error("cost table missing all-pairs row")
+	}
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// KeyLabels used in the Fig. 4 series, mirroring the paper's legends.
+func keyLabel(i int) string { return fmt.Sprintf("SP key%d", i+1) }
+
+const multiPassLabel = "MP"
+
+// Set1MoviesOptions configure the Fig. 4(a)/(b) experiment.
+type Set1MoviesOptions struct {
+	Movies  int   // clean movies (default 2000)
+	Seed    int64 // generation seed
+	Windows []int // window sizes to sweep (default 2..20 step 2)
+}
+
+func (o *Set1MoviesOptions) defaults() {
+	if o.Movies == 0 {
+		o.Movies = 2000
+	}
+	if len(o.Windows) == 0 {
+		o.Windows = []int{2, 4, 6, 8, 10, 12, 14, 16, 20}
+	}
+}
+
+// Set1MoviesResult holds the recall and precision series of
+// Figs. 4(a) and 4(b): one series per single-pass key plus the
+// multi-pass combination, and the all-pairs precision the windowed
+// precision converges to.
+type Set1MoviesResult struct {
+	Windows           []int
+	Recall            map[string][]float64
+	Precision         map[string][]float64
+	FMeasure          map[string][]float64
+	Comparisons       map[string][]int
+	AllPairsPrecision float64
+	AllPairsRecall    float64
+	AllPairsCost      int
+	PlantedDuplicates int
+}
+
+// ExpSet1Movies runs Experiment set 1 on Data set 1 (artificial
+// movies): recall and precision for each key alone (single-pass) and
+// for the multi-pass method, over a window-size sweep.
+func ExpSet1Movies(opts Set1MoviesOptions) (*Set1MoviesResult, error) {
+	opts.defaults()
+	doc, planted, err := dataset.DataSet1(dataset.Movies1Options{
+		Movies: opts.Movies,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gold, err := eval.BuildGold(doc, dataset.MoviePath)
+	if err != nil {
+		return nil, err
+	}
+	res := &Set1MoviesResult{
+		Windows:           opts.Windows,
+		Recall:            map[string][]float64{},
+		Precision:         map[string][]float64{},
+		FMeasure:          map[string][]float64{},
+		Comparisons:       map[string][]int{},
+		PlantedDuplicates: planted,
+	}
+
+	nKeys := len(config.DataSet1(0).Candidates[0].Keys)
+	variants := make([]string, 0, nKeys+1)
+	for i := 0; i < nKeys; i++ {
+		variants = append(variants, keyLabel(i))
+	}
+	variants = append(variants, multiPassLabel)
+
+	for _, w := range opts.Windows {
+		for vi, label := range variants {
+			cfg := config.DataSet1(w)
+			if vi < nKeys {
+				cfg.KeepKeys("movie", vi)
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			run, err := core.Run(doc, cfg, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			m := eval.PairwiseMetrics(gold, run.Clusters["movie"])
+			res.Recall[label] = append(res.Recall[label], m.Recall)
+			res.Precision[label] = append(res.Precision[label], m.Precision)
+			res.FMeasure[label] = append(res.FMeasure[label], m.F1)
+			res.Comparisons[label] = append(res.Comparisons[label], run.Stats.Candidates["movie"].Comparisons)
+		}
+	}
+
+	// All-pairs reference: the quality of the similarity measure when
+	// every pair is compared (Fig. 4(b)'s convergence target).
+	apCfg := config.DataSet1(2)
+	if err := apCfg.Validate(); err != nil {
+		return nil, err
+	}
+	ap, err := baseline.AllPairs(doc, apCfg, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	apm := eval.PairwiseMetrics(gold, ap.Clusters["movie"])
+	res.AllPairsPrecision = apm.Precision
+	res.AllPairsRecall = apm.Recall
+	res.AllPairsCost = ap.Comparisons
+	return res, nil
+}
+
+// RecallTable renders Fig. 4(a) as text.
+func (r *Set1MoviesResult) RecallTable() Table {
+	return seriesTable("Fig. 4(a) Data set 1: recall vs window size", "recall", r.Windows, r.Recall)
+}
+
+// PrecisionTable renders Fig. 4(b) as text.
+func (r *Set1MoviesResult) PrecisionTable() Table {
+	t := seriesTable("Fig. 4(b) Data set 1: precision vs window size", "precision", r.Windows, r.Precision)
+	t.Rows = append(t.Rows, []string{"all-pairs", fmt.Sprintf("%.3f", r.AllPairsPrecision)})
+	return t
+}
+
+// CostTable renders the comparison counts behind the Sec. 2.2
+// trade-off discussion: larger windows buy recall with quadratic-ish
+// comparison growth, bounded above by the all-pairs count.
+func (r *Set1MoviesResult) CostTable() Table {
+	t := Table{
+		Title:  "Data set 1: similarity comparisons vs window size",
+		Header: append([]string{"series"}, windowHeader(r.Windows)...),
+	}
+	for _, label := range sortedKeys(r.Comparisons) {
+		row := []string{label}
+		for _, v := range r.Comparisons[label] {
+			row = append(row, fmt.Sprint(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{"all-pairs", fmt.Sprint(r.AllPairsCost)})
+	return t
+}
+
+// Set1CDsOptions configure the Fig. 4(c) experiment.
+type Set1CDsOptions struct {
+	Discs   int // clean discs (default 500, as in the paper)
+	Seed    int64
+	Windows []int // default 2..12
+}
+
+func (o *Set1CDsOptions) defaults() {
+	if o.Discs == 0 {
+		o.Discs = 500
+	}
+	if len(o.Windows) == 0 {
+		o.Windows = []int{2, 4, 6, 8, 10, 12}
+	}
+}
+
+// Set1CDsResult holds the f-measure series of Fig. 4(c).
+type Set1CDsResult struct {
+	Windows  []int
+	FMeasure map[string][]float64
+}
+
+// ExpSet1CDs runs Experiment set 1 on Data set 2 (real-world-like CDs
+// with one generated duplicate per disc): f-measure for each disc key
+// and the multi-pass method.
+func ExpSet1CDs(opts Set1CDsOptions) (*Set1CDsResult, error) {
+	opts.defaults()
+	doc, err := dataset.DataSet2(dataset.CDs2Options{Discs: opts.Discs, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	gold, err := eval.BuildGold(doc, dataset.DiscPath)
+	if err != nil {
+		return nil, err
+	}
+	res := &Set1CDsResult{Windows: opts.Windows, FMeasure: map[string][]float64{}}
+	nKeys := len(config.DataSet2(0).Candidates[0].Keys)
+	for _, w := range opts.Windows {
+		for vi := 0; vi <= nKeys; vi++ {
+			label := multiPassLabel
+			cfg := config.DataSet2(w)
+			if vi < nKeys {
+				label = keyLabel(vi)
+				cfg.KeepKeys("disc", vi)
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			run, err := core.Run(doc, cfg, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			m := eval.PairwiseMetrics(gold, run.Clusters["disc"])
+			res.FMeasure[label] = append(res.FMeasure[label], m.F1)
+		}
+	}
+	return res, nil
+}
+
+// FMeasureTable renders Fig. 4(c) as text.
+func (r *Set1CDsResult) FMeasureTable() Table {
+	return seriesTable("Fig. 4(c) Data set 2: f-measure vs window size", "f-measure", r.Windows, r.FMeasure)
+}
+
+// Set1LargeOptions configure the Fig. 4(d) experiment.
+type Set1LargeOptions struct {
+	Discs   int // corpus size (default 10000, as in the paper)
+	Seed    int64
+	Windows []int // default 2..10
+}
+
+func (o *Set1LargeOptions) defaults() {
+	if o.Discs == 0 {
+		o.Discs = 10000
+	}
+	if len(o.Windows) == 0 {
+		o.Windows = []int{2, 3, 4, 5, 6, 8, 10}
+	}
+}
+
+// Set1LargeResult holds the precision series, detected duplicate
+// counts, and false-positive taxonomy of Fig. 4(d) and its discussion.
+type Set1LargeResult struct {
+	Windows    []int
+	Precision  map[string][]float64
+	Duplicates map[string][]int // detected duplicate pairs
+	// Breakdown classifies the false positives per variant and window.
+	Breakdown map[string][]eval.FPBreakdown
+}
+
+// ExpSet1Large runs Experiment set 1 on Data set 3: the large CD
+// corpus with natural duplicates. Recall cannot be measured in the
+// paper; here the planted gold layer yields precision directly, and
+// the false positives are classified into the paper's taxonomy
+// (series/various discs, unreadable discs, other).
+func ExpSet1Large(opts Set1LargeOptions) (*Set1LargeResult, error) {
+	opts.defaults()
+	doc := dataset.DataSet3(opts.Discs, opts.Seed)
+	gold, err := eval.BuildGold(doc, dataset.DiscPath)
+	if err != nil {
+		return nil, err
+	}
+	res := &Set1LargeResult{
+		Windows:    opts.Windows,
+		Precision:  map[string][]float64{},
+		Duplicates: map[string][]int{},
+		Breakdown:  map[string][]eval.FPBreakdown{},
+	}
+	nKeys := len(config.DataSet3(0).Candidates[0].Keys)
+	for _, w := range opts.Windows {
+		for vi := 0; vi <= nKeys; vi++ {
+			label := multiPassLabel
+			cfg := config.DataSet3(w)
+			if vi < nKeys {
+				label = keyLabel(vi)
+				cfg.KeepKeys("disc", vi)
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			run, err := core.Run(doc, cfg, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			cs := run.Clusters["disc"]
+			m := eval.PairwiseMetrics(gold, cs)
+			res.Precision[label] = append(res.Precision[label], m.Precision)
+			res.Duplicates[label] = append(res.Duplicates[label], m.TP+m.FP)
+			res.Breakdown[label] = append(res.Breakdown[label], eval.ClassifyFalsePositives(doc, gold, cs))
+		}
+	}
+	return res, nil
+}
+
+// PrecisionTable renders Fig. 4(d) as text.
+func (r *Set1LargeResult) PrecisionTable() Table {
+	return seriesTable("Fig. 4(d) Data set 3: precision vs window size", "precision", r.Windows, r.Precision)
+}
+
+// DuplicatesTable renders the detected-duplicate counts quoted in the
+// Fig. 4(d) discussion.
+func (r *Set1LargeResult) DuplicatesTable() Table {
+	t := Table{
+		Title:  "Fig. 4(d) Data set 3: detected duplicate pairs",
+		Header: append([]string{"series"}, windowHeader(r.Windows)...),
+	}
+	for _, label := range sortedKeys(r.Duplicates) {
+		row := []string{label}
+		for _, v := range r.Duplicates[label] {
+			row = append(row, fmt.Sprint(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// BreakdownTable renders the FP taxonomy for one series label.
+func (r *Set1LargeResult) BreakdownTable(label string) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 4(d) discussion: false-positive taxonomy (%s)", label),
+		Header: []string{"window", "series%", "unreadable%", "other%", "totalFP"},
+	}
+	for i, w := range r.Windows {
+		b := r.Breakdown[label][i]
+		s, u, o := b.Fractions()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("%.0f", s*100),
+			fmt.Sprintf("%.0f", u*100),
+			fmt.Sprintf("%.0f", o*100),
+			fmt.Sprint(b.Total),
+		})
+	}
+	return t
+}
+
+// seriesTable builds a table with one row per series and one column
+// per window size.
+func seriesTable(title, _ string, windows []int, series map[string][]float64) Table {
+	t := Table{Title: title, Header: append([]string{"series"}, windowHeader(windows)...)}
+	for _, label := range sortedKeys(series) {
+		row := []string{label}
+		for _, v := range series[label] {
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func windowHeader(windows []int) []string {
+	out := make([]string, len(windows))
+	for i, w := range windows {
+		out[i] = fmt.Sprintf("w=%d", w)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Simple insertion sort keeps the package dependency-free.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Set2Options configure the scalability experiment (Fig. 5).
+type Set2Options struct {
+	// Sizes are the clean movie counts to sweep (default 1k..10k).
+	Sizes []int
+	Seed  int64
+	// Window is the sliding window size (the paper uses 3).
+	Window int
+	// Repeats re-runs each measurement and keeps the fastest (default
+	// 3), damping scheduler noise in the phase timings.
+	Repeats int
+}
+
+func (o *Set2Options) defaults() {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{1000, 2000, 5000, 10000}
+	}
+	if o.Window == 0 {
+		o.Window = 3
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+}
+
+// ScalabilityPoint holds the per-phase timings at one data size: key
+// generation (KG), sliding window (SW), transitive closure (TC), and
+// duplicate detection (DD = SW + TC), plus the dirty element count.
+type ScalabilityPoint struct {
+	CleanMovies int
+	Elements    int // total candidate instances processed
+	KG          time.Duration
+	SW          time.Duration
+	TC          time.Duration
+	DD          time.Duration
+}
+
+// Set2Result holds one timing series per variant of Fig. 5(a)–(c) and
+// the derived overhead of Fig. 5(d).
+type Set2Result struct {
+	Window int
+	Series map[string][]ScalabilityPoint // keyed by variant name
+}
+
+// ExpSet2Scalability measures the phases of SXNM over growing data
+// sizes for the clean, few-duplicates, and many-duplicates variants,
+// reproducing Fig. 5.
+func ExpSet2Scalability(opts Set2Options) (*Set2Result, error) {
+	opts.defaults()
+	res := &Set2Result{Window: opts.Window, Series: map[string][]ScalabilityPoint{}}
+	for _, variant := range []dataset.ScaleVariant{dataset.Clean, dataset.FewDuplicates, dataset.ManyDuplicates} {
+		for _, n := range opts.Sizes {
+			doc, err := dataset.ScalabilityData(n, variant, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var best ScalabilityPoint
+			for rep := 0; rep < opts.Repeats; rep++ {
+				cfg := dataset.ScalabilityConfig(opts.Window)
+				if err := cfg.Validate(); err != nil {
+					return nil, err
+				}
+				run, err := core.Run(doc, cfg, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				p := ScalabilityPoint{
+					CleanMovies: n,
+					KG:          run.Stats.KeyGen,
+					SW:          run.Stats.SlidingWindow,
+					TC:          run.Stats.TransitiveClosure,
+					DD:          run.Stats.DuplicateDetection(),
+				}
+				for _, cs := range run.Stats.Candidates {
+					p.Elements += cs.Rows
+				}
+				if rep == 0 || p.KG+p.SW < best.KG+best.SW {
+					best = p
+				}
+			}
+			res.Series[variant.String()] = append(res.Series[variant.String()], best)
+		}
+	}
+	return res, nil
+}
+
+// VariantTable renders the Fig. 5(a)/(b)/(c) phase timings for one
+// variant ("clean", "few duplicates", "many duplicates").
+func (r *Set2Result) VariantTable(variant string) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 5 scalability (%s, window=%d)", variant, r.Window),
+		Header: []string{"cleanMovies", "elements", "KG", "SW", "TC", "DD"},
+	}
+	for _, p := range r.Series[variant] {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.CleanMovies),
+			fmt.Sprint(p.Elements),
+			formatDur(p.KG), formatDur(p.SW), formatDur(p.TC), formatDur(p.DD),
+		})
+	}
+	return t
+}
+
+// OverheadTable renders Fig. 5(d): the KG+SW time overhead of the
+// dirty variants relative to clean data of the same base size.
+func (r *Set2Result) OverheadTable() Table {
+	t := Table{
+		Title:  "Fig. 5(d) KG+SW overhead vs clean data",
+		Header: []string{"cleanMovies", "few dup overhead %", "many dup overhead %"},
+	}
+	clean := r.Series[dataset.Clean.String()]
+	few := r.Series[dataset.FewDuplicates.String()]
+	many := r.Series[dataset.ManyDuplicates.String()]
+	for i := range clean {
+		base := clean[i].KG + clean[i].SW
+		row := []string{fmt.Sprint(clean[i].CleanMovies)}
+		for _, series := range [][]ScalabilityPoint{few, many} {
+			if i >= len(series) || base <= 0 {
+				row = append(row, "n/a")
+				continue
+			}
+			over := float64(series[i].KG+series[i].SW)/float64(base) - 1
+			row = append(row, fmt.Sprintf("%.0f", over*100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Overheads returns the Fig. 5(d) overhead fractions per dirty variant
+// aligned with the clean series (e.g. 0.18 = 18% slower than clean).
+func (r *Set2Result) Overheads(variant string) []float64 {
+	clean := r.Series[dataset.Clean.String()]
+	series := r.Series[variant]
+	out := make([]float64, 0, len(series))
+	for i := range series {
+		if i >= len(clean) {
+			break
+		}
+		base := clean[i].KG + clean[i].SW
+		if base <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, float64(series[i].KG+series[i].SW)/float64(base)-1)
+	}
+	return out
+}
+
+func formatDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Set3Options configure the threshold-impact experiment (Fig. 6).
+type Set3Options struct {
+	Discs int // clean discs of Data set 2 (default 500)
+	Seed  int64
+	// Window for all runs (default 4, which Fig. 4(c) found sufficient).
+	Window int
+	// ODThresholds sweeps Fig. 6(a) (default 0.50..1.00 step 0.05).
+	ODThresholds []float64
+	// FixedOD is the OD threshold used while sweeping descendant
+	// thresholds. Zero selects the best threshold measured in the
+	// Fig. 6(a) sweep — the paper's methodology ("we use the OD
+	// threshold of 0.65 determined as optimal from the last
+	// experiment").
+	FixedOD float64
+	// DescThresholds sweeps Fig. 6(b) (default 0.1..0.9 step 0.1).
+	DescThresholds []float64
+}
+
+func (o *Set3Options) defaults() {
+	if o.Discs == 0 {
+		o.Discs = 500
+	}
+	if o.Window == 0 {
+		o.Window = 4
+	}
+	if len(o.ODThresholds) == 0 {
+		for th := 0.50; th <= 1.001; th += 0.05 {
+			o.ODThresholds = append(o.ODThresholds, round2(th))
+		}
+	}
+	if len(o.DescThresholds) == 0 {
+		for th := 0.1; th <= 0.901; th += 0.1 {
+			o.DescThresholds = append(o.DescThresholds, round2(th))
+		}
+	}
+}
+
+func round2(f float64) float64 {
+	return float64(int(f*100+0.5)) / 100
+}
+
+// ThresholdPoint is one measurement of a threshold sweep.
+type ThresholdPoint struct {
+	Threshold float64
+	Metrics   eval.Metrics
+}
+
+// Set3Result holds both sweeps of Fig. 6.
+type Set3Result struct {
+	// ODOnly is Fig. 6(a): OD threshold sweep without descendants.
+	ODOnly []ThresholdPoint
+	// WithDescendants is Fig. 6(b): descendants threshold sweep at the
+	// fixed OD threshold.
+	WithDescendants []ThresholdPoint
+	FixedOD         float64
+	// BestODOnlyF and BestDescF summarize the paper's headline: the
+	// best f-measure with descendants exceeds the best without.
+	BestODOnlyF float64
+	BestDescF   float64
+}
+
+// ExpSet3Thresholds reproduces Experiment set 3 on Data set 2: first
+// duplicate detection using only the disc object descriptions under a
+// varying OD threshold, then with <tracks>/<title> descendants under a
+// varying descendants threshold and the fixed optimal OD threshold.
+func ExpSet3Thresholds(opts Set3Options) (*Set3Result, error) {
+	opts.defaults()
+	doc, err := dataset.DataSet2(dataset.CDs2Options{Discs: opts.Discs, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	gold, err := eval.BuildGold(doc, dataset.DiscPath)
+	if err != nil {
+		return nil, err
+	}
+	res := &Set3Result{}
+
+	for _, th := range opts.ODThresholds {
+		cfg := set3Config(opts.Window, th, 0)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		run, err := core.Run(doc, cfg, core.Options{DisableDescendants: true})
+		if err != nil {
+			return nil, err
+		}
+		m := eval.PairwiseMetrics(gold, run.Clusters["disc"])
+		res.ODOnly = append(res.ODOnly, ThresholdPoint{Threshold: th, Metrics: m})
+		if m.F1 > res.BestODOnlyF {
+			res.BestODOnlyF = m.F1
+		}
+	}
+
+	res.FixedOD = opts.FixedOD
+	if res.FixedOD == 0 {
+		res.FixedOD = r0BestThreshold(res.ODOnly)
+	}
+	for _, th := range opts.DescThresholds {
+		cfg := set3Config(opts.Window, res.FixedOD, th)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		run, err := core.Run(doc, cfg, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m := eval.PairwiseMetrics(gold, run.Clusters["disc"])
+		res.WithDescendants = append(res.WithDescendants, ThresholdPoint{Threshold: th, Metrics: m})
+		if m.F1 > res.BestDescF {
+			res.BestDescF = m.F1
+		}
+	}
+	return res, nil
+}
+
+// set3Config builds the Data set 2 configuration with the two-threshold
+// rule at the given OD and descendants thresholds.
+func set3Config(window int, odTh, descTh float64) *config.Config {
+	cfg := config.DataSet2(window)
+	disc := cfg.Candidate("disc")
+	disc.Rule = config.RuleEither
+	disc.ODThreshold = odTh
+	disc.DescThreshold = descTh
+	return cfg
+}
+
+// ODTable renders Fig. 6(a) as text.
+func (r *Set3Result) ODTable() Table {
+	t := Table{
+		Title:  "Fig. 6(a) Data set 2: OD threshold sweep (no descendants)",
+		Header: []string{"odThreshold", "precision", "recall", "f-measure"},
+	}
+	for _, p := range r.ODOnly {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", p.Threshold),
+			fmt.Sprintf("%.3f", p.Metrics.Precision),
+			fmt.Sprintf("%.3f", p.Metrics.Recall),
+			fmt.Sprintf("%.3f", p.Metrics.F1),
+		})
+	}
+	return t
+}
+
+// DescTable renders Fig. 6(b) as text.
+func (r *Set3Result) DescTable() Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig. 6(b) Data set 2: descendants threshold sweep (OD=%.2f)", r.FixedOD),
+		Header: []string{"descThreshold", "precision", "recall", "f-measure"},
+	}
+	for _, p := range r.WithDescendants {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", p.Threshold),
+			fmt.Sprintf("%.3f", p.Metrics.Precision),
+			fmt.Sprintf("%.3f", p.Metrics.Recall),
+			fmt.Sprintf("%.3f", p.Metrics.F1),
+		})
+	}
+	return t
+}
+
+// BestODOnlyThreshold returns the OD threshold with the highest
+// f-measure in the Fig. 6(a) sweep.
+func (r *Set3Result) BestODOnlyThreshold() float64 {
+	return r0BestThreshold(r.ODOnly)
+}
+
+func r0BestThreshold(points []ThresholdPoint) float64 {
+	best, bestF := 0.0, -1.0
+	for _, p := range points {
+		if p.Metrics.F1 > bestF {
+			best, bestF = p.Threshold, p.Metrics.F1
+		}
+	}
+	return best
+}
+
+// BestDescThreshold returns the descendants threshold with the highest
+// f-measure in the Fig. 6(b) sweep.
+func (r *Set3Result) BestDescThreshold() float64 {
+	best, bestF := 0.0, -1.0
+	for _, p := range r.WithDescendants {
+		if p.Metrics.F1 > bestF {
+			best, bestF = p.Threshold, p.Metrics.F1
+		}
+	}
+	return best
+}

@@ -1,0 +1,210 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (Sec. 4): the configuration tables (Tables 1 and
+// 3), the temporary-relation worked example (Table 2), effectiveness
+// sweeps over window sizes (Fig. 4), the scalability phase timings
+// (Fig. 5), and the threshold studies (Fig. 6). Each runner returns a
+// structured result plus a printable text table with the same rows or
+// series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// Table is a printable experiment artifact.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("**")
+		b.WriteString(t.Title)
+		b.WriteString("**\n\n")
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, cell := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Table1 renders the paper's Table 1: the PATH, OD, and KEY relations
+// configured for <movie> elements in the illustrative example.
+func Table1() []Table {
+	cfg := config.Table1Movie()
+	c := &cfg.Candidates[0]
+	path := Table{Title: "(a) PATH_movie", Header: []string{"id", "relPath"}}
+	for _, p := range c.Paths {
+		path.Rows = append(path.Rows, []string{fmt.Sprint(p.ID), p.RelPath})
+	}
+	od := Table{Title: "(b) OD_movie", Header: []string{"pid", "relevance"}}
+	for _, o := range c.OD {
+		od.Rows = append(od.Rows, []string{fmt.Sprint(o.PathID), fmt.Sprintf("%.1f", o.Relevance)})
+	}
+	out := []Table{path, od}
+	for i, k := range c.Keys {
+		kt := Table{
+			Title:  fmt.Sprintf("(%c) KEY_movie,%d", 'c'+i, i+1),
+			Header: []string{"pid", "order", "pattern"},
+		}
+		for _, part := range k.Parts {
+			kt.Rows = append(kt.Rows, []string{
+				fmt.Sprint(part.PathID), fmt.Sprint(part.Order), part.Pattern,
+			})
+		}
+		out = append(out, kt)
+	}
+	return out
+}
+
+// Table2XML is the Fig. 2(a) movie used for the Table 2 worked example.
+const Table2XML = `
+<movie_database>
+  <movies>
+    <movie ID="5632" year="1999">
+      <title>Matrix</title>
+      <people>
+        <person>Keanu Reeves</person>
+        <person>Laurence Fishburne</person>
+        <person>Don Davis</person>
+      </people>
+    </movie>
+  </movies>
+</movie_database>`
+
+// Table2 reproduces the paper's Table 2(a): the GK_movie relation for
+// the Fig. 2(a) movie under the Table 1 configuration, with generated
+// keys MT99 and 5MA.
+func Table2() (Table, error) {
+	doc, err := xmltree.ParseString(Table2XML)
+	if err != nil {
+		return Table{}, err
+	}
+	cfg := config.Table1Movie()
+	if err := cfg.Validate(); err != nil {
+		return Table{}, err
+	}
+	kg, err := core.GenerateKeys(doc, cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "(a) GK_movie",
+		Header: []string{"eID", "key1", "key2", "od1", "od2"},
+	}
+	for _, row := range kg.Tables["movie"].Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(row.EID),
+			row.Keys[0], row.Keys[1],
+			first(row.OD[0]), first(row.OD[1]),
+		})
+	}
+	return t, nil
+}
+
+func first(vals []string) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	return vals[0]
+}
+
+// Table3 renders the paper's Table 3: the key configurations of the
+// three data sets.
+func Table3() []Table {
+	mk := func(title string, cfg *config.Config) Table {
+		t := Table{Title: title, Header: []string{"candidate", "key", "relPath", "pattern"}}
+		for i := range cfg.Candidates {
+			c := &cfg.Candidates[i]
+			relOf := func(pid int) string {
+				for _, p := range c.Paths {
+					if p.ID == pid {
+						return p.RelPath
+					}
+				}
+				return "?"
+			}
+			for _, k := range c.Keys {
+				for j, part := range k.Parts {
+					name, key := "", ""
+					if j == 0 {
+						name, key = c.Name, k.Name
+					}
+					t.Rows = append(t.Rows, []string{name, key, relOf(part.PathID), part.Pattern})
+				}
+			}
+		}
+		return t
+	}
+	return []Table{
+		mk("(a) Data set 1 (art. movies)", config.DataSet1(0)),
+		mk("(b) Data set 2 (CDs)", config.DataSet2(0)),
+		mk("(c) Data set 3 (real-world CDs)", config.DataSet3(0)),
+	}
+}

@@ -1,0 +1,237 @@
+package dirty
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen/toxgene"
+	"repro/internal/xmltree"
+)
+
+func cleanMovies(t *testing.T, n int) *xmltree.Document {
+	t.Helper()
+	return toxgene.Movies(n, 42)
+}
+
+func TestPolluteCreatesDuplicates(t *testing.T) {
+	clean := cleanMovies(t, 100)
+	res, err := Pollute(clean, []Spec{{
+		Path:   "movie_database/movies/movie",
+		Prob:   1,
+		Errors: DefaultErrors,
+	}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.DuplicatesByPath["movie_database/movies/movie"]; got != 100 {
+		t.Errorf("duplicates = %d, want 100", got)
+	}
+	movies := res.Doc.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 200 {
+		t.Errorf("dirty movie count = %d, want 200", len(movies))
+	}
+	// Gold IDs appear exactly twice each.
+	count := map[string]int{}
+	for _, m := range movies {
+		g, ok := m.Attr(toxgene.GoldAttr)
+		if !ok {
+			t.Fatal("movie lost its gold id")
+		}
+		count[g]++
+	}
+	for g, c := range count {
+		if c != 2 {
+			t.Errorf("gold %q appears %d times, want 2", g, c)
+		}
+	}
+}
+
+func TestPolluteDoesNotModifyInput(t *testing.T) {
+	clean := cleanMovies(t, 30)
+	before := clean.String()
+	if _, err := Pollute(clean, []Spec{{
+		Path: "movie_database/movies/movie", Prob: 1, Errors: DefaultErrors,
+	}}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if clean.String() != before {
+		t.Error("Pollute mutated its input document")
+	}
+}
+
+func TestPolluteProbability(t *testing.T) {
+	clean := cleanMovies(t, 1000)
+	res, err := Pollute(clean, []Spec{{
+		Path: "movie_database/movies/movie", Prob: 0.2, Errors: DefaultErrors,
+	}}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.DuplicatesByPath["movie_database/movies/movie"]
+	if got < 120 || got > 280 {
+		t.Errorf("20%% of 1000 should give ~200 duplicates, got %d", got)
+	}
+}
+
+func TestPolluteMaxDups(t *testing.T) {
+	clean := cleanMovies(t, 300)
+	res, err := Pollute(clean, []Spec{{
+		Path: "movie_database/movies/movie", Prob: 1, MaxDups: 2, Errors: DefaultErrors,
+	}}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, m := range res.Doc.ElementsByPath("movie_database/movies/movie") {
+		g, _ := m.Attr(toxgene.GoldAttr)
+		count[g]++
+	}
+	saw2, saw3 := false, false
+	for g, c := range count {
+		switch c {
+		case 2:
+			saw2 = true
+		case 3:
+			saw3 = true
+		default:
+			t.Errorf("gold %q appears %d times, want 2 or 3", g, c)
+		}
+	}
+	if !saw2 || !saw3 {
+		t.Error("MaxDups=2 should yield a mix of 1 and 2 duplicates")
+	}
+}
+
+func TestPolluteNestedSpecs(t *testing.T) {
+	clean := cleanMovies(t, 50)
+	res, err := Pollute(clean, []Spec{
+		{Path: "movie_database/movies/movie", Prob: 1, Errors: DefaultErrors},
+		{Path: "movie_database/movies/movie/people/person", Prob: 0.5, Errors: DefaultErrors},
+	}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicatesByPath["movie_database/movies/movie/people/person"] == 0 {
+		t.Error("person duplicates expected")
+	}
+	// Renumbering held: all IDs unique.
+	seen := map[int]bool{}
+	res.Doc.Root.Walk(func(n *xmltree.Node) bool {
+		if seen[n.ID] {
+			t.Fatalf("duplicate node id %d after pollution", n.ID)
+		}
+		seen[n.ID] = true
+		return true
+	})
+}
+
+func TestPolluteDeterministic(t *testing.T) {
+	clean := cleanMovies(t, 40)
+	specs := []Spec{{Path: "movie_database/movies/movie", Prob: 0.5, Errors: DefaultErrors}}
+	a, err := Pollute(clean, specs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pollute(clean, specs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Doc.String() != b.Doc.String() {
+		t.Error("Pollute not deterministic per seed")
+	}
+}
+
+func TestPolluteErrors(t *testing.T) {
+	clean := cleanMovies(t, 5)
+	if _, err := Pollute(clean, []Spec{{Path: "a[[", Prob: 1}}, 1); err == nil {
+		t.Error("bad path should fail")
+	}
+	if _, err := Pollute(clean, []Spec{{Path: "movie_database", Prob: 1}}, 1); err == nil {
+		t.Error("duplicating the root should fail")
+	}
+	if _, err := Pollute(clean, []Spec{{Path: "movie_database/movies/movie", Prob: 1.5}}, 1); err == nil {
+		t.Error("probability > 1 should fail")
+	}
+}
+
+func TestPolluteStringTypos(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := ErrorModel{MinTypos: 1, MaxTypos: 1}
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if PolluteString("The Quiet Storm", m, r) != "The Quiet Storm" {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Errorf("expected nearly all strings changed, got %d/100", changed)
+	}
+	if PolluteString("", m, r) != "" {
+		t.Error("empty string must stay empty")
+	}
+}
+
+func TestPolluteStringSevere(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	m := ErrorModel{SevereProb: 1}
+	s := "Matrix Reloaded"
+	diffPrefix := 0
+	for i := 0; i < 50; i++ {
+		out := PolluteString(s, m, r)
+		if len(out) >= 3 && out[:3] != s[:3] {
+			diffPrefix++
+		}
+	}
+	if diffPrefix < 45 {
+		t.Errorf("severe pollution changed prefix only %d/50 times", diffPrefix)
+	}
+}
+
+func TestPolluteStringWordSwap(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	m := ErrorModel{WordSwapProb: 1}
+	swapped := false
+	for i := 0; i < 20; i++ {
+		if PolluteString("alpha beta", m, r) == "beta alpha" {
+			swapped = true
+		}
+	}
+	if !swapped {
+		t.Error("word swap never occurred at probability 1")
+	}
+	if got := PolluteString("single", m, r); got != "single" {
+		t.Errorf("single word should be unchanged, got %q", got)
+	}
+}
+
+// Property: pollution never panics and keeps output bounded relative
+// to input (each typo changes length by at most 1).
+func TestPolluteStringBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	m := ErrorModel{MinTypos: 1, MaxTypos: 3, WordSwapProb: 0.5, SevereProb: 0.3}
+	f := func(s string) bool {
+		out := PolluteString(s, m, r)
+		lin, lout := len([]rune(s)), len([]rune(out))
+		return lout >= lin-3 && lout <= lin+3+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldAttrNeverPolluted(t *testing.T) {
+	clean := cleanMovies(t, 50)
+	res, err := Pollute(clean, []Spec{{
+		Path: "movie_database/movies/movie", Prob: 1,
+		Errors: ErrorModel{MinTypos: 3, MaxTypos: 5, TypoProb: 1, DropAttrProb: 0.9},
+	}}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Doc.ElementsByPath("movie_database/movies/movie") {
+		if _, ok := m.Attr(toxgene.GoldAttr); !ok {
+			t.Fatal("gold attribute dropped or polluted")
+		}
+	}
+}

@@ -1,0 +1,496 @@
+// Package freedb synthesizes a FreeDB-like CD corpus. The paper
+// evaluates on data extracted from the FreeDB dump (Data sets 2 and 3);
+// that dump cannot be shipped, so this generator produces discs with
+// the same schema —
+//
+//	<disc>
+//	  <did>…</did> <artist>…</artist> <dtitle>…</dtitle>
+//	  <genre>…</genre> <year>…</year>
+//	  <tracks><title>…</title>…</tracks>
+//	</disc>
+//
+// — and, crucially, the corpus pathologies the paper's precision
+// analysis identifies in Fig. 4(d):
+//
+//   - multi-disc series differing only in a single number, e.g.
+//     "Christmas Songs (CD1)" vs. "Christmas Songs (CD2)", often by
+//     various artists;
+//   - discs whose text failed to enter the database in readable form
+//     (Japanese/Russian mojibake), so only year and genre are usable;
+//   - genuine duplicate submissions of the same CD, sometimes sharing
+//     the FreeDB disc ID and sometimes not.
+//
+// Every disc carries a hidden gold identifier (duplicate submissions
+// share it) and a Category attribute naming its pathology, which the
+// evaluation harness uses for the false-positive taxonomy. SXNM reads
+// neither attribute.
+package freedb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/gen/toxgene"
+	"repro/internal/xmltree"
+)
+
+// CategoryAttr labels each disc with its pathology for the FP
+// taxonomy of Fig. 4(d); values are CategoryNormal etc.
+const CategoryAttr = "x-cat"
+
+// Disc categories.
+const (
+	CategoryNormal     = "normal"
+	CategorySeries     = "series"
+	CategoryVarious    = "various"
+	CategoryUnreadable = "unreadable"
+)
+
+// Options configure corpus synthesis. Rates are fractions of N and
+// should sum to well below 1; the remainder are normal discs.
+type Options struct {
+	N    int
+	Seed int64
+	// DupRate is the fraction of discs that receive one genuine
+	// duplicate submission (sharing the gold ID). The duplicate pair
+	// counts toward N.
+	DupRate float64
+	// ShareDIDRate is the fraction of duplicate submissions that keep
+	// the original's FreeDB disc ID (the rest get fresh IDs).
+	ShareDIDRate float64
+	// SeriesRate is the fraction of discs that belong to a multi-disc
+	// series; each series emits 2–3 discs differing in "(CD n)".
+	SeriesRate float64
+	// UnreadableRate is the fraction of discs with mojibake text.
+	UnreadableRate float64
+	// MissingDIDRate / MissingYearRate / MissingGenreRate drop the
+	// optional elements, matching FreeDB's patchy metadata. Series and
+	// unreadable discs lose their did far more often (see source).
+	MissingDIDRate   float64
+	MissingYearRate  float64
+	MissingGenreRate float64
+	// TracksMin/TracksMax bound the per-disc track count.
+	TracksMin, TracksMax int
+}
+
+// DefaultOptions returns the rates used by the Data set 3 experiments:
+// mostly normal discs with a thin layer of genuine duplicates and the
+// two dominant FP pathologies.
+func DefaultOptions(n int, seed int64) Options {
+	return Options{
+		N:                n,
+		Seed:             seed,
+		DupRate:          0.03,
+		ShareDIDRate:     0.6,
+		SeriesRate:       0.008,
+		UnreadableRate:   0.004,
+		MissingDIDRate:   0.03,
+		MissingYearRate:  0.25,
+		MissingGenreRate: 0.2,
+		TracksMin:        4,
+		TracksMax:        14,
+	}
+}
+
+// CleanOptions returns options for Data set 2's base corpus: distinct
+// clean discs only (duplicates are added afterwards by the dirty
+// generator, one per disc, as in the paper).
+func CleanOptions(n int, seed int64) Options {
+	o := DefaultOptions(n, seed)
+	o.DupRate = 0
+	o.SeriesRate = 0.02
+	o.UnreadableRate = 0.01
+	return o
+}
+
+// Generate synthesizes the corpus.
+func Generate(opts Options) *xmltree.Document {
+	if opts.N < 0 {
+		panic("freedb: negative N")
+	}
+	if opts.TracksMax < opts.TracksMin {
+		opts.TracksMax = opts.TracksMin
+	}
+	g := &generator{
+		opts:   opts,
+		r:      rand.New(rand.NewSource(opts.Seed)),
+		titles: make(map[string]bool),
+	}
+	root := xmltree.NewElement("cds")
+	for g.emitted < opts.N {
+		g.emitDisc(root)
+	}
+	return xmltree.NewDocument(root)
+}
+
+type generator struct {
+	opts    Options
+	r       *rand.Rand
+	emitted int
+	goldSeq int
+	trackID int
+	titles  map[string]bool
+	artists []string
+}
+
+func (g *generator) emitDisc(root *xmltree.Node) {
+	r := g.r
+	switch {
+	case r.Float64() < g.opts.SeriesRate:
+		g.emitSeries(root)
+	case r.Float64() < g.opts.UnreadableRate:
+		g.emitUnreadable(root)
+	case r.Float64() < g.opts.DupRate:
+		g.emitDuplicatePair(root)
+	default:
+		g.emitNormal(root)
+	}
+}
+
+func (g *generator) emitNormal(root *xmltree.Node) {
+	d := g.newDiscData(CategoryNormal)
+	root.AppendChild(g.build(d))
+	g.emitted++
+}
+
+// emitDuplicatePair emits a disc plus one genuine duplicate submission
+// with small textual variations, sharing the gold ID.
+func (g *generator) emitDuplicatePair(root *xmltree.Node) {
+	d := g.newDiscData(CategoryNormal)
+	root.AppendChild(g.build(d))
+	g.emitted++
+	if g.emitted >= g.opts.N {
+		return
+	}
+	dup := d // copy
+	// Resubmissions carry light edits: the artist is retyped more
+	// often than the album title, and neither is usually mangled at
+	// the start — so the title-led key keeps true duplicates adjacent,
+	// and the did-led key contributes few detections of its own (the
+	// paper's "multi-pass cumulates the false positives" asymmetry).
+	dup.artist = typo(g.r, d.artist)
+	if g.r.Float64() < 0.6 {
+		dup.title = typoTail(g.r, d.title)
+	}
+	if g.r.Float64() >= g.opts.ShareDIDRate {
+		dup.did = g.newDID()
+	}
+	dup.tracks = make([]track, len(d.tracks))
+	for i, t := range d.tracks {
+		dup.tracks[i] = track{gold: t.gold, title: typo(g.r, t.title)}
+	}
+	root.AppendChild(g.build(dup))
+	g.emitted++
+}
+
+// emitSeries emits 2–3 discs of a multi-disc set: same artist (often
+// "Various"), titles differing only in the disc number, distinct
+// tracks, distinct gold IDs — the paper's dominant FP source.
+func (g *generator) emitSeries(root *xmltree.Node) {
+	r := g.r
+	base := g.freshTitle()
+	artist := g.artistName()
+	cat := CategorySeries
+	if r.Float64() < 0.6 {
+		artist = "Various"
+		cat = CategorySeries // various-ness is tracked via the artist text
+	}
+	genre := toxgene.Genres[r.Intn(len(toxgene.Genres))]
+	year := g.yearValue()
+	n := 2 + r.Intn(2)
+	for i := 1; i <= n && g.emitted < g.opts.N; i++ {
+		d := discData{
+			gold:   g.newGold(),
+			cat:    cat,
+			did:    g.newDID(),
+			artist: artist,
+			title:  fmt.Sprintf("%s (CD%d)", base, i),
+			genre:  genre,
+			year:   year,
+			tracks: g.newTracks(),
+		}
+		// FreeDB disc IDs are computed from track offsets and are
+		// effectively always present; series discs get distinct ones,
+		// so the did-led key never sorts a series together, while the
+		// title-led key does (the paper's key-1-vs-key-2 asymmetry).
+		if r.Float64() < g.opts.MissingDIDRate {
+			d.did = ""
+		}
+		root.AppendChild(g.build(d))
+		g.emitted++
+	}
+}
+
+// emitUnreadable emits a disc whose text is mojibake; only year and
+// genre carry signal, mirroring the paper's Japanese/Russian entries.
+func (g *generator) emitUnreadable(root *xmltree.Node) {
+	r := g.r
+	// Each corrupted submission renders in one replacement glyph
+	// (different source encodings corrupt differently), so only
+	// same-family discs look alike — without this, transitive closure
+	// would merge every unreadable disc into one giant false cluster.
+	glyph := []byte{'?', '#', '*', '~'}[r.Intn(4)]
+	d := discData{
+		gold:   g.newGold(),
+		cat:    CategoryUnreadable,
+		artist: mojibake(r, glyph),
+		title:  mojibake(r, glyph),
+		genre:  toxgene.Genres[r.Intn(len(toxgene.Genres))],
+		year:   g.yearValue(),
+	}
+	// Corrupted submissions usually lose their disc ID too, so pairs
+	// of unreadable discs compare only on their (identical-looking)
+	// replacement text.
+	if r.Float64() < 0.15 {
+		d.did = g.newDID()
+	}
+	k := g.opts.TracksMin + r.Intn(g.opts.TracksMax-g.opts.TracksMin+1)
+	for i := 0; i < k; i++ {
+		d.tracks = append(d.tracks, track{gold: g.newTrackGold(), title: mojibake(r, glyph)})
+	}
+	root.AppendChild(g.build(d))
+	g.emitted++
+}
+
+type track struct {
+	gold  string
+	title string
+}
+
+type discData struct {
+	gold   string
+	cat    string
+	did    string
+	artist string
+	title  string
+	genre  string
+	year   string
+	tracks []track
+}
+
+func (g *generator) newDiscData(cat string) discData {
+	r := g.r
+	d := discData{
+		gold:   g.newGold(),
+		cat:    cat,
+		did:    g.newDID(),
+		artist: g.artistName(),
+		title:  g.freshTitle(),
+		genre:  toxgene.Genres[r.Intn(len(toxgene.Genres))],
+		year:   g.yearValue(),
+		tracks: g.newTracks(),
+	}
+	if r.Float64() < g.opts.MissingDIDRate {
+		d.did = ""
+	}
+	if r.Float64() < g.opts.MissingYearRate {
+		d.year = ""
+	}
+	if r.Float64() < g.opts.MissingGenreRate {
+		d.genre = ""
+	}
+	return d
+}
+
+func (g *generator) build(d discData) *xmltree.Node {
+	e := xmltree.NewElement("disc")
+	e.SetAttr(toxgene.GoldAttr, d.gold)
+	e.SetAttr(CategoryAttr, d.cat)
+	appendText := func(name, value string) {
+		if value == "" {
+			return
+		}
+		c := xmltree.NewElement(name)
+		c.SetText(value)
+		e.AppendChild(c)
+	}
+	appendText("did", d.did)
+	appendText("artist", d.artist)
+	appendText("dtitle", d.title)
+	appendText("genre", d.genre)
+	appendText("year", d.year)
+	if len(d.tracks) > 0 {
+		tr := xmltree.NewElement("tracks")
+		for _, t := range d.tracks {
+			te := xmltree.NewElement("title")
+			te.SetAttr(toxgene.GoldAttr, t.gold)
+			te.SetText(t.title)
+			tr.AppendChild(te)
+		}
+		e.AppendChild(tr)
+	}
+	return e
+}
+
+func (g *generator) newGold() string {
+	g.goldSeq++
+	return fmt.Sprintf("d%d", g.goldSeq)
+}
+
+func (g *generator) newTrackGold() string {
+	g.trackID++
+	return fmt.Sprintf("tr%d", g.trackID)
+}
+
+// newDID produces an 8-hex-digit FreeDB-style disc ID.
+func (g *generator) newDID() string {
+	return fmt.Sprintf("%08x", g.r.Uint32())
+}
+
+func (g *generator) yearValue() string {
+	return fmt.Sprintf("%d", 1960+g.r.Intn(61))
+}
+
+// artistName draws a disc artist. Artists release multiple albums, so
+// roughly half the discs reuse an artist seen before — which is what
+// makes artist-led keys less precise than disc-ID keys (same-artist
+// discs sort adjacently and have similar object descriptions), and
+// what gives low OD thresholds their false positives in Fig. 6(a).
+func (g *generator) artistName() string {
+	r := g.r
+	if r.Float64() < 0.06 {
+		if r.Float64() < 0.5 {
+			return "Various"
+		}
+		return "Various Artists"
+	}
+	if len(g.artists) > 0 && r.Float64() < 0.5 {
+		return g.artists[r.Intn(len(g.artists))]
+	}
+	name := toxgene.FirstNames[r.Intn(len(toxgene.FirstNames))] + " " +
+		toxgene.LastNames[r.Intn(len(toxgene.LastNames))]
+	g.artists = append(g.artists, name)
+	return name
+}
+
+// freshTitle samples a distinct album title.
+func (g *generator) freshTitle() string {
+	for attempt := 0; ; attempt++ {
+		t := g.titleCandidate()
+		if !g.titles[t] {
+			g.titles[t] = true
+			return t
+		}
+		if attempt > 200 {
+			t = fmt.Sprintf("%s Vol. %d", t, len(g.titles))
+			g.titles[t] = true
+			return t
+		}
+	}
+}
+
+func (g *generator) titleCandidate() string {
+	r := g.r
+	adj := toxgene.TitleAdjectives[r.Intn(len(toxgene.TitleAdjectives))]
+	n1 := toxgene.TitleNouns[r.Intn(len(toxgene.TitleNouns))]
+	w := toxgene.TrackWords[r.Intn(len(toxgene.TrackWords))]
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s %s", adj, n1)
+	case 1:
+		return fmt.Sprintf("%s of %s", w, n1)
+	case 2:
+		return fmt.Sprintf("The %s %s", adj, w)
+	default:
+		return fmt.Sprintf("%s and %s", n1, w)
+	}
+}
+
+func (g *generator) newTracks() []track {
+	r := g.r
+	k := g.opts.TracksMin
+	if g.opts.TracksMax > g.opts.TracksMin {
+		k += r.Intn(g.opts.TracksMax - g.opts.TracksMin + 1)
+	}
+	out := make([]track, k)
+	for i := range out {
+		out[i] = track{gold: g.newTrackGold(), title: g.trackTitle()}
+	}
+	return out
+}
+
+// trackTitle composes a distinctive track title from three word pools;
+// real track lists rarely repeat titles across unrelated albums, and
+// the descendant similarity of Def. 3 depends on that distinctiveness
+// (generic titles would cluster across discs and flood the overlap).
+func (g *generator) trackTitle() string {
+	r := g.r
+	adj := toxgene.TitleAdjectives[r.Intn(len(toxgene.TitleAdjectives))]
+	noun := toxgene.TitleNouns[r.Intn(len(toxgene.TitleNouns))]
+	w := toxgene.TrackWords[r.Intn(len(toxgene.TrackWords))]
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s %s", adj, w)
+	case 1:
+		return fmt.Sprintf("%s of %s", w, noun)
+	case 2:
+		return fmt.Sprintf("%s %s %s", adj, noun, w)
+	default:
+		return fmt.Sprintf("%s in the %s %s", w, adj, noun)
+	}
+}
+
+// typoTail applies one light edit in the second half of the string,
+// leaving key-prefix characters intact.
+func typoTail(r *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) < 4 {
+		return s
+	}
+	half := len(runes) / 2
+	p := half + r.Intn(len(runes)-half-1)
+	switch r.Intn(3) {
+	case 0:
+		runes = append(runes[:p], runes[p+1:]...)
+	case 1:
+		runes = append(runes[:p], append([]rune{rune('a' + r.Intn(26))}, runes[p:]...)...)
+	default:
+		runes[p], runes[p+1] = runes[p+1], runes[p]
+	}
+	return string(runes)
+}
+
+// typo applies one or two light character errors — duplicate
+// submissions differ by small edits, not the dirty generator's heavier
+// pollution.
+func typo(r *rand.Rand, s string) string {
+	if s == "" {
+		return s
+	}
+	runes := []rune(s)
+	n := 1 + r.Intn(2)
+	for i := 0; i < n && len(runes) > 1; i++ {
+		p := r.Intn(len(runes) - 1)
+		switch r.Intn(3) {
+		case 0:
+			runes = append(runes[:p], runes[p+1:]...)
+		case 1:
+			runes = append(runes[:p], append([]rune{rune('a' + r.Intn(26))}, runes[p:]...)...)
+		default:
+			runes[p], runes[p+1] = runes[p+1], runes[p]
+		}
+	}
+	return string(runes)
+}
+
+// mojibake renders a short run of replacement characters, the way
+// non-Latin submissions appear in a corrupted FreeDB dump. Runs of one
+// glyph make two same-family unreadable discs look near-identical to a
+// string similarity — the mechanism behind the paper's second
+// false-positive class — while varying word counts and lengths keep
+// dissimilar pairs apart.
+func mojibake(r *rand.Rand, glyph byte) string {
+	words := 1 + r.Intn(4)
+	var b strings.Builder
+	for w := 0; w < words; w++ {
+		if w > 0 {
+			b.WriteByte(' ')
+		}
+		k := 2 + r.Intn(9)
+		for i := 0; i < k; i++ {
+			b.WriteByte(glyph)
+		}
+	}
+	return b.String()
+}

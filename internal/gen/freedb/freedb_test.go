@@ -1,0 +1,217 @@
+package freedb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen/toxgene"
+	"repro/internal/xmltree"
+)
+
+func TestGenerateCount(t *testing.T) {
+	doc := Generate(DefaultOptions(500, 42))
+	discs := doc.ElementsByPath("cds/disc")
+	if len(discs) != 500 {
+		t.Fatalf("discs = %d, want 500", len(discs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultOptions(200, 7))
+	b := Generate(DefaultOptions(200, 7))
+	if a.String() != b.String() {
+		t.Error("same seed must generate identical corpora")
+	}
+}
+
+func TestDiscSchema(t *testing.T) {
+	doc := Generate(DefaultOptions(300, 1))
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		if _, ok := d.Attr(toxgene.GoldAttr); !ok {
+			t.Fatal("disc without gold id")
+		}
+		if _, ok := d.Attr(CategoryAttr); !ok {
+			t.Fatal("disc without category")
+		}
+		if d.FirstChildElement("artist") == nil {
+			t.Fatal("disc without artist")
+		}
+		if d.FirstChildElement("dtitle") == nil {
+			t.Fatal("disc without dtitle")
+		}
+		if tr := d.FirstChildElement("tracks"); tr != nil {
+			for _, title := range tr.ChildElements("title") {
+				if title.Text() == "" {
+					t.Fatal("empty track title")
+				}
+				if _, ok := title.Attr(toxgene.GoldAttr); !ok {
+					t.Fatal("track title without gold id")
+				}
+			}
+		}
+	}
+}
+
+func TestPlantedDuplicatesShareGold(t *testing.T) {
+	opts := DefaultOptions(2000, 3)
+	opts.DupRate = 0.1
+	doc := Generate(opts)
+	count := map[string]int{}
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		g, _ := d.Attr(toxgene.GoldAttr)
+		count[g]++
+	}
+	pairs := 0
+	for _, c := range count {
+		if c > 2 {
+			t.Errorf("gold id repeated %d times, want at most 2", c)
+		}
+		if c == 2 {
+			pairs++
+		}
+	}
+	if pairs < 50 {
+		t.Errorf("only %d duplicate pairs planted, expected many at rate 0.1", pairs)
+	}
+}
+
+func TestCleanOptionsNoDuplicates(t *testing.T) {
+	doc := Generate(CleanOptions(500, 5))
+	seen := map[string]bool{}
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		g, _ := d.Attr(toxgene.GoldAttr)
+		if seen[g] {
+			t.Fatalf("clean corpus contains duplicate gold %q", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestSeriesPathology(t *testing.T) {
+	opts := DefaultOptions(3000, 11)
+	opts.SeriesRate = 0.1
+	doc := Generate(opts)
+	series := 0
+	cdNumbered := 0
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		cat, _ := d.Attr(CategoryAttr)
+		if cat != CategorySeries {
+			continue
+		}
+		series++
+		title := d.FirstChildElement("dtitle").Text()
+		if strings.Contains(title, "(CD") {
+			cdNumbered++
+		}
+	}
+	if series == 0 {
+		t.Fatal("no series discs generated")
+	}
+	if cdNumbered != series {
+		t.Errorf("series discs without (CDn) suffix: %d of %d", series-cdNumbered, series)
+	}
+}
+
+func TestSeriesDiscsAreDistinctObjects(t *testing.T) {
+	opts := DefaultOptions(2000, 13)
+	opts.SeriesRate = 0.1
+	opts.DupRate = 0
+	doc := Generate(opts)
+	seen := map[string]bool{}
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		g, _ := d.Attr(toxgene.GoldAttr)
+		if seen[g] {
+			t.Fatal("series discs must have distinct gold ids")
+		}
+		seen[g] = true
+	}
+}
+
+func TestUnreadablePathology(t *testing.T) {
+	opts := DefaultOptions(3000, 17)
+	opts.UnreadableRate = 0.1
+	doc := Generate(opts)
+	unreadable := 0
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		cat, _ := d.Attr(CategoryAttr)
+		if cat != CategoryUnreadable {
+			continue
+		}
+		unreadable++
+		artist := d.FirstChildElement("artist").Text()
+		for _, r := range artist {
+			if r != '?' && r != '#' && r != '*' && r != '~' && r != ' ' {
+				t.Fatalf("unreadable artist contains readable rune %q: %s", r, artist)
+			}
+		}
+	}
+	if unreadable == 0 {
+		t.Fatal("no unreadable discs generated")
+	}
+}
+
+func TestDIDPresence(t *testing.T) {
+	opts := DefaultOptions(3000, 19)
+	opts.SeriesRate = 0.15
+	opts.UnreadableRate = 0.1
+	doc := Generate(opts)
+	seriesTotal, seriesWithDID := 0, 0
+	unreadableTotal, unreadableWithDID := 0, 0
+	for _, d := range doc.ElementsByPath("cds/disc") {
+		cat, _ := d.Attr(CategoryAttr)
+		hasDID := d.FirstChildElement("did") != nil
+		switch cat {
+		case CategorySeries:
+			seriesTotal++
+			if hasDID {
+				seriesWithDID++
+			}
+		case CategoryUnreadable:
+			unreadableTotal++
+			if hasDID {
+				unreadableWithDID++
+			}
+		}
+	}
+	if seriesTotal == 0 || unreadableTotal == 0 {
+		t.Fatal("missing pathology discs")
+	}
+	// FreeDB disc IDs come from track offsets: series discs keep them
+	// (so the did-led key never sorts a series together) while
+	// corrupted submissions usually lose them.
+	if float64(seriesWithDID)/float64(seriesTotal) < 0.8 {
+		t.Errorf("series discs with did: %d/%d, expected vast majority", seriesWithDID, seriesTotal)
+	}
+	if float64(unreadableWithDID)/float64(unreadableTotal) > 0.4 {
+		t.Errorf("unreadable discs with did: %d/%d, expected few", unreadableWithDID, unreadableTotal)
+	}
+}
+
+func TestTypoChangesStrings(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if typo(r, "Silent River") != "Silent River" {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Errorf("typo changed only %d/100", changed)
+	}
+	if typo(r, "") != "" {
+		t.Error("typo on empty string must be empty")
+	}
+}
+
+func TestNodeIDsUnique(t *testing.T) {
+	doc := Generate(DefaultOptions(500, 23))
+	seen := map[int]bool{}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if seen[n.ID] {
+			t.Fatalf("duplicate node id %d", n.ID)
+		}
+		seen[n.ID] = true
+		return true
+	})
+}

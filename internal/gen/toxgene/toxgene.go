@@ -1,0 +1,167 @@
+// Package toxgene is this reproduction's stand-in for the ToXGene
+// template-based XML generator the paper uses to produce clean data
+// sets (Sec. 4.1). It provides a small declarative template model —
+// element specs with child cardinalities, attribute generators, and
+// text generators — driven by a seeded PRNG so every data set is
+// reproducible, plus ready-made templates for the paper's movie schema
+// (template_movies.go).
+//
+// Every generated object that experiments need to track carries a
+// unique gold identifier in the GoldAttr attribute; SXNM never reads
+// it (no configuration references it) while the evaluation harness
+// uses it as ground truth, mirroring the paper's use of "unique IDs
+// of the clean data objects".
+package toxgene
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// GoldAttr is the attribute carrying the hidden ground-truth object
+// identity on generated elements.
+const GoldAttr = "x-gold"
+
+// TextGen produces a text value; implementations draw from the
+// provided PRNG only, keeping generation deterministic per seed.
+type TextGen func(r *rand.Rand) string
+
+// AttrSpec generates one attribute. If Optional is non-zero the
+// attribute is omitted with that probability (modelling the missing
+// years the paper blames for badly sorted keys).
+type AttrSpec struct {
+	Name     string
+	Gen      TextGen
+	Optional float64
+}
+
+// ChildSpec nests a child element spec with a cardinality range.
+type ChildSpec struct {
+	Spec     *Spec
+	Min, Max int
+	// Optional is an extra probability of omitting the child entirely,
+	// applied before the cardinality draw.
+	Optional float64
+}
+
+// Spec describes one element type of a template.
+type Spec struct {
+	Name     string
+	Attrs    []AttrSpec
+	Children []ChildSpec
+	Text     TextGen
+	// Gold assigns the gold identifier; when non-nil the generated
+	// element receives a GoldAttr attribute with its value.
+	Gold func(seq int) string
+}
+
+// Generate materializes count instances of spec under a fresh root
+// element with the given name, using a PRNG seeded with seed.
+func Generate(rootName string, spec *Spec, count int, seed int64) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	root := xmltree.NewElement(rootName)
+	seq := newSequencer()
+	for i := 0; i < count; i++ {
+		root.AppendChild(instantiate(spec, r, seq))
+	}
+	return xmltree.NewDocument(root)
+}
+
+// GenerateInto appends count instances of spec to an existing parent;
+// useful for templates whose root nests intermediate containers.
+func GenerateInto(parent *xmltree.Node, spec *Spec, count int, r *rand.Rand) {
+	seq := newSequencer()
+	for i := 0; i < count; i++ {
+		parent.AppendChild(instantiate(spec, r, seq))
+	}
+}
+
+// sequencer hands out per-spec-name sequence numbers for gold IDs.
+type sequencer struct{ next map[string]int }
+
+func newSequencer() *sequencer { return &sequencer{next: make(map[string]int)} }
+
+func (s *sequencer) take(name string) int {
+	n := s.next[name]
+	s.next[name] = n + 1
+	return n
+}
+
+func instantiate(spec *Spec, r *rand.Rand, seq *sequencer) *xmltree.Node {
+	e := xmltree.NewElement(spec.Name)
+	if spec.Gold != nil {
+		e.SetAttr(GoldAttr, spec.Gold(seq.take(spec.Name)))
+	}
+	for _, a := range spec.Attrs {
+		if a.Optional > 0 && r.Float64() < a.Optional {
+			continue
+		}
+		e.SetAttr(a.Name, a.Gen(r))
+	}
+	if spec.Text != nil {
+		e.SetText(spec.Text(r))
+	}
+	for _, c := range spec.Children {
+		if c.Optional > 0 && r.Float64() < c.Optional {
+			continue
+		}
+		n := c.Min
+		if c.Max > c.Min {
+			n += r.Intn(c.Max - c.Min + 1)
+		}
+		for i := 0; i < n; i++ {
+			e.AppendChild(instantiate(c.Spec, r, seq))
+		}
+	}
+	return e
+}
+
+// Const returns a TextGen that always produces s.
+func Const(s string) TextGen {
+	return func(*rand.Rand) string { return s }
+}
+
+// Choice returns a TextGen drawing uniformly from options.
+func Choice(options ...string) TextGen {
+	if len(options) == 0 {
+		panic("toxgene: Choice needs at least one option")
+	}
+	return func(r *rand.Rand) string { return options[r.Intn(len(options))] }
+}
+
+// IntRange returns a TextGen producing a decimal integer in [lo, hi].
+func IntRange(lo, hi int) TextGen {
+	if hi < lo {
+		panic(fmt.Sprintf("toxgene: IntRange %d > %d", lo, hi))
+	}
+	return func(r *rand.Rand) string {
+		return fmt.Sprintf("%d", lo+r.Intn(hi-lo+1))
+	}
+}
+
+// Compose joins the outputs of several generators with sep.
+func Compose(sep string, gens ...TextGen) TextGen {
+	return func(r *rand.Rand) string {
+		out := ""
+		for i, g := range gens {
+			if i > 0 {
+				out += sep
+			}
+			out += g(r)
+		}
+		return out
+	}
+}
+
+// Unique wraps a generator and suffixes a counter so that every
+// produced value is distinct — used for titles, whose collisions would
+// otherwise create accidental true duplicates in "clean" data.
+func Unique(g TextGen) TextGen {
+	n := 0
+	return func(r *rand.Rand) string {
+		n++
+		return fmt.Sprintf("%s %d", g(r), n)
+	}
+}

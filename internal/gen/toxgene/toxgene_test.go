@@ -1,0 +1,214 @@
+package toxgene
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := &Spec{
+		Name: "item",
+		Text: Choice("a", "b", "c"),
+		Attrs: []AttrSpec{
+			{Name: "n", Gen: IntRange(1, 100)},
+		},
+	}
+	d1 := Generate("root", spec, 20, 42)
+	d2 := Generate("root", spec, 20, 42)
+	if d1.String() != d2.String() {
+		t.Error("same seed must produce identical documents")
+	}
+	d3 := Generate("root", spec, 20, 43)
+	if d1.String() == d3.String() {
+		t.Error("different seeds should produce different documents")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	child := &Spec{Name: "c", Text: Const("x")}
+	spec := &Spec{
+		Name:     "p",
+		Children: []ChildSpec{{Spec: child, Min: 2, Max: 4}},
+	}
+	doc := Generate("root", spec, 50, 7)
+	for _, p := range doc.Root.ChildElements("p") {
+		n := len(p.ChildElements("c"))
+		if n < 2 || n > 4 {
+			t.Fatalf("child count %d outside [2,4]", n)
+		}
+	}
+}
+
+func TestOptionalChildAndAttr(t *testing.T) {
+	child := &Spec{Name: "c", Text: Const("x")}
+	spec := &Spec{
+		Name:     "p",
+		Attrs:    []AttrSpec{{Name: "a", Gen: Const("v"), Optional: 0.5}},
+		Children: []ChildSpec{{Spec: child, Min: 1, Max: 1, Optional: 0.5}},
+	}
+	doc := Generate("root", spec, 200, 11)
+	withAttr, withChild := 0, 0
+	ps := doc.Root.ChildElements("p")
+	for _, p := range ps {
+		if _, ok := p.Attr("a"); ok {
+			withAttr++
+		}
+		if len(p.ChildElements("c")) > 0 {
+			withChild++
+		}
+	}
+	if withAttr == 0 || withAttr == len(ps) {
+		t.Errorf("optional attr present on %d/%d, want strictly between", withAttr, len(ps))
+	}
+	if withChild == 0 || withChild == len(ps) {
+		t.Errorf("optional child present on %d/%d", withChild, len(ps))
+	}
+}
+
+func TestGoldSequencing(t *testing.T) {
+	spec := &Spec{
+		Name: "obj",
+		Text: Const("x"),
+		Gold: func(seq int) string { return "g" + string(rune('0'+seq%10)) },
+	}
+	doc := Generate("root", spec, 3, 1)
+	objs := doc.Root.ChildElements("obj")
+	for i, o := range objs {
+		want := "g" + string(rune('0'+i))
+		if got, _ := o.Attr(GoldAttr); got != want {
+			t.Errorf("gold[%d] = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestTextGenHelpers(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if Const("x")(r) != "x" {
+		t.Error("Const broken")
+	}
+	for i := 0; i < 20; i++ {
+		v := Choice("a", "b")(r)
+		if v != "a" && v != "b" {
+			t.Errorf("Choice produced %q", v)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v := IntRange(5, 7)(r)
+		if v != "5" && v != "6" && v != "7" {
+			t.Errorf("IntRange produced %q", v)
+		}
+	}
+	if got := Compose("-", Const("a"), Const("b"))(r); got != "a-b" {
+		t.Errorf("Compose = %q", got)
+	}
+	u := Unique(Const("t"))
+	if u(r) == u(r) {
+		t.Error("Unique must produce distinct values")
+	}
+}
+
+func TestChoicePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Choice()
+}
+
+func TestIntRangePanicsInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	IntRange(5, 1)
+}
+
+func TestMoviesSchema(t *testing.T) {
+	doc := Movies(100, 42)
+	movies := doc.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 100 {
+		t.Fatalf("got %d movies, want 100", len(movies))
+	}
+	titlePath := xpath.MustCompile("title/text()")
+	for _, m := range movies {
+		if _, ok := m.Attr(GoldAttr); !ok {
+			t.Fatal("movie without gold id")
+		}
+		if _, ok := m.Attr("length"); !ok {
+			t.Fatal("movie without length")
+		}
+		if titlePath.First(m) == "" {
+			t.Fatal("movie without title text")
+		}
+		people := m.FirstChildElement("people")
+		if people == nil || len(people.ChildElements("person")) == 0 {
+			t.Fatal("movie without persons")
+		}
+		for _, p := range people.ChildElements("person") {
+			if p.FirstChildElement("lastname") == nil {
+				t.Fatal("person without lastname")
+			}
+			if len(p.ChildElements("firstname")) == 0 {
+				t.Fatal("person without firstname")
+			}
+		}
+	}
+}
+
+func TestMoviesGoldUnique(t *testing.T) {
+	doc := Movies(500, 1)
+	seen := map[string]bool{}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if g, ok := n.Attr(GoldAttr); ok {
+			if seen[g] {
+				t.Fatalf("gold id %q repeated in clean data", g)
+			}
+			seen[g] = true
+		}
+		return true
+	})
+}
+
+func TestMoviesTitlesDistinct(t *testing.T) {
+	doc := Movies(2000, 3)
+	titles := map[string]bool{}
+	for _, m := range doc.ElementsByPath("movie_database/movies/movie") {
+		primary := m.FirstChildElement("title").Text()
+		if titles[primary] {
+			t.Fatalf("clean data contains duplicate primary title %q", primary)
+		}
+		titles[primary] = true
+	}
+}
+
+func TestMoviesSomeYearsMissing(t *testing.T) {
+	doc := Movies(2000, 5)
+	missing := 0
+	for _, m := range doc.ElementsByPath("movie_database/movies/movie") {
+		if _, ok := m.Attr("year"); !ok {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Error("expected some movies without year")
+	}
+	if missing > 200 {
+		t.Errorf("too many missing years: %d/2000", missing)
+	}
+}
+
+func TestMoviesDeterministic(t *testing.T) {
+	a, b := Movies(50, 9), Movies(50, 9)
+	if a.String() != b.String() {
+		t.Error("Movies not deterministic per seed")
+	}
+	if !strings.Contains(a.String(), "<movie_database>") {
+		t.Error("unexpected serialization")
+	}
+}

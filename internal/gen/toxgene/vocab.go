@@ -1,0 +1,97 @@
+package toxgene
+
+// Vocabulary for the synthetic generators. The lists are large enough
+// that combinatorial sampling yields realistic, mostly-distinct values.
+
+// FirstNames is a pool of person first names.
+var FirstNames = []string{
+	"James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+	"Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Keanu",
+	"Carrie", "Laurence", "Hugo", "Antonio", "Catherine", "Bruce", "Madeleine",
+	"Harrison", "Sigourney", "Ridley", "Sofia", "Quentin", "Uma", "Samuel",
+	"Scarlett", "Denzel", "Meryl", "Anthony", "Jodie", "Gary", "Natalie",
+	"Morgan", "Angela", "Clint", "Diane", "Sean", "Audrey", "Peter", "Ingrid",
+	"Marcello", "Giulietta", "Akira", "Toshiro", "Setsuko", "Jean", "Anna",
+	"Klaus", "Hanna", "Pedro", "Penelope", "Javier", "Marion", "Vincent",
+	"Juliette", "Daniel", "Kate", "Leonardo", "Cate", "Joaquin", "Rooney",
+	"Adam", "Greta", "Wes", "Tilda", "Frances", "Ethan", "Julianne", "Oscar",
+	"Viola", "Mahershala",
+}
+
+// LastNames is a pool of person last names.
+var LastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Reeves", "Moss", "Fishburne", "Weaving", "Banderas", "Zeta-Jones",
+	"Willis", "Stowe", "Ford", "Weaver", "Scott", "Coppola", "Tarantino",
+	"Thurman", "Jackson", "Johansson", "Washington", "Streep", "Hopkins",
+	"Foster", "Oldman", "Portman", "Freeman", "Bassett", "Eastwood",
+	"Keaton", "Connery", "Hepburn", "Lorre", "Bergman", "Mastroianni",
+	"Masina", "Kurosawa", "Mifune", "Hara", "Gabin", "Karina", "Kinski",
+	"Schygulla", "Almodovar", "Cruz", "Bardem", "Cotillard", "Cassel",
+	"Binoche", "Day-Lewis", "Winslet", "DiCaprio", "Blanchett", "Phoenix",
+	"Mara", "Driver", "Gerwig", "Anderson", "Swinton", "McDormand", "Hawke",
+	"Moore", "Isaac", "Davis", "Ali",
+}
+
+// TitleAdjectives feed the synthetic movie- and album-title patterns.
+var TitleAdjectives = []string{
+	"Dark", "Silent", "Golden", "Broken", "Hidden", "Lost", "Eternal",
+	"Crimson", "Frozen", "Burning", "Sacred", "Savage", "Gentle", "Wild",
+	"Quiet", "Distant", "Forgotten", "Electric", "Hollow", "Iron",
+	"Invisible", "Final", "First", "Last", "Scarlet", "Pale", "Emerald",
+	"Wicked", "Brave", "Bitter", "Sweet", "Endless", "Ancient", "Modern",
+	"Restless", "Velvet", "Rising", "Falling", "Shattered", "Luminous",
+	"Midnight", "Northern", "Southern", "Western", "Stolen", "Secret",
+	"Perfect", "Strange", "Glass", "Stone",
+}
+
+// TitleNouns feed the synthetic title patterns.
+var TitleNouns = []string{
+	"River", "Mountain", "City", "Ocean", "Forest", "Desert", "Island",
+	"Shadow", "Light", "Storm", "Fire", "Rain", "Snow", "Wind", "Thunder",
+	"Dream", "Memory", "Promise", "Secret", "Journey", "Voyage", "Return",
+	"Escape", "Hunt", "Chase", "Game", "War", "Peace", "Love", "Betrayal",
+	"Revenge", "Redemption", "Sacrifice", "Destiny", "Fortune", "Empire",
+	"Kingdom", "Garden", "Harbor", "Bridge", "Tower", "Castle", "Temple",
+	"Mirror", "Window", "Door", "Road", "Path", "Horizon", "Eclipse",
+	"Dawn", "Dusk", "Night", "Winter", "Summer", "Autumn", "Spring",
+	"Heart", "Soul", "Mind",
+}
+
+// Genres is the pool of CD genres (FreeDB's eleven categories plus a
+// few common freeform ones).
+var Genres = []string{
+	"blues", "classical", "country", "data", "folk", "jazz", "misc",
+	"newage", "reggae", "rock", "soundtrack", "pop", "electronic", "metal",
+}
+
+// ReviewSnippets feed <review> text nodes in the movie template.
+var ReviewSnippets = []string{
+	"A stunning achievement in modern cinema.",
+	"The plot meanders but the performances shine.",
+	"An unforgettable journey from start to finish.",
+	"Beautifully shot, poorly paced.",
+	"A masterclass in tension and atmosphere.",
+	"The soundtrack alone is worth the ticket.",
+	"Ambitious, flawed, and utterly compelling.",
+	"A quiet film that rewards patience.",
+	"Spectacular visuals anchored by a strong script.",
+	"The ending divides audiences to this day.",
+	"A genre classic that still holds up.",
+	"Overlong, but the final act redeems it.",
+}
+
+// TrackWords feed synthetic track titles on CD discs.
+var TrackWords = []string{
+	"Intro", "Overture", "Prelude", "Interlude", "Reprise", "Finale",
+	"Sunrise", "Moonlight", "Starlight", "Daybreak", "Nightfall", "Twilight",
+	"Heartbeat", "Echoes", "Whispers", "Silence", "Noise", "Static",
+	"Gravity", "Velocity", "Momentum", "Orbit", "Satellite", "Comet",
+	"Roses", "Thorns", "Petals", "Branches", "Roots", "Leaves",
+	"Highway", "Backstreet", "Avenue", "Boulevard", "Crossroads", "Detour",
+	"Tides", "Waves", "Currents", "Undertow", "Driftwood", "Shoreline",
+	"Embers", "Ashes", "Sparks", "Flames", "Smoke", "Lanterns",
+}

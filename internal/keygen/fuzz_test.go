@@ -1,0 +1,26 @@
+package keygen
+
+import "testing"
+
+// FuzzCompilePattern checks the key pattern compiler never panics and
+// that accepted patterns apply safely to arbitrary values.
+func FuzzCompilePattern(f *testing.F) {
+	f.Add("K1-K5", "The Matrix")
+	f.Add("D3,D4", "1998")
+	f.Add("C1,C2", "")
+	f.Add("S", "Robert")
+	f.Add("K1-5,S,D1", "mixed 123 value")
+	f.Add("", "x")
+	f.Add("Z9", "x")
+	f.Add("K1-", "x")
+	f.Fuzz(func(t *testing.T, pattern, value string) {
+		p, err := Compile(pattern)
+		if err != nil {
+			return
+		}
+		out := p.Apply(value)
+		if len([]rune(out)) > p.MaxLen() {
+			t.Fatalf("Apply(%q, %q) = %q longer than MaxLen %d", pattern, value, out, p.MaxLen())
+		}
+	})
+}

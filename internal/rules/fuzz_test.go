@@ -1,0 +1,24 @@
+package rules
+
+import "testing"
+
+// FuzzCompileRule checks the equational-theory compiler never panics
+// and that accepted rules evaluate safely on arbitrary similarity
+// vectors.
+func FuzzCompileRule(f *testing.F) {
+	f.Add("sim(1) >= 0.9", 0.5, 0.5, true)
+	f.Add("od >= 0.8 and (desc > 0.3 or not present(3))", 1.0, 0.0, false)
+	f.Add("hasdesc || sim(3) != 1", 0.2, 0.9, true)
+	f.Add("((", 0.0, 0.0, false)
+	f.Add("sim(1) >= 0.9 and", 0.0, 0.0, false)
+	f.Add("not not not od < .5", 0.7, 0.1, true)
+	f.Fuzz(func(t *testing.T, expr string, a, d float64, hasDesc bool) {
+		cand := testCandidate()
+		r, err := Compile(expr, cand)
+		if err != nil {
+			return
+		}
+		_ = r.Evaluate([]float64{a, a / 2}, a, d, hasDesc)
+		_ = r.Evaluate(nil, a, d, hasDesc)
+	})
+}

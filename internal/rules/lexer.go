@@ -1,0 +1,164 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates the lexical classes of the rule language.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokOp  // >= > <= < == !=
+	tokAnd // and, &&
+	tokOr  // or, ||
+	tokNot // not, !
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+	err    error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) run() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == '>' || c == '<':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokOp, l.src[l.pos:l.pos+2])
+			} else {
+				l.emit(tokOp, string(c))
+			}
+		case c == '=':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokOp, "==")
+			} else {
+				l.fail("unexpected '='; use '=='")
+				return
+			}
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokOp, "!=")
+			} else {
+				l.emit(tokNot, "!")
+			}
+		case c == '&':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '&' {
+				l.emit(tokAnd, "&&")
+			} else {
+				l.fail("unexpected '&'; use '&&'")
+				return
+			}
+		case c == '|':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '|' {
+				l.emit(tokOr, "||")
+			} else {
+				l.fail("unexpected '|'; use '||'")
+				return
+			}
+		case c >= '0' && c <= '9' || c == '.':
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)):
+			l.lexIdent()
+		default:
+			l.fail(fmt.Sprintf("unexpected character %q", c))
+			return
+		}
+		if l.err != nil {
+			return
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: l.pos})
+	l.pos += len(text)
+}
+
+func (l *lexer) fail(msg string) {
+	l.err = fmt.Errorf("position %d: %s", l.pos, msg)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	dots := 0
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			dots++
+			if dots > 1 {
+				l.fail("malformed number")
+				return
+			}
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if text == "." {
+		l.fail("malformed number")
+		return
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: text, pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	kind := tokIdent
+	switch strings.ToLower(word) {
+	case "and":
+		kind = tokAnd
+	case "or":
+		kind = tokOr
+	case "not":
+		kind = tokNot
+	}
+	l.tokens = append(l.tokens, token{kind: kind, text: word, pos: start})
+}

@@ -1,0 +1,260 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/similarity"
+)
+
+// boolExpr is a compiled boolean expression node.
+type boolExpr interface {
+	eval(ctx *evalContext) bool
+}
+
+// numExpr is a compiled numeric term.
+type numExpr interface {
+	value(ctx *evalContext) float64
+}
+
+type andExpr struct{ l, r boolExpr }
+
+func (e andExpr) eval(ctx *evalContext) bool { return e.l.eval(ctx) && e.r.eval(ctx) }
+
+type orExpr struct{ l, r boolExpr }
+
+func (e orExpr) eval(ctx *evalContext) bool { return e.l.eval(ctx) || e.r.eval(ctx) }
+
+type notExpr struct{ e boolExpr }
+
+func (e notExpr) eval(ctx *evalContext) bool { return !e.e.eval(ctx) }
+
+// cmpExpr compares a numeric term against a constant.
+type cmpExpr struct {
+	term numExpr
+	op   string
+	num  float64
+}
+
+func (e cmpExpr) eval(ctx *evalContext) bool {
+	v := e.term.value(ctx)
+	switch e.op {
+	case ">=":
+		return v >= e.num
+	case ">":
+		return v > e.num
+	case "<=":
+		return v <= e.num
+	case "<":
+		return v < e.num
+	case "==":
+		return v == e.num
+	case "!=":
+		return v != e.num
+	}
+	return false
+}
+
+// simTerm reads the similarity of one OD field; an absent field (both
+// sides missing) evaluates to 0 so comparisons behave predictably —
+// use present(P) to branch on absence explicitly.
+type simTerm struct{ idx int }
+
+func (t simTerm) value(ctx *evalContext) float64 {
+	if t.idx >= len(ctx.fieldSims) {
+		return 0
+	}
+	v := ctx.fieldSims[t.idx]
+	if v == similarity.FieldAbsent {
+		return 0
+	}
+	return v
+}
+
+type odTerm struct{}
+
+func (odTerm) value(ctx *evalContext) float64 { return ctx.odSim }
+
+type descTerm struct{}
+
+func (descTerm) value(ctx *evalContext) float64 {
+	if !ctx.hasDesc {
+		return 0
+	}
+	return ctx.descSim
+}
+
+// presentExpr is the boolean atom present(P).
+type presentExpr struct{ idx int }
+
+func (e presentExpr) eval(ctx *evalContext) bool {
+	return e.idx < len(ctx.fieldSims) && ctx.fieldSims[e.idx] != similarity.FieldAbsent
+}
+
+// hasDescExpr is the boolean atom hasdesc.
+type hasDescExpr struct{}
+
+func (hasDescExpr) eval(ctx *evalContext) bool { return ctx.hasDesc }
+
+// parser is a recursive-descent parser over the lexer's token stream.
+type parser struct {
+	lex      *lexer
+	i        int
+	fieldIdx map[int]int
+}
+
+func (p *parser) parse() (boolExpr, error) {
+	if p.lex.err != nil {
+		return nil, p.lex.err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, fmt.Errorf("position %d: unexpected %s", tok.pos, tok)
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token { return p.lex.tokens[p.i] }
+
+func (p *parser) next() token {
+	t := p.lex.tokens[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (boolExpr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (boolExpr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (boolExpr, error) {
+	if p.peek().kind == tokNot {
+		p.next()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (boolExpr, error) {
+	tok := p.peek()
+	switch tok.kind {
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != tokRParen {
+			return nil, fmt.Errorf("position %d: expected ')', got %s", closing.pos, closing)
+		}
+		return e, nil
+	case tokIdent:
+		return p.parseAtom()
+	}
+	return nil, fmt.Errorf("position %d: expected a term, got %s", tok.pos, tok)
+}
+
+// parseAtom handles sim(P)/od/desc comparisons and the boolean atoms
+// present(P) and hasdesc.
+func (p *parser) parseAtom() (boolExpr, error) {
+	tok := p.next()
+	name := strings.ToLower(tok.text)
+	switch name {
+	case "hasdesc":
+		return hasDescExpr{}, nil
+	case "present":
+		idx, err := p.parseFieldRef(tok)
+		if err != nil {
+			return nil, err
+		}
+		return presentExpr{idx: idx}, nil
+	case "sim":
+		idx, err := p.parseFieldRef(tok)
+		if err != nil {
+			return nil, err
+		}
+		return p.parseComparison(simTerm{idx: idx})
+	case "od":
+		return p.parseComparison(odTerm{})
+	case "desc":
+		return p.parseComparison(descTerm{})
+	}
+	return nil, fmt.Errorf("position %d: unknown term %q (want sim(P), od, desc, present(P), hasdesc)", tok.pos, tok.text)
+}
+
+// parseFieldRef parses "(P)" after sim/present and resolves the PATH
+// id to the OD field index.
+func (p *parser) parseFieldRef(where token) (int, error) {
+	if t := p.next(); t.kind != tokLParen {
+		return 0, fmt.Errorf("position %d: %s needs a PATH id argument, got %s", where.pos, where.text, t)
+	}
+	numTok := p.next()
+	if numTok.kind != tokNumber {
+		return 0, fmt.Errorf("position %d: expected PATH id, got %s", numTok.pos, numTok)
+	}
+	pid, err := strconv.Atoi(numTok.text)
+	if err != nil {
+		return 0, fmt.Errorf("position %d: PATH id must be an integer, got %q", numTok.pos, numTok.text)
+	}
+	if t := p.next(); t.kind != tokRParen {
+		return 0, fmt.Errorf("position %d: expected ')', got %s", t.pos, t)
+	}
+	idx, ok := p.fieldIdx[pid]
+	if !ok {
+		return 0, fmt.Errorf("position %d: PATH id %d is not in the candidate's object description", numTok.pos, pid)
+	}
+	return idx, nil
+}
+
+func (p *parser) parseComparison(term numExpr) (boolExpr, error) {
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return nil, fmt.Errorf("position %d: expected comparison operator, got %s", opTok.pos, opTok)
+	}
+	numTok := p.next()
+	if numTok.kind != tokNumber {
+		return nil, fmt.Errorf("position %d: expected number, got %s", numTok.pos, numTok)
+	}
+	num, err := strconv.ParseFloat(numTok.text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("position %d: malformed number %q", numTok.pos, numTok.text)
+	}
+	return cmpExpr{term: term, op: opTok.text, num: num}, nil
+}

@@ -1,0 +1,177 @@
+// Package rules implements the equational theory the paper's outlook
+// (Sec. 5) envisions for SXNM: instead of comparing a single aggregated
+// similarity against one threshold, a domain expert writes a boolean
+// expression over the per-field similarities, e.g.
+//
+//	sim(1) >= 0.9 and (sim(3) >= 0.8 or desc >= 0.5)
+//
+// Terms:
+//
+//	sim(P)     similarity of the OD entry whose PATH id is P
+//	od         the aggregated Definition-2 OD similarity
+//	desc       the Definition-3 descendants similarity
+//	present(P) true when both elements carry a value for PATH id P
+//	hasdesc    true when descendant information is available
+//
+// Operators: >=, >, <=, <, ==, != on numeric terms; and/or/not (also
+// &&, ||, !) on boolean expressions; parentheses group. Keywords are
+// case-insensitive.
+//
+// A compiled rule binds to one candidate's configuration (it resolves
+// PATH ids to field positions) and plugs into the engine via
+// core.Options.FieldRule or the convenience Apply.
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// Rule is a compiled equational-theory expression for one candidate.
+type Rule struct {
+	candidate string
+	expr      boolExpr
+	fieldIdx  map[int]int // PATH id -> OD field index
+	src       string
+}
+
+// String returns the rule source.
+func (r *Rule) String() string { return r.src }
+
+// Candidate returns the name of the candidate the rule is bound to.
+func (r *Rule) Candidate() string { return r.candidate }
+
+// evalContext carries one pair comparison's measurements.
+type evalContext struct {
+	fieldSims []float64
+	fieldIdx  map[int]int
+	odSim     float64
+	descSim   float64
+	hasDesc   bool
+}
+
+// Compile parses expr and binds it to the candidate. Unknown PATH ids
+// and syntax errors are reported with positions.
+func Compile(expr string, cand *config.Candidate) (*Rule, error) {
+	fieldIdx := make(map[int]int, len(cand.OD))
+	for i, od := range cand.OD {
+		fieldIdx[od.PathID] = i
+	}
+	p := &parser{lex: newLexer(expr), fieldIdx: fieldIdx}
+	e, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("rules: %q: %w", expr, err)
+	}
+	return &Rule{candidate: cand.Name, expr: e, fieldIdx: fieldIdx, src: expr}, nil
+}
+
+// MustCompile is Compile panicking on error, for fixtures and tests.
+func MustCompile(expr string, cand *config.Candidate) *Rule {
+	r, err := Compile(expr, cand)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Evaluate decides one pair given per-field similarities (aligned with
+// the candidate's OD entries), the aggregate OD similarity, and the
+// descendant measurements.
+func (r *Rule) Evaluate(fieldSims []float64, odSim, descSim float64, hasDesc bool) bool {
+	return r.expr.eval(&evalContext{
+		fieldSims: fieldSims,
+		fieldIdx:  r.fieldIdx,
+		odSim:     odSim,
+		descSim:   descSim,
+		hasDesc:   hasDesc,
+	})
+}
+
+// FieldRule adapts the rule to core.Options.FieldRule. Candidates other
+// than the rule's own fall back to their built-in threshold rules via
+// fallback (pass nil to reject pairs of other candidates).
+func (r *Rule) FieldRule(fallback func(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool) func(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool {
+	return func(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool {
+		if c.Name != r.candidate {
+			if fallback != nil {
+				return fallback(c, fieldSims, descSim, hasDesc)
+			}
+			return defaultDecide(c, fieldSims, descSim, hasDesc)
+		}
+		od := aggregate(c, fieldSims)
+		return r.Evaluate(fieldSims, od, descSim, hasDesc)
+	}
+}
+
+// RuleSet bundles one rule per candidate and adapts to the engine;
+// candidates without a rule use their configured threshold rules.
+type RuleSet struct {
+	rules map[string]*Rule
+}
+
+// NewRuleSet compiles a map of candidate name to expression against
+// the configuration.
+func NewRuleSet(cfg *config.Config, exprs map[string]string) (*RuleSet, error) {
+	rs := &RuleSet{rules: make(map[string]*Rule, len(exprs))}
+	for name, expr := range exprs {
+		cand := cfg.Candidate(name)
+		if cand == nil {
+			return nil, fmt.Errorf("rules: unknown candidate %q", name)
+		}
+		r, err := Compile(expr, cand)
+		if err != nil {
+			return nil, err
+		}
+		rs.rules[name] = r
+	}
+	return rs, nil
+}
+
+// Options returns engine options that evaluate the rule set.
+func (rs *RuleSet) Options() core.Options {
+	return core.Options{
+		FieldRule: func(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool {
+			if r, ok := rs.rules[c.Name]; ok {
+				return r.Evaluate(fieldSims, aggregate(c, fieldSims), descSim, hasDesc)
+			}
+			return defaultDecide(c, fieldSims, descSim, hasDesc)
+		},
+	}
+}
+
+// aggregate folds field similarities into the Definition-2 weighted
+// sum, mirroring the engine's renormalization over present fields.
+func aggregate(c *config.Candidate, fieldSims []float64) float64 {
+	var sum, weight float64
+	for i, od := range c.OD {
+		if i >= len(fieldSims) || fieldSims[i] == similarity.FieldAbsent {
+			continue
+		}
+		weight += od.Relevance
+		sum += od.Relevance * fieldSims[i]
+	}
+	if weight == 0 {
+		return 0
+	}
+	return sum / weight
+}
+
+// defaultDecide reproduces the engine's built-in threshold rules for
+// candidates without an equational rule.
+func defaultDecide(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool {
+	od := aggregate(c, fieldSims)
+	switch c.Rule {
+	case config.RuleEither:
+		return od >= c.ODThreshold || (hasDesc && descSim >= c.DescThreshold)
+	case config.RuleBoth:
+		if od < c.ODThreshold {
+			return false
+		}
+		return !hasDesc || descSim >= c.DescThreshold
+	default:
+		return similarity.Combine(od, descSim, c.ODWeight, hasDesc) >= c.Threshold
+	}
+}

@@ -1,0 +1,267 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/similarity"
+	"repro/internal/xmltree"
+)
+
+// testCandidate has PATH ids 1 (title) and 3 (year) in its OD, like
+// the paper's Table 1.
+func testCandidate() *config.Candidate {
+	cfg := config.Table1Movie()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return cfg.Candidate("movie")
+}
+
+func TestCompileValid(t *testing.T) {
+	cand := testCandidate()
+	valid := []string{
+		"sim(1) >= 0.9",
+		"od >= 0.8",
+		"desc > 0.5",
+		"sim(1) >= 0.9 and sim(3) >= 0.8",
+		"sim(1) >= 0.9 or desc >= 0.5",
+		"not sim(1) < 0.5",
+		"(sim(1) >= 0.9 or sim(3) >= 0.8) and desc >= 0.3",
+		"sim(1) >= 0.9 && sim(3) >= 0.8",
+		"sim(1) >= 0.9 || !present(3)",
+		"present(1) and hasdesc",
+		"SIM(1) >= 0.9 AND OD >= 0.5",
+		"sim(1) != 1",
+		"sim(1) == 1",
+		"sim(1) <= 0.3",
+	}
+	for _, expr := range valid {
+		if _, err := Compile(expr, cand); err != nil {
+			t.Errorf("Compile(%q): %v", expr, err)
+		}
+	}
+}
+
+func TestCompileInvalid(t *testing.T) {
+	cand := testCandidate()
+	invalid := []struct{ expr, want string }{
+		{"", "expected a term"},
+		{"sim(1)", "comparison operator"},
+		{"sim(99) >= 0.9", "PATH id 99"},
+		{"sim() >= 0.9", "expected PATH id"},
+		{"sim(1 >= 0.9", "expected ')'"},
+		{"bogus >= 0.9", "unknown term"},
+		{"sim(1) >= ", "expected number"},
+		{"sim(1) >= 0.9 extra", "unexpected"},
+		{"(sim(1) >= 0.9", "expected ')'"},
+		{"sim(1) = 0.9", "use '=='"},
+		{"sim(1) >= 0.9 & od >= 1", "use '&&'"},
+		{"sim(1) >= 0.9 | od >= 1", "use '||'"},
+		{"sim(1) >= 0.9.9", "malformed number"},
+		{"sim(1) >= 0.9 and $", "unexpected character"},
+	}
+	for _, c := range invalid {
+		_, err := Compile(c.expr, cand)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error %q", c.expr, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error = %q, want substring %q", c.expr, err, c.want)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	cand := testCandidate() // OD: pid 1 -> idx 0, pid 3 -> idx 1
+	cases := []struct {
+		expr      string
+		fieldSims []float64
+		od, desc  float64
+		hasDesc   bool
+		want      bool
+	}{
+		{"sim(1) >= 0.9", []float64{0.95, 0.2}, 0, 0, false, true},
+		{"sim(1) >= 0.9", []float64{0.85, 1}, 0, 0, false, false},
+		{"sim(1) >= 0.9 and sim(3) >= 0.8", []float64{0.95, 0.85}, 0, 0, false, true},
+		{"sim(1) >= 0.9 and sim(3) >= 0.8", []float64{0.95, 0.5}, 0, 0, false, false},
+		{"sim(1) >= 0.9 or sim(3) >= 0.8", []float64{0.5, 0.85}, 0, 0, false, true},
+		{"not sim(1) >= 0.9", []float64{0.5, 0}, 0, 0, false, true},
+		{"od >= 0.8", nil, 0.85, 0, false, true},
+		{"desc >= 0.5", nil, 0, 0.7, true, true},
+		// desc without descendant info evaluates to 0.
+		{"desc >= 0.5", nil, 0, 0.7, false, false},
+		{"hasdesc", nil, 0, 0, true, true},
+		{"hasdesc", nil, 0, 0, false, false},
+		{"present(3)", []float64{1, 0.5}, 0, 0, false, true},
+		{"present(3)", []float64{1, similarity.FieldAbsent}, 0, 0, false, false},
+		// Absent fields read as similarity 0.
+		{"sim(3) >= 0.1", []float64{1, similarity.FieldAbsent}, 0, 0, false, false},
+		{"sim(3) < 0.1", []float64{1, similarity.FieldAbsent}, 0, 0, false, true},
+		// Precedence: and binds tighter than or.
+		{"sim(1) >= 0.9 or sim(1) >= 0.5 and sim(3) >= 0.9", []float64{0.6, 0.2}, 0, 0, false, false},
+		{"(sim(1) >= 0.9 or sim(1) >= 0.5) and sim(3) <= 0.9", []float64{0.6, 0.2}, 0, 0, false, true},
+		{"sim(1) == 1", []float64{1, 0}, 0, 0, false, true},
+		{"sim(1) != 1", []float64{1, 0}, 0, 0, false, false},
+	}
+	for _, c := range cases {
+		r := MustCompile(c.expr, cand)
+		if got := r.Evaluate(c.fieldSims, c.od, c.desc, c.hasDesc); got != c.want {
+			t.Errorf("Evaluate(%q, %v, od=%v, desc=%v, hasDesc=%v) = %v, want %v",
+				c.expr, c.fieldSims, c.od, c.desc, c.hasDesc, got, c.want)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustCompile("nonsense", testCandidate())
+}
+
+func TestRuleAccessors(t *testing.T) {
+	r := MustCompile("od >= 0.8", testCandidate())
+	if r.String() != "od >= 0.8" {
+		t.Errorf("String = %q", r.String())
+	}
+	if r.Candidate() != "movie" {
+		t.Errorf("Candidate = %q", r.Candidate())
+	}
+}
+
+const ruleTestXML = `
+<movie_database>
+  <movies>
+    <movie year="1999"><title>Silent River</title></movie>
+    <movie year="1901"><title>Silent Rivr</title></movie>
+    <movie year="1999"><title>Broken Storm</title></movie>
+  </movies>
+</movie_database>`
+
+func ruleTestConfig() *config.Config {
+	return &config.Config{Candidates: []config.Candidate{{
+		Name:  "movie",
+		XPath: "movie_database/movies/movie",
+		Paths: []config.PathDef{
+			{ID: 1, RelPath: "title/text()"},
+			{ID: 2, RelPath: "@year"},
+		},
+		OD: []config.ODEntry{
+			{PathID: 1, Relevance: 0.5},
+			{PathID: 2, Relevance: 0.5, SimFunc: "year"},
+		},
+		Keys: []config.KeyDef{
+			{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "K1-K4"}}},
+		},
+		Threshold: 0.95,
+		Window:    5,
+	}}}
+}
+
+func TestRuleSetEndToEnd(t *testing.T) {
+	cfg := ruleTestConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(ruleTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The built-in combined rule at 0.95 rejects the pair (year sim is
+	// 0 for 1999 vs 1901); the equational rule accepts on title alone.
+	plain, err := core.Run(doc, cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plain.Clusters["movie"].NonSingletons()); got != 0 {
+		t.Fatalf("built-in rule should reject, found %d groups", got)
+	}
+	rs, err := NewRuleSet(cfg, map[string]string{"movie": "sim(1) >= 0.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ruled, err := core.Run(doc, cfg, rs.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := ruled.Clusters["movie"].NonSingletons()
+	if len(dups) != 1 || len(dups[0].Members) != 2 {
+		t.Fatalf("equational rule failed:\n%s", ruled.Clusters["movie"])
+	}
+}
+
+func TestRuleSetUnknownCandidate(t *testing.T) {
+	cfg := ruleTestConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRuleSet(cfg, map[string]string{"nosuch": "od >= 1"}); err == nil {
+		t.Error("unknown candidate should fail")
+	}
+	if _, err := NewRuleSet(cfg, map[string]string{"movie": "garbage"}); err == nil {
+		t.Error("bad expression should fail")
+	}
+}
+
+func TestRuleSetFallbackToBuiltin(t *testing.T) {
+	// Two candidates; only one gets a rule. The other must keep its
+	// configured threshold behaviour.
+	cfg := ruleTestConfig()
+	cfg.Candidates = append(cfg.Candidates, config.Candidate{
+		Name:  "title",
+		XPath: "movie_database/movies/movie/title",
+		Paths: []config.PathDef{{ID: 1, RelPath: "text()"}},
+		OD:    []config.ODEntry{{PathID: 1, Relevance: 1}},
+		Keys: []config.KeyDef{
+			{Parts: []config.KeyPart{{PathID: 1, Order: 1, Pattern: "C1-C6"}}},
+		},
+		Threshold: 0.85,
+		Window:    5,
+	})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(ruleTestXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRuleSet(cfg, map[string]string{"movie": "sim(1) >= 0.99"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(doc, cfg, rs.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// movie rule is strict: no movie duplicates. title candidate uses
+	// the built-in rule and still finds Silent River / Silent Rivr.
+	if got := len(res.Clusters["movie"].NonSingletons()); got != 0 {
+		t.Errorf("movie groups = %d, want 0", got)
+	}
+	if got := len(res.Clusters["title"].NonSingletons()); got != 1 {
+		t.Errorf("title groups = %d, want 1:\n%s", got, res.Clusters["title"])
+	}
+}
+
+func TestFieldRuleAdapter(t *testing.T) {
+	cand := testCandidate()
+	r := MustCompile("sim(1) >= 0.9", cand)
+	fn := r.FieldRule(nil)
+	if !fn(cand, []float64{0.95, 0}, 0, false) {
+		t.Error("adapter should accept matching pair")
+	}
+	other := &config.Candidate{Name: "other", Rule: config.RuleCombined, Threshold: 0.5, ODWeight: 1,
+		OD: []config.ODEntry{{PathID: 1, Relevance: 1}}}
+	if !fn(other, []float64{0.9}, 0, false) {
+		t.Error("other candidate should fall back to built-in rule (0.9 >= 0.5)")
+	}
+	if fn(other, []float64{0.2}, 0, false) {
+		t.Error("fallback should reject below threshold")
+	}
+}

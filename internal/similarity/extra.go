@@ -1,0 +1,186 @@
+package similarity
+
+import (
+	"strings"
+
+	"repro/internal/strutil"
+)
+
+// This file holds the similarity measures beyond the paper's defaults:
+// phonetic (Soundex), q-gram, and token-level hybrids. They are
+// registered under the same registry as the core functions so
+// configurations can select them per OD path.
+
+// Soundex returns the American Soundex code of s (letter + three
+// digits, e.g. "Robert" -> "R163"). Non-letters are ignored; an empty
+// or letterless input yields "".
+func Soundex(s string) string {
+	s = strutil.Normalize(s)
+	var first rune
+	var b strings.Builder
+	prev := byte(0)
+	for _, r := range s {
+		if b.Len() == 3 {
+			break
+		}
+		if r < 'A' || r > 'Z' {
+			// Separators reset the adjacency rule so "AB CB" keeps
+			// both B codes, matching common implementations.
+			prev = 0
+			continue
+		}
+		code := soundexCode(r)
+		if first == 0 {
+			first = r
+			prev = code
+			continue
+		}
+		switch {
+		case code == 0:
+			// H and W are transparent (the previous code survives);
+			// vowels break the adjacency rule.
+			if r != 'H' && r != 'W' {
+				prev = 0
+			}
+		case code != prev:
+			b.WriteByte('0' + code)
+			prev = code
+		default:
+			// Same code as the previous letter: collapsed.
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	out := string(first) + b.String()
+	for len(out) < 4 {
+		out += "0"
+	}
+	return out
+}
+
+func soundexCode(r rune) byte {
+	switch r {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	}
+	return 0
+}
+
+// SoundexSim is 1 when both strings share a Soundex code, 0 otherwise
+// (with empty-input conventions matching Exact).
+func SoundexSim(a, b string) float64 {
+	ca, cb := Soundex(a), Soundex(b)
+	if ca == "" && cb == "" {
+		return 1
+	}
+	if ca == cb {
+		return 1
+	}
+	return 0
+}
+
+// qgrams returns the padded q-grams of the normalized string. Padding
+// with q−1 sentinel runes weights the string boundaries, the standard
+// construction.
+func qgrams(s string, q int) []string {
+	s = strutil.Normalize(s)
+	if s == "" {
+		return nil
+	}
+	pad := strings.Repeat("#", q-1)
+	runes := []rune(pad + s + pad)
+	if len(runes) < q {
+		return []string{string(runes)}
+	}
+	out := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		out = append(out, string(runes[i:i+q]))
+	}
+	return out
+}
+
+// qgramOverlap computes the Dice coefficient over q-gram multisets:
+// 2·|A∩B| / (|A|+|B|).
+func qgramOverlap(a, b string, q int) float64 {
+	ga, gb := qgrams(a, q), qgrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	count := make(map[string]int, len(ga))
+	for _, g := range ga {
+		count[g]++
+	}
+	inter := 0
+	for _, g := range gb {
+		if count[g] > 0 {
+			count[g]--
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(ga)+len(gb))
+}
+
+// Trigram is the Dice similarity over padded 3-grams; robust against
+// transpositions and local edits, cheaper than edit distance on long
+// strings.
+func Trigram(a, b string) float64 {
+	return qgramOverlap(a, b, 3)
+}
+
+// Bigram is the Dice similarity over padded 2-grams.
+func Bigram(a, b string) float64 {
+	return qgramOverlap(a, b, 2)
+}
+
+// MongeElkan computes the asymmetric Monge-Elkan token similarity with
+// NormalizedEdit as the inner measure, symmetrized by averaging both
+// directions: tokens of one string are matched to their most similar
+// counterpart in the other.
+func MongeElkan(a, b string) float64 {
+	ta, tb := strutil.Fields(a), strutil.Fields(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDir(ta, tb) + mongeElkanDir(tb, ta)) / 2
+}
+
+func mongeElkanDir(ta, tb []string) float64 {
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := NormalizedEditRaw(x, y); s > best {
+				best = s
+				if best == 1 {
+					break
+				}
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+func init() {
+	registry["soundex"] = SoundexSim
+	registry["trigram"] = Trigram
+	registry["bigram"] = Bigram
+	registry["mongeelkan"] = MongeElkan
+}

@@ -1,0 +1,200 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexClassicCodes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"},
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", ""},
+		{"123", ""},
+		{"A", "A000"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexSim(t *testing.T) {
+	if SoundexSim("Robert", "Rupert") != 1 {
+		t.Error("Robert/Rupert should match")
+	}
+	if SoundexSim("Robert", "Zorro") != 0 {
+		t.Error("Robert/Zorro should not match")
+	}
+	if SoundexSim("", "") != 1 {
+		t.Error("both empty should be 1")
+	}
+}
+
+func TestTrigram(t *testing.T) {
+	if got := Trigram("night", "night"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := Trigram("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := Trigram("abc", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	sim := Trigram("The Matrix", "The Matrx")
+	if sim <= 0.5 || sim >= 1 {
+		t.Errorf("near-duplicate trigram sim = %v, want in (0.5,1)", sim)
+	}
+	if got := Trigram("xyz", "abc"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestBigramVsTrigram(t *testing.T) {
+	// Bigrams are more forgiving than trigrams on short strings.
+	a, b := "cat", "cut"
+	if Bigram(a, b) < Trigram(a, b) {
+		t.Errorf("bigram %v < trigram %v", Bigram(a, b), Trigram(a, b))
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	if got := MongeElkan("Keanu Reeves", "Reeves Keanu"); got != 1 {
+		t.Errorf("token order should not matter: %v", got)
+	}
+	if got := MongeElkan("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := MongeElkan("a", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	partial := MongeElkan("Keanu Reeves", "Keanu Smith")
+	if partial <= 0.4 || partial >= 1 {
+		t.Errorf("partial = %v", partial)
+	}
+}
+
+func TestExtraFunctionsRegistered(t *testing.T) {
+	for _, name := range []string{"soundex", "trigram", "bigram", "mongeelkan"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestExtraRangeAndSymmetry(t *testing.T) {
+	for _, name := range []string{"soundex", "trigram", "bigram", "mongeelkan"} {
+		fn, _ := ByName(name)
+		f := func(a, b string) bool {
+			x, y := fn(a, b), fn(b, a)
+			return x >= 0 && x <= 1 && math.Abs(x-y) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestEditUpperBound(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{"Matrix", "Matrix"},
+		{"Matrix", "The Matrix Reloaded"},
+		{"short", "a considerably longer string"},
+		{"", ""},
+		{"", "x"},
+	}
+	for _, c := range cases {
+		ub := EditUpperBound(c.a, c.b)
+		actual := NormalizedEdit(c.a, c.b)
+		if ub < actual-1e-9 {
+			t.Errorf("EditUpperBound(%q,%q) = %v below actual %v", c.a, c.b, ub, actual)
+		}
+	}
+}
+
+// Property: the upper bound never underestimates the true similarity.
+func TestEditUpperBoundIsUpper(t *testing.T) {
+	f := func(a, b string) bool {
+		return EditUpperBound(a, b) >= NormalizedEdit(a, b)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestODUpperBound(t *testing.T) {
+	fields := []ODField{
+		{Relevance: 0.8, Sim: NormalizedEdit},
+		{Relevance: 0.2, Sim: Numeric},
+	}
+	bounded := FieldBounds([]string{"edit", "numeric"})
+	if !bounded[0] || bounded[1] {
+		t.Fatalf("FieldBounds = %v", bounded)
+	}
+	a := [][]string{{"Matrix"}, {"136"}}
+	b := [][]string{{"The Matrix Reloaded"}, {"90"}}
+	ub := ODUpperBound(fields, bounded, a, b)
+	actual, err := ODSimilarity(fields, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub < actual-1e-9 {
+		t.Errorf("OD upper bound %v below actual %v", ub, actual)
+	}
+	// Non-edit field contributes the trivial bound.
+	if ub < 0.2/1.0 {
+		t.Errorf("trivial bound missing: %v", ub)
+	}
+}
+
+func TestODUpperBoundMissingFields(t *testing.T) {
+	fields := []ODField{
+		{Relevance: 0.5, Sim: NormalizedEdit},
+		{Relevance: 0.5, Sim: NormalizedEdit},
+	}
+	bounded := FieldBounds([]string{"", ""})
+	// Field 2 missing on both sides: renormalizes like ODSimilarity.
+	ub := ODUpperBound(fields, bounded, [][]string{{"abc"}, nil}, [][]string{{"abc"}, nil})
+	if ub != 1 {
+		t.Errorf("renormalized bound = %v, want 1", ub)
+	}
+	// One side missing: contributes zero.
+	ub = ODUpperBound(fields, bounded, [][]string{{"abc"}, {"x"}}, [][]string{{"abc"}, nil})
+	if math.Abs(ub-0.5) > 1e-9 {
+		t.Errorf("one-sided bound = %v, want 0.5", ub)
+	}
+	// Everything missing.
+	if got := ODUpperBound(fields, bounded, [][]string{nil, nil}, [][]string{nil, nil}); got != 0 {
+		t.Errorf("all missing = %v, want 0", got)
+	}
+}
+
+// Property: ODUpperBound dominates ODSimilarity for edit-based configs.
+func TestODUpperBoundDominates(t *testing.T) {
+	fields := []ODField{
+		{Relevance: 0.7, Sim: NormalizedEdit},
+		{Relevance: 0.3, Sim: NormalizedEdit},
+	}
+	bounded := FieldBounds([]string{"edit", ""})
+	f := func(a1, a2, b1, b2 string) bool {
+		a := [][]string{{a1}, {a2}}
+		b := [][]string{{b1}, {b2}}
+		actual, err := ODSimilarity(fields, a, b)
+		if err != nil {
+			return false
+		}
+		return ODUpperBound(fields, bounded, a, b) >= actual-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

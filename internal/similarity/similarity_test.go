@@ -1,0 +1,234 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+		{"Matrix", "Martix", 2}, // transposition costs 2 in plain Levenshtein
+		{"über", "uber", 1},     // rune-wise, not byte-wise
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinMetricProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+	bounded := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		la, lb := len([]rune(a)), len([]rune(b))
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(bounded, cfg); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+}
+
+func TestLevenshteinBoundedAgreesWithExact(t *testing.T) {
+	f := func(a, b string, m uint8) bool {
+		max := int(m % 8)
+		exact := Levenshtein(a, b)
+		got := LevenshteinBounded(a, b, max)
+		if exact <= max {
+			return got == exact
+		}
+		return got == max+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinBoundedFastPath(t *testing.T) {
+	if got := LevenshteinBounded("short", "a much longer string entirely", 3); got != 4 {
+		t.Errorf("length fast path = %d, want 4", got)
+	}
+	if got := LevenshteinBounded("", "", 0); got != 0 {
+		t.Errorf("empty = %d, want 0", got)
+	}
+	if got := LevenshteinBounded("abc", "", 2); got != 3 {
+		t.Errorf("one empty over bound = %d, want 3", got)
+	}
+}
+
+func TestNormalizedEdit(t *testing.T) {
+	if got := NormalizedEdit("Matrix", "matrix"); got != 1 {
+		t.Errorf("case-insensitive: %v, want 1", got)
+	}
+	if got := NormalizedEdit("", ""); got != 1 {
+		t.Errorf("both empty: %v, want 1", got)
+	}
+	if got := NormalizedEdit("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint: %v, want 0", got)
+	}
+	got := NormalizedEdit("Matrix", "Matrix Reloaded")
+	if got <= 0 || got >= 1 {
+		t.Errorf("partial: %v, want in (0,1)", got)
+	}
+}
+
+func TestNormalizedEditRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := NormalizedEdit(a, b)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if got := Numeric("100", "100"); got != 1 {
+		t.Errorf("equal: %v", got)
+	}
+	if got := Numeric("100", "50"); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half: %v, want 0.5", got)
+	}
+	if got := Numeric("0", "0"); got != 1 {
+		t.Errorf("zeros: %v", got)
+	}
+	if got := Numeric("10", "-10"); got != 0 {
+		t.Errorf("clamp: %v, want 0", got)
+	}
+	// Falls back to edit similarity on non-numeric input.
+	if got := Numeric("abc", "abc"); got != 1 {
+		t.Errorf("fallback equal: %v", got)
+	}
+}
+
+func TestYearSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"1999", "1999", 1},
+		{"1999", "2000", 0.8},
+		{"1999", "2001", 0.5},
+		{"1999", "2010", 0},
+		{"", "", 1}, // falls back to edit on empty
+	}
+	for _, c := range cases {
+		if got := YearSim(c.a, c.b); got != c.want {
+			t.Errorf("YearSim(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if got := Jaro("martha", "marhta"); math.Abs(got-0.944444) > 1e-4 {
+		t.Errorf("Jaro(martha,marhta) = %v, want ~0.9444", got)
+	}
+	if got := Jaro("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := Jaro("abc", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	if got := Jaro("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.961111) > 1e-4 {
+		t.Errorf("JW(martha,marhta) = %v, want ~0.9611", got)
+	}
+	// Prefix boost: JW >= Jaro always.
+	f := func(a, b string) bool {
+		jw, j := JaroWinkler(a, b), Jaro(a, b)
+		return jw >= j-1e-12 && jw <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := TokenJaccard("the matrix", "matrix the"); got != 1 {
+		t.Errorf("order-insensitive: %v", got)
+	}
+	if got := TokenJaccard("a b", "b c"); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("partial: %v, want 1/3", got)
+	}
+	if got := TokenJaccard("", ""); got != 1 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := TokenJaccard("a", ""); got != 0 {
+		t.Errorf("one empty: %v", got)
+	}
+}
+
+func TestExact(t *testing.T) {
+	if Exact("The Matrix", "the  MATRIX") != 1 {
+		t.Error("normalized equal should be 1")
+	}
+	if Exact("a", "b") != 0 {
+		t.Error("different should be 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "edit", "EDIT", "numeric", "year", "jaro", "jarowinkler", "jaccard", "exact"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+	if len(Names()) != 11 {
+		t.Errorf("Names() = %v, want 11 entries", Names())
+	}
+}
+
+func TestSymmetryOfAllRegistered(t *testing.T) {
+	for _, name := range Names() {
+		fn, _ := ByName(name)
+		f := func(a, b string) bool {
+			x, y := fn(a, b), fn(b, a)
+			return math.Abs(x-y) < 1e-9 && x >= 0 && x <= 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

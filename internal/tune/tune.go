@@ -1,0 +1,170 @@
+// Package tune implements the parameter calibration the paper leaves
+// to a domain expert: "We experienced that performing duplicate
+// detection both manually and automatically on a small sample can help
+// determine suitable parameters values" (Sec. 3.4), and the outlook's
+// plan to adapt DELPHI's threshold-learning technique (Sec. 5).
+//
+// Given a labelled sample — a document whose candidate elements carry
+// gold identities — Tune sweeps thresholds (and optionally windows)
+// for one candidate and reports the setting with the best f-measure,
+// ready to be written back into the configuration.
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/xmltree"
+)
+
+// Options configure a tuning sweep.
+type Options struct {
+	// Candidate is the candidate to tune (its thresholds are swept;
+	// all other candidates keep their configured values).
+	Candidate string
+	// Thresholds to try; empty means 0.50..0.95 step 0.05.
+	Thresholds []float64
+	// Windows to try; empty keeps the configured window.
+	Windows []int
+	// DescThresholds to try for RuleEither/RuleBoth candidates; empty
+	// keeps the configured descendants threshold.
+	DescThresholds []float64
+	// Beta weighs recall vs precision in the objective (F_beta);
+	// 0 means 1 (the plain f-measure the paper reports).
+	Beta float64
+}
+
+func (o *Options) defaults() {
+	if len(o.Thresholds) == 0 {
+		for th := 0.50; th <= 0.951; th += 0.05 {
+			o.Thresholds = append(o.Thresholds, float64(int(th*100+0.5))/100)
+		}
+	}
+	if o.Beta == 0 {
+		o.Beta = 1
+	}
+}
+
+// Setting is one evaluated parameter combination.
+type Setting struct {
+	Threshold     float64
+	DescThreshold float64
+	Window        int
+	Metrics       eval.Metrics
+	Score         float64 // F_beta
+}
+
+// Result is the outcome of a sweep: every evaluated setting plus the
+// best one.
+type Result struct {
+	Best     Setting
+	Settings []Setting
+}
+
+// Tune sweeps the candidate's parameters over the labelled sample and
+// returns the best setting by F_beta. The configuration is not
+// modified; call Apply to write the best setting into a config.
+func Tune(sample *xmltree.Document, cfg *config.Config, opts Options) (*Result, error) {
+	opts.defaults()
+	base := cfg.Candidate(opts.Candidate)
+	if base == nil {
+		return nil, fmt.Errorf("tune: unknown candidate %q", opts.Candidate)
+	}
+	gold, err := eval.BuildGold(sample, base.XPath)
+	if err != nil {
+		return nil, err
+	}
+	if gold.TruePairs() == 0 {
+		return nil, fmt.Errorf("tune: sample carries no gold duplicate pairs for %q", opts.Candidate)
+	}
+
+	windows := opts.Windows
+	if len(windows) == 0 {
+		windows = []int{base.Window}
+	}
+	descThresholds := opts.DescThresholds
+	if len(descThresholds) == 0 {
+		descThresholds = []float64{base.DescThreshold}
+	}
+
+	res := &Result{}
+	for _, w := range windows {
+		for _, dth := range descThresholds {
+			for _, th := range opts.Thresholds {
+				trial, err := cloneConfig(cfg)
+				if err != nil {
+					return nil, err
+				}
+				c := trial.Candidate(opts.Candidate)
+				if w > 0 {
+					c.Window = w
+				}
+				switch c.Rule {
+				case config.RuleEither, config.RuleBoth:
+					c.ODThreshold = th
+					c.DescThreshold = dth
+				default:
+					c.Threshold = th
+				}
+				if err := trial.Validate(); err != nil {
+					return nil, fmt.Errorf("tune: threshold %.2f window %d: %w", th, w, err)
+				}
+				run, err := core.Run(sample, trial, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				m := eval.PairwiseMetrics(gold, run.Clusters[opts.Candidate])
+				s := Setting{
+					Threshold:     th,
+					DescThreshold: dth,
+					Window:        c.Window,
+					Metrics:       m,
+					Score:         fBeta(m, opts.Beta),
+				}
+				res.Settings = append(res.Settings, s)
+				if s.Score > res.Best.Score {
+					res.Best = s
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// fBeta computes the F_beta score from pairwise metrics.
+func fBeta(m eval.Metrics, beta float64) float64 {
+	b2 := beta * beta
+	den := b2*m.Precision + m.Recall
+	if den == 0 {
+		return 0
+	}
+	return (1 + b2) * m.Precision * m.Recall / den
+}
+
+// Apply writes the best setting into the configuration's candidate
+// (thresholds and window) and re-validates.
+func Apply(cfg *config.Config, candidate string, best Setting) error {
+	c := cfg.Candidate(candidate)
+	if c == nil {
+		return fmt.Errorf("tune: unknown candidate %q", candidate)
+	}
+	switch c.Rule {
+	case config.RuleEither, config.RuleBoth:
+		c.ODThreshold = best.Threshold
+		c.DescThreshold = best.DescThreshold
+	default:
+		c.Threshold = best.Threshold
+	}
+	if best.Window > 0 {
+		c.Window = best.Window
+	}
+	return cfg.Validate()
+}
+
+// cloneConfig deep-copies a configuration through its XML form, which
+// guarantees the copy is independent of compiled state.
+func cloneConfig(cfg *config.Config) (*config.Config, error) {
+	return config.FromDocument(cfg.Document())
+}

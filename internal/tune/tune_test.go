@@ -1,0 +1,189 @@
+package tune
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/xmltree"
+)
+
+func sample(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestTuneFindsInteriorOptimum(t *testing.T) {
+	doc := sample(t)
+	cfg := config.DataSet1(6)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(doc, cfg, Options{Candidate: "movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Settings) != 10 {
+		t.Fatalf("settings = %d, want 10 thresholds", len(res.Settings))
+	}
+	if res.Best.Score <= 0 {
+		t.Fatal("no best setting found")
+	}
+	// The optimum is interior: extreme thresholds (0.5 = everything
+	// merges, 0.95 = nearly nothing) must score below the best.
+	first := res.Settings[0]
+	last := res.Settings[len(res.Settings)-1]
+	if res.Best.Score < first.Score || res.Best.Score < last.Score {
+		t.Errorf("best %.3f not above edges %.3f/%.3f", res.Best.Score, first.Score, last.Score)
+	}
+	// The best setting must actually achieve its reported metrics.
+	if res.Best.Metrics.F1 < 0.7 {
+		t.Errorf("best f-measure %.3f suspiciously low", res.Best.Metrics.F1)
+	}
+}
+
+func TestTuneWindowSweep(t *testing.T) {
+	doc := sample(t)
+	cfg := config.DataSet1(2)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(doc, cfg, Options{
+		Candidate:  "movie",
+		Thresholds: []float64{0.8},
+		Windows:    []int{2, 8, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Settings) != 3 {
+		t.Fatalf("settings = %d, want 3 windows", len(res.Settings))
+	}
+	// Recall (and at stable precision, the score) grows with window.
+	if res.Best.Window == 2 {
+		t.Errorf("best window = 2; larger windows should score higher: %+v", res.Settings)
+	}
+}
+
+func TestTuneEitherRule(t *testing.T) {
+	doc, err := dataset.DataSet2(dataset.CDs2Options{Discs: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.DataSet2(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(doc, cfg, Options{
+		Candidate:      "disc",
+		Thresholds:     []float64{0.55, 0.65, 0.8},
+		DescThresholds: []float64{0.2, 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Settings) != 6 {
+		t.Fatalf("settings = %d, want 6", len(res.Settings))
+	}
+	if res.Best.Score <= 0.5 {
+		t.Errorf("best score %.3f too low", res.Best.Score)
+	}
+}
+
+func TestApply(t *testing.T) {
+	cfg := config.DataSet1(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	best := Setting{Threshold: 0.85, Window: 9}
+	if err := Apply(cfg, "movie", best); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Candidate("movie")
+	if c.Threshold != 0.85 || c.Window != 9 {
+		t.Errorf("applied = %.2f/%d", c.Threshold, c.Window)
+	}
+	if err := Apply(cfg, "nosuch", best); err == nil {
+		t.Error("unknown candidate should fail")
+	}
+}
+
+func TestApplyEitherRule(t *testing.T) {
+	cfg := config.DataSet2(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(cfg, "disc", Setting{Threshold: 0.7, DescThreshold: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Candidate("disc")
+	if c.ODThreshold != 0.7 || c.DescThreshold != 0.25 {
+		t.Errorf("applied = %.2f/%.2f", c.ODThreshold, c.DescThreshold)
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	doc := sample(t)
+	cfg := config.DataSet1(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tune(doc, cfg, Options{Candidate: "nosuch"}); err == nil {
+		t.Error("unknown candidate should fail")
+	}
+	// A sample without gold pairs is rejected.
+	clean, err := xmltree.ParseString(`<movie_database><movies>
+	  <movie x-gold="a"><title>Alpha</title></movie>
+	  <movie x-gold="b"><title>Beta</title></movie>
+	</movies></movie_database>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tune(clean, cfg, Options{Candidate: "movie"}); err == nil {
+		t.Error("gold-free sample should fail")
+	}
+}
+
+func TestTunedSettingGeneralizes(t *testing.T) {
+	// Tune on one sample, evaluate on a fresh one: the tuned threshold
+	// should at least roughly carry over (within 0.1 f-measure).
+	train := sample(t)
+	cfg := config.DataSet1(8)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(train, cfg, Options{Candidate: "movie"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := config.DataSet1(8)
+	if err := applied.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(applied, "movie", res.Best); err != nil {
+		t.Fatal(err)
+	}
+	test, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 200, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := eval.BuildGold(test, dataset.MoviePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := core.Run(test, applied, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eval.PairwiseMetrics(gold, run.Clusters["movie"])
+	if m.F1 < res.Best.Metrics.F1-0.1 {
+		t.Errorf("tuned setting does not generalize: train F=%.3f test F=%.3f",
+			res.Best.Metrics.F1, m.F1)
+	}
+}

@@ -1,0 +1,41 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts survives a serialize→reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>text</b></a>",
+		`<a x="1" y="&amp;"><!-- c --><b/>tail</a>`,
+		"<a>&#9731;</a>",
+		"<movie_database><movies><movie year=\"1999\"><title>Matrix</title></movie></movies></movie_database>",
+		"<a><![CDATA[raw <stuff> here]]></a>",
+		"",
+		"<",
+		"<a><b></a></b>",
+		strings.Repeat("<d>", 50) + "x" + strings.Repeat("</d>", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		out := doc.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of serialized output failed: %v\ninput: %q\nout: %q", err, input, out)
+		}
+		if doc.Stats().Elements != doc2.Stats().Elements {
+			t.Fatalf("element count changed in round trip: %d vs %d",
+				doc.Stats().Elements, doc2.Stats().Elements)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Hardening tests: deep nesting, unicode, large tokens, pathological
+// inputs.
+
+func TestDeepNesting(t *testing.T) {
+	const depth = 2000
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("<d>")
+	}
+	b.WriteString("x")
+	for i := 0; i < depth; i++ {
+		b.WriteString("</d>")
+	}
+	doc, err := ParseString(b.String())
+	if err != nil {
+		t.Fatalf("deep parse: %v", err)
+	}
+	n := doc.Root
+	levels := 1
+	for len(n.ChildElements("")) > 0 {
+		n = n.ChildElements("")[0]
+		levels++
+	}
+	if levels != depth {
+		t.Errorf("depth = %d, want %d", levels, depth)
+	}
+	if doc.Stats().MaxDepth < depth-1 {
+		t.Errorf("MaxDepth = %d", doc.Stats().MaxDepth)
+	}
+}
+
+func TestUnicodeContent(t *testing.T) {
+	xml := `<r a="日本語"><e>Ñandú 🎬 кино</e><e>ασδφ</e></r>`
+	doc, err := ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.Attr("a"); v != "日本語" {
+		t.Errorf("attr = %q", v)
+	}
+	if got := doc.Root.ChildElements("e")[0].Text(); got != "Ñandú 🎬 кино" {
+		t.Errorf("text = %q", got)
+	}
+	// Round trip preserves unicode.
+	doc2, err := ParseString(doc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Root.ChildElements("e")[0].Text() != "Ñandú 🎬 кино" {
+		t.Error("unicode lost in round trip")
+	}
+}
+
+func TestLargeTextToken(t *testing.T) {
+	big := strings.Repeat("lorem ipsum ", 20000) // ~240 KB
+	doc, err := ParseString("<r>" + big + "</r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.Text()) < 200000 {
+		t.Errorf("large text truncated to %d bytes", len(doc.Root.Text()))
+	}
+}
+
+func TestManySiblings(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 50000; i++ {
+		b.WriteString("<e/>")
+	}
+	b.WriteString("</r>")
+	doc, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.Root.ChildElements("e")); got != 50000 {
+		t.Errorf("siblings = %d", got)
+	}
+	// IDs are assigned to all of them.
+	last := doc.Root.Children[49999]
+	if last.ID != 50001 {
+		t.Errorf("last id = %d, want 50001", last.ID)
+	}
+}
+
+func TestAttributeEdgeCases(t *testing.T) {
+	doc, err := ParseString(`<r empty="" spaces="  a  b  " tab="a&#9;b"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc.Root.Attr("empty"); !ok || v != "" {
+		t.Errorf("empty attr = %q, %v", v, ok)
+	}
+	if v, _ := doc.Root.Attr("spaces"); v != "  a  b  " {
+		t.Errorf("spaces attr = %q (attribute whitespace must be preserved)", v)
+	}
+	if v, _ := doc.Root.Attr("tab"); v != "a\tb" {
+		t.Errorf("tab attr = %q", v)
+	}
+	// Round trip.
+	doc2, err := ParseString(doc.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc2.Root.Attr("spaces"); v != "  a  b  " {
+		t.Errorf("spaces attr after round trip = %q", v)
+	}
+	if v, _ := doc2.Root.Attr("tab"); v != "a\tb" {
+		t.Errorf("tab attr after round trip = %q", v)
+	}
+}
+
+func TestMixedContentOrder(t *testing.T) {
+	doc, err := ParseString(`<p>one<b>two</b>three<b>four</b>five</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.DeepText(); got != "onetwothreefourfive" {
+		t.Errorf("DeepText = %q", got)
+	}
+	if got := doc.Root.Text(); got != "onethreefive" {
+		t.Errorf("direct Text = %q", got)
+	}
+}
+
+// Property: serializing any tree built from sanitized random text
+// round-trips structurally.
+func TestWriteParseRoundTripProperty(t *testing.T) {
+	f := func(texts []string) bool {
+		root := NewElement("root")
+		for i, txt := range texts {
+			if i > 8 {
+				break
+			}
+			e := NewElement("item")
+			clean := sanitize(txt)
+			if clean != "" {
+				e.SetText(clean)
+				e.SetAttr("v", clean)
+			}
+			root.AppendChild(e)
+		}
+		doc := NewDocument(root)
+		out := doc.String()
+		doc2, err := ParseString(out)
+		if err != nil {
+			return false
+		}
+		items := doc2.Root.ChildElements("item")
+		if len(items) != len(root.ChildElements("item")) {
+			return false
+		}
+		for i, e := range root.ChildElements("item") {
+			want := strings.TrimSpace(e.Text())
+			if items[i].Text() != want {
+				return false
+			}
+			va, _ := e.Attr("v")
+			vb, _ := items[i].Attr("v")
+			if va != vb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize keeps printable non-control runes (XML cannot carry most
+// control characters) and trims space to sidestep whitespace-trim
+// semantics, which are tested separately.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r != 0x7f && r != 0xFFFE && r != 0xFFFF && !(r >= 0xD800 && r <= 0xDFFF) {
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestCloneVeryWideTree(t *testing.T) {
+	root := NewElement("r")
+	for i := 0; i < 10000; i++ {
+		c := NewElement("c")
+		c.SetText("x")
+		root.AppendChild(c)
+	}
+	clone := root.Clone()
+	if len(clone.Children) != 10000 {
+		t.Errorf("clone children = %d", len(clone.Children))
+	}
+	clone.Children[0].SetText("y")
+	if root.Children[0].Text() != "x" {
+		t.Error("clone aliases original")
+	}
+}
+
+// failWriter errors after n bytes, exercising the writer error paths.
+type failWriter struct{ remaining int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > w.remaining {
+		n = w.remaining
+	}
+	w.remaining -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }
+
+func TestWriteErrorPaths(t *testing.T) {
+	doc, err := ParseString(`<r a="v&quot;"><e>text &amp; more</e><f/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := doc.String()
+	// Fail at every prefix length: Write must report the error, never
+	// panic, and never succeed spuriously.
+	for n := 0; n < len(full)+2; n++ {
+		w := &failWriter{remaining: n}
+		err := doc.Write(w, WriteOptions{Indent: "  ", Header: true})
+		// Small n must fail; n beyond the serialized length + header
+		// may succeed.
+		if n < 10 && err == nil {
+			t.Fatalf("Write with %d-byte budget succeeded", n)
+		}
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	doc, err := ParseString(`<r/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.WriteFile("/nonexistent-dir/out.xml", WriteOptions{}); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

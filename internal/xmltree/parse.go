@@ -1,0 +1,95 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parse reads an XML document from r into a Document. Namespaces are
+// flattened to local names; comments, processing instructions, and
+// directives are dropped; pure-whitespace text between elements is
+// discarded. Node IDs are assigned in document order starting at 1.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+
+	var root *Node
+	var cur *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			e := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				// Drop namespace declarations; keep everything else by
+				// local name, which matches the paper's assumption of a
+				// common schema without namespace games.
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				e.Attrs = append(e.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, errors.New("xmltree: parse: multiple root elements")
+				}
+				root = e
+			} else {
+				cur.AppendChild(e)
+			}
+			cur = e
+		case xml.EndElement:
+			if cur == nil {
+				return nil, errors.New("xmltree: parse: unbalanced end element")
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			if cur == nil {
+				continue // whitespace or stray text outside root
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			// Merge adjacent character data (the decoder may split
+			// around entity references).
+			if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
+				cur.Children[k-1].Data += s
+				continue
+			}
+			cur.AppendChild(NewText(s))
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmltree: parse: empty document")
+	}
+	if cur != nil {
+		return nil, errors.New("xmltree: parse: unexpected EOF inside element")
+	}
+	return NewDocument(root), nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseFile parses the XML document stored at path.
+func ParseFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}

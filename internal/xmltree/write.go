@@ -1,0 +1,194 @@
+package xmltree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteOptions control serialization.
+type WriteOptions struct {
+	// Indent, when non-empty, pretty-prints with the given unit of
+	// indentation. Elements with only text children stay on one line so
+	// round-tripping does not introduce significant whitespace.
+	Indent string
+	// Header, when true, emits an XML declaration first.
+	Header bool
+}
+
+// Write serializes the document to w.
+func (d *Document) Write(w io.Writer, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	if opts.Header {
+		if _, err := bw.WriteString("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"); err != nil {
+			return err
+		}
+	}
+	if err := writeNode(bw, d.Root, opts.Indent, 0); err != nil {
+		return err
+	}
+	if opts.Indent != "" {
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// String serializes the document with pretty-printing; intended for
+// tests and debugging.
+func (d *Document) String() string {
+	var b strings.Builder
+	_ = d.Write(&b, WriteOptions{Indent: "  "})
+	return b.String()
+}
+
+// WriteFile serializes the document to the file at path.
+func (d *Document) WriteFile(path string, opts WriteOptions) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("xmltree: %w", err)
+	}
+	if err := d.Write(f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// onlyTextChildren reports whether n has no element children.
+func onlyTextChildren(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			return false
+		}
+	}
+	return true
+}
+
+func writeNode(w *bufio.Writer, n *Node, indent string, depth int) error {
+	pad := ""
+	if indent != "" {
+		pad = strings.Repeat(indent, depth)
+	}
+	if n.Kind == TextNode {
+		return escapeText(w, n.Data)
+	}
+	if _, err := w.WriteString(pad); err != nil {
+		return err
+	}
+	if err := w.WriteByte('<'); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(n.Name); err != nil {
+		return err
+	}
+	for _, a := range n.Attrs {
+		if err := w.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(a.Name); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(`="`); err != nil {
+			return err
+		}
+		if err := escapeAttr(w, a.Value); err != nil {
+			return err
+		}
+		if err := w.WriteByte('"'); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := w.WriteString("/>")
+		return err
+	}
+	if err := w.WriteByte('>'); err != nil {
+		return err
+	}
+	inline := indent == "" || onlyTextChildren(n)
+	for _, c := range n.Children {
+		if !inline {
+			if err := w.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		childIndent := indent
+		if inline {
+			childIndent = ""
+		}
+		if err := writeNode(w, c, childIndent, depth+1); err != nil {
+			return err
+		}
+	}
+	if !inline {
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(pad); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString("</"); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(n.Name); err != nil {
+		return err
+	}
+	return w.WriteByte('>')
+}
+
+func escapeText(w *bufio.Writer, s string) error {
+	for _, r := range s {
+		var rep string
+		switch r {
+		case '&':
+			rep = "&amp;"
+		case '<':
+			rep = "&lt;"
+		case '>':
+			rep = "&gt;"
+		default:
+			if _, err := w.WriteRune(r); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := w.WriteString(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeAttr(w *bufio.Writer, s string) error {
+	for _, r := range s {
+		var rep string
+		switch r {
+		case '&':
+			rep = "&amp;"
+		case '<':
+			rep = "&lt;"
+		case '>':
+			rep = "&gt;"
+		case '"':
+			rep = "&quot;"
+		case '\n':
+			rep = "&#10;"
+		case '\t':
+			rep = "&#9;"
+		default:
+			if _, err := w.WriteRune(r); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := w.WriteString(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}

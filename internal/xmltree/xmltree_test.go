@@ -1,0 +1,379 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleXML = `<?xml version="1.0"?>
+<movie_database>
+  <movies>
+    <movie year="1999" length="136">
+      <title>Matrix</title>
+      <people>
+        <person>Keanu Reeves</person>
+        <person>Carrie-Anne Moss</person>
+      </people>
+    </movie>
+    <movie year="1998">
+      <title>Mask of Zorro</title>
+    </movie>
+  </movies>
+</movie_database>`
+
+func mustParse(t *testing.T, s string) *Document {
+	t.Helper()
+	d, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return d
+}
+
+func TestParseBasicStructure(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	if d.Root.Name != "movie_database" {
+		t.Fatalf("root = %q, want movie_database", d.Root.Name)
+	}
+	movies := d.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 2 {
+		t.Fatalf("got %d movies, want 2", len(movies))
+	}
+	m := movies[0]
+	if y, ok := m.Attr("year"); !ok || y != "1999" {
+		t.Errorf("year attr = %q,%v want 1999,true", y, ok)
+	}
+	if title := m.FirstChildElement("title"); title == nil || title.Text() != "Matrix" {
+		t.Errorf("title = %v", title)
+	}
+	people := m.FirstChildElement("people").ChildElements("person")
+	if len(people) != 2 {
+		t.Fatalf("got %d persons, want 2", len(people))
+	}
+	if people[1].Text() != "Carrie-Anne Moss" {
+		t.Errorf("person[1] = %q", people[1].Text())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"whitespace only", "   \n "},
+		{"unclosed", "<a><b></a>"},
+		{"truncated", "<a><b>"},
+		{"two roots", "<a/><b/>"},
+		{"garbage", "not xml at all <"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.in); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestParseEntitiesAndCDATA(t *testing.T) {
+	d := mustParse(t, `<a t="x&amp;y">AC&#47;DC &lt;live&gt;<![CDATA[ & raw < ]]></a>`)
+	if v, _ := d.Root.Attr("t"); v != "x&y" {
+		t.Errorf("attr = %q, want x&y", v)
+	}
+	want := "AC/DC <live> & raw <"
+	if got := d.Root.Text(); got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+}
+
+func TestDocumentOrderIDs(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	seen := map[int]bool{}
+	prev := 0
+	d.Root.Walk(func(n *Node) bool {
+		if n.ID <= prev {
+			t.Errorf("node %q id %d not increasing after %d", n.Name, n.ID, prev)
+		}
+		if seen[n.ID] {
+			t.Errorf("duplicate id %d", n.ID)
+		}
+		seen[n.ID] = true
+		prev = n.ID
+		return true
+	})
+	if d.Root.ID != 1 {
+		t.Errorf("root id = %d, want 1", d.Root.ID)
+	}
+}
+
+func TestNodeByIDAndIndex(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	idx := d.IndexByID()
+	movies := d.ElementsByPath("movie_database/movies/movie")
+	for _, m := range movies {
+		if d.NodeByID(m.ID) != m {
+			t.Errorf("NodeByID(%d) mismatch", m.ID)
+		}
+		if idx[m.ID] != m {
+			t.Errorf("IndexByID[%d] mismatch", m.ID)
+		}
+	}
+	if d.NodeByID(-1) != nil || d.NodeByID(1<<30) != nil {
+		t.Error("NodeByID on absent ids should return nil")
+	}
+}
+
+func TestAbsolutePathAndDepth(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	p := d.ElementsByPath("movie_database/movies/movie")[0].FirstChildElement("people").ChildElements("person")[0]
+	if got := p.AbsolutePath(); got != "movie_database/movies/movie/people/person" {
+		t.Errorf("AbsolutePath = %q", got)
+	}
+	if p.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4", p.Depth())
+	}
+	if d.Root.Depth() != 0 {
+		t.Errorf("root depth = %d, want 0", d.Root.Depth())
+	}
+	// Text node path equals its parent's.
+	txt := p.Children[0]
+	if txt.Kind != TextNode {
+		t.Fatal("expected text child")
+	}
+	if txt.AbsolutePath() != p.AbsolutePath() {
+		t.Errorf("text path %q != parent path %q", txt.AbsolutePath(), p.AbsolutePath())
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	movie := d.ElementsByPath("movie_database/movies/movie")[0]
+	person := movie.FirstChildElement("people").ChildElements("person")[0]
+	if !d.Root.IsAncestorOf(person) {
+		t.Error("root should be ancestor of person")
+	}
+	if !movie.IsAncestorOf(person) {
+		t.Error("movie should be ancestor of person")
+	}
+	if person.IsAncestorOf(movie) {
+		t.Error("person must not be ancestor of movie")
+	}
+	if movie.IsAncestorOf(movie) {
+		t.Error("IsAncestorOf must be strict")
+	}
+}
+
+func TestMutation(t *testing.T) {
+	root := NewElement("root")
+	a := NewElement("a")
+	b := NewElement("b")
+	root.AppendChild(a)
+	root.InsertChildAt(0, b)
+	if root.Children[0] != b || root.Children[1] != a {
+		t.Fatal("InsertChildAt(0) order wrong")
+	}
+	if a.Parent != root || b.Parent != root {
+		t.Fatal("parent links wrong")
+	}
+	if !root.RemoveChild(b) {
+		t.Fatal("RemoveChild failed")
+	}
+	if b.Parent != nil {
+		t.Error("removed child keeps parent")
+	}
+	if root.RemoveChild(b) {
+		t.Error("double remove should report false")
+	}
+}
+
+func TestAttrOps(t *testing.T) {
+	e := NewElement("e")
+	e.SetAttr("k", "v1")
+	e.SetAttr("k", "v2")
+	if len(e.Attrs) != 1 {
+		t.Fatalf("SetAttr duplicated: %v", e.Attrs)
+	}
+	if v, ok := e.Attr("k"); !ok || v != "v2" {
+		t.Errorf("Attr = %q,%v", v, ok)
+	}
+	if _, ok := e.Attr("absent"); ok {
+		t.Error("absent attr reported present")
+	}
+	if !e.RemoveAttr("k") || e.RemoveAttr("k") {
+		t.Error("RemoveAttr semantics wrong")
+	}
+}
+
+func TestSetText(t *testing.T) {
+	e := NewElement("e")
+	e.AppendChild(NewText("old"))
+	e.AppendChild(NewElement("child"))
+	e.SetText("new")
+	if e.Text() != "new" {
+		t.Errorf("Text = %q, want new", e.Text())
+	}
+	if e.FirstChildElement("child") == nil {
+		t.Error("SetText must keep element children")
+	}
+	e.SetText("")
+	if e.Text() != "" {
+		t.Errorf("Text after clear = %q", e.Text())
+	}
+}
+
+func TestCloneIsDeepAndDetached(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	movie := d.ElementsByPath("movie_database/movies/movie")[0]
+	c := movie.Clone()
+	if c.Parent != nil {
+		t.Error("clone must be parentless")
+	}
+	c.FirstChildElement("title").SetText("Changed")
+	if movie.FirstChildElement("title").Text() != "Matrix" {
+		t.Error("mutating clone affected original")
+	}
+	if got := c.FirstChildElement("people").ChildElements("person")[0].Text(); got != "Keanu Reeves" {
+		t.Errorf("clone lost descendant text: %q", got)
+	}
+}
+
+func TestRenumberAfterMutation(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	movies := d.Root.FirstChildElement("movies")
+	movies.AppendChild(movies.ChildElements("movie")[0].Clone())
+	d.Renumber()
+	seen := map[int]bool{}
+	d.Root.Walk(func(n *Node) bool {
+		if seen[n.ID] {
+			t.Fatalf("duplicate id %d after renumber", n.ID)
+		}
+		seen[n.ID] = true
+		return true
+	})
+}
+
+func TestDeepText(t *testing.T) {
+	d := mustParse(t, `<a>x<b>y</b>z</a>`)
+	if got := d.Root.DeepText(); got != "xyz" {
+		t.Errorf("DeepText = %q, want xyz", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	s := d.Stats()
+	if s.Elements != 9 {
+		t.Errorf("Elements = %d, want 9", s.Elements)
+	}
+	if s.Attrs != 3 {
+		t.Errorf("Attrs = %d, want 3", s.Attrs)
+	}
+	if s.MaxDepth < 4 {
+		t.Errorf("MaxDepth = %d, want >= 4", s.MaxDepth)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	var b strings.Builder
+	if err := d.Write(&b, WriteOptions{Indent: "  ", Header: true}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	d2, err := ParseString(b.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !structurallyEqual(d.Root, d2.Root) {
+		t.Errorf("round trip changed structure:\n%s\nvs\n%s", d.String(), d2.String())
+	}
+}
+
+func TestWriteEscaping(t *testing.T) {
+	root := NewElement("r")
+	root.SetAttr("a", `<&">`)
+	root.AppendChild(NewText("a<b & c>d"))
+	d := NewDocument(root)
+	var b strings.Builder
+	if err := d.Write(&b, WriteOptions{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := b.String()
+	for _, bad := range []string{"<&", `"<`} {
+		if strings.Contains(out, bad) {
+			t.Errorf("output contains unescaped %q: %s", bad, out)
+		}
+	}
+	d2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.Root.Text() != "a<b & c>d" {
+		t.Errorf("text round trip = %q", d2.Root.Text())
+	}
+	if v, _ := d2.Root.Attr("a"); v != `<&">` {
+		t.Errorf("attr round trip = %q", v)
+	}
+}
+
+func TestWriteSelfClosing(t *testing.T) {
+	d := NewDocument(NewElement("empty"))
+	var b strings.Builder
+	if err := d.Write(&b, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "<empty/>" {
+		t.Errorf("output = %q, want <empty/>", got)
+	}
+}
+
+// structurallyEqual compares trees ignoring node IDs and whitespace-only
+// differences in text.
+func structurallyEqual(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return false
+	}
+	if a.Kind == TextNode && strings.TrimSpace(a.Data) != strings.TrimSpace(b.Data) {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !structurallyEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortChildrenBy(t *testing.T) {
+	root := NewElement("r")
+	for _, name := range []string{"c", "a", "b"} {
+		e := NewElement("x")
+		e.SetText(name)
+		root.AppendChild(e)
+	}
+	root.SortChildrenBy(func(a, b *Node) bool { return a.Text() < b.Text() })
+	got := ""
+	for _, c := range root.Children {
+		got += c.Text()
+	}
+	if got != "abc" {
+		t.Errorf("sorted order = %q, want abc", got)
+	}
+}
+
+func TestAppendChildPanicsOnText(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewText("t").AppendChild(NewElement("e"))
+}

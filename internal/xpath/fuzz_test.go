@@ -1,0 +1,24 @@
+package xpath
+
+import "testing"
+
+// FuzzCompile checks the path compiler never panics and that compiled
+// paths evaluate safely.
+func FuzzCompile(f *testing.F) {
+	for _, s := range []string{
+		"title/text()", "@year", "a/b[3]/@id", "//movie", "*",
+		"person[@role='actor']/text()", "a[@x=\"y\"]", "", "[", "a[",
+		"a//b", "text()/x", "a[@='v']", "a[0]", "a[99999999999999999999]",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Compile(expr)
+		if err != nil {
+			return
+		}
+		if p.String() != expr {
+			t.Fatalf("String() = %q, want input %q", p.String(), expr)
+		}
+	})
+}

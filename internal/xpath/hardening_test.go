@@ -1,0 +1,137 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+// Hardening tests: compile fuzzing, deep selections, large fan-out.
+
+// Property: Compile never panics, and successful compiles produce a
+// path that evaluates without panicking on a small document.
+func TestCompileNeverPanics(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><b c="1"><d>x</d></b><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(expr string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p, err := Compile(expr)
+		if err != nil {
+			return true
+		}
+		_ = p.SelectValues(doc.Root)
+		_ = p.SelectNodes(doc.Root)
+		_ = p.SelectDocument(doc)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepPathSelection(t *testing.T) {
+	const depth = 200
+	var b, path strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "<l%d>", i)
+		if i > 0 {
+			path.WriteString("/")
+		}
+		fmt.Fprintf(&path, "l%d", i)
+	}
+	b.WriteString("leaf")
+	for i := depth - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "</l%d>", i)
+	}
+	doc, err := xmltree.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustCompile(path.String() + "/text()")
+	vals := p.SelectDocument(doc)
+	if len(vals) != 1 {
+		t.Fatalf("deep selection = %v", vals)
+	}
+	if vals[0].Text() != "leaf" {
+		t.Errorf("leaf text = %q", vals[0].Text())
+	}
+}
+
+func TestLargeFanOutSelection(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&b, "<e>%d</e>", i)
+	}
+	b.WriteString("</r>")
+	doc, err := xmltree.ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := MustCompile("e/text()").SelectValues(doc.Root)
+	if len(vals) != 20000 {
+		t.Fatalf("fan-out values = %d", len(vals))
+	}
+	if vals[19999] != "19999" {
+		t.Errorf("last value = %q", vals[19999])
+	}
+	// High positional predicate.
+	if got := MustCompile("e[20000]/text()").First(doc.Root); got != "19999" {
+		t.Errorf("e[20000] = %q", got)
+	}
+	if got := MustCompile("e[20001]/text()").SelectValues(doc.Root); got != nil {
+		t.Errorf("e[20001] = %v", got)
+	}
+}
+
+func TestDescendantAxisOnRecursiveStructure(t *testing.T) {
+	// Elements nested inside same-named elements.
+	doc, err := xmltree.ParseString(`<s><s><s>deep</s></s></s>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := MustCompile("//s").SelectDocument(doc)
+	if len(nodes) != 3 {
+		t.Errorf("//s on recursive structure = %d, want 3", len(nodes))
+	}
+}
+
+func TestPathOverTextHeavyDocument(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r>aaa<x>1</x>bbb<x>2</x>ccc</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := MustCompile("x/text()").SelectValues(doc.Root)
+	if len(vals) != 2 || vals[0] != "1" || vals[1] != "2" {
+		t.Errorf("values = %v", vals)
+	}
+	// text() of the context with mixed content.
+	if got := MustCompile("text()").First(doc.Root); got != "aaabbbccc" {
+		t.Errorf("context text = %q", got)
+	}
+}
+
+func TestSelectDocumentDoesNotMutate(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := doc.String()
+	_ = MustCompile("//b").SelectDocument(doc)
+	_ = MustCompile("a/b").SelectDocument(doc)
+	if doc.String() != before {
+		t.Error("selection mutated the document")
+	}
+	if doc.Root.Parent != nil {
+		t.Error("descendant-axis selection attached a parent to the root")
+	}
+}

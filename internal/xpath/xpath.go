@@ -1,0 +1,324 @@
+// Package xpath implements the small XPath subset SXNM configurations
+// use to address data inside XML documents:
+//
+//	title/text()              text of the <title> child
+//	@year                     an attribute of the context element
+//	people/person[1]/text()   positional predicates (1-based)
+//	movie_database/movies/movie   absolute candidate paths
+//	//movie                   descendant search from the root
+//	text()                    text of the context element itself
+//	*                         any-element wildcard step
+//
+// Paths are compiled once (Compile) and then evaluated many times
+// against xmltree nodes. The subset is deliberately exactly what the
+// paper's configuration tables (Tables 1 and 3) require, plus the `//`
+// and `*` conveniences.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// StepKind discriminates the three step types of the subset.
+type StepKind int
+
+const (
+	// ChildStep selects element children by name (or any, for "*").
+	ChildStep StepKind = iota
+	// TextStep selects the text content of the context element.
+	TextStep
+	// AttrStep selects an attribute value of the context element.
+	AttrStep
+)
+
+// Step is one component of a compiled path.
+type Step struct {
+	Kind  StepKind
+	Name  string // element name for ChildStep ("*" = any); attribute name for AttrStep
+	Index int    // 1-based positional predicate; 0 selects all matches
+	// FilterAttr/FilterValue implement the attribute-equality
+	// predicate name[@attr='value']; empty FilterAttr means none.
+	FilterAttr  string
+	FilterValue string
+}
+
+// Path is a compiled path expression.
+type Path struct {
+	// Descendant marks a leading "//": the first child step matches at
+	// any depth below the context node.
+	Descendant bool
+	Steps      []Step
+	src        string
+}
+
+// String returns the original source expression.
+func (p *Path) String() string { return p.src }
+
+// IsValuePath reports whether the path ends in text() or @attr and
+// therefore yields string values rather than elements.
+func (p *Path) IsValuePath() bool {
+	if len(p.Steps) == 0 {
+		return false
+	}
+	k := p.Steps[len(p.Steps)-1].Kind
+	return k == TextStep || k == AttrStep
+}
+
+// Compile parses a path expression. It returns an error describing the
+// offending token for anything outside the supported subset.
+func Compile(expr string) (*Path, error) {
+	src := expr
+	p := &Path{src: src}
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return nil, fmt.Errorf("xpath: empty expression")
+	}
+	if strings.HasPrefix(expr, "//") {
+		p.Descendant = true
+		expr = expr[2:]
+	} else if strings.HasPrefix(expr, "/") {
+		// Treat a single leading slash as an absolute path from the
+		// document root, which our evaluator models as evaluating
+		// against the root element itself.
+		expr = expr[1:]
+	}
+	if expr == "" {
+		return nil, fmt.Errorf("xpath: %q: no steps", src)
+	}
+	for i, raw := range strings.Split(expr, "/") {
+		step, err := parseStep(raw)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: %q: step %d: %w", src, i+1, err)
+		}
+		if len(p.Steps) > 0 {
+			last := p.Steps[len(p.Steps)-1]
+			if last.Kind != ChildStep {
+				return nil, fmt.Errorf("xpath: %q: %s must be the final step", src, kindName(last.Kind))
+			}
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p, nil
+}
+
+// MustCompile is Compile for statically known expressions; it panics on
+// error and is intended for fixtures and tests.
+func MustCompile(expr string) *Path {
+	p, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func kindName(k StepKind) string {
+	switch k {
+	case TextStep:
+		return "text()"
+	case AttrStep:
+		return "attribute"
+	default:
+		return "child"
+	}
+}
+
+func parseStep(raw string) (Step, error) {
+	raw = strings.TrimSpace(raw)
+	switch {
+	case raw == "":
+		return Step{}, fmt.Errorf("empty step (double slash inside path?)")
+	case raw == "text()":
+		return Step{Kind: TextStep}, nil
+	case strings.HasPrefix(raw, "@"):
+		name := raw[1:]
+		if name == "" || strings.ContainsAny(name, "[]/@() ") {
+			return Step{}, fmt.Errorf("invalid attribute name %q", raw)
+		}
+		return Step{Kind: AttrStep, Name: name}, nil
+	}
+	name := raw
+	index := 0
+	filterAttr, filterValue := "", ""
+	if i := strings.IndexByte(raw, '['); i >= 0 {
+		if !strings.HasSuffix(raw, "]") {
+			return Step{}, fmt.Errorf("unterminated predicate in %q", raw)
+		}
+		name = raw[:i]
+		pred := strings.TrimSpace(raw[i+1 : len(raw)-1])
+		if strings.HasPrefix(pred, "@") {
+			var err error
+			filterAttr, filterValue, err = parseAttrPredicate(pred)
+			if err != nil {
+				return Step{}, fmt.Errorf("predicate in %q: %w", raw, err)
+			}
+		} else {
+			n, err := strconv.Atoi(pred)
+			if err != nil || n < 1 {
+				return Step{}, fmt.Errorf("predicate must be a positive integer or @attr='value', got %q", pred)
+			}
+			index = n
+		}
+	}
+	if name == "" {
+		return Step{}, fmt.Errorf("missing element name in %q", raw)
+	}
+	if strings.ContainsAny(name, "[]/@() ") && name != "*" {
+		return Step{}, fmt.Errorf("invalid element name %q", name)
+	}
+	return Step{Kind: ChildStep, Name: name, Index: index, FilterAttr: filterAttr, FilterValue: filterValue}, nil
+}
+
+// parseAttrPredicate parses @attr='value' (single or double quotes).
+func parseAttrPredicate(pred string) (attr, value string, err error) {
+	eq := strings.IndexByte(pred, '=')
+	if eq < 0 {
+		return "", "", fmt.Errorf("expected @attr='value', got %q", pred)
+	}
+	attr = strings.TrimSpace(pred[1:eq])
+	if attr == "" || strings.ContainsAny(attr, "[]/@() ") {
+		return "", "", fmt.Errorf("invalid attribute name in %q", pred)
+	}
+	v := strings.TrimSpace(pred[eq+1:])
+	if len(v) < 2 || (v[0] != '\'' && v[0] != '"') || v[len(v)-1] != v[0] {
+		return "", "", fmt.Errorf("attribute value must be quoted in %q", pred)
+	}
+	return attr, v[1 : len(v)-1], nil
+}
+
+// SelectNodes evaluates p against ctx and returns the selected element
+// nodes. Paths ending in text() or @attr select the element the final
+// value belongs to (i.e. the element whose text/attribute would be
+// read); use SelectValues for the strings themselves.
+func (p *Path) SelectNodes(ctx *xmltree.Node) []*xmltree.Node {
+	cur := []*xmltree.Node{ctx}
+	for i, s := range p.Steps {
+		if s.Kind != ChildStep {
+			return cur // final value step: keep owning elements
+		}
+		var next []*xmltree.Node
+		matches := func(c *xmltree.Node) bool {
+			if c.Kind != xmltree.ElementNode || (s.Name != "*" && c.Name != s.Name) {
+				return false
+			}
+			if s.FilterAttr != "" {
+				v, ok := c.Attr(s.FilterAttr)
+				if !ok || v != s.FilterValue {
+					return false
+				}
+			}
+			return true
+		}
+		for _, n := range cur {
+			if i == 0 && p.Descendant {
+				n.Walk(func(d *xmltree.Node) bool {
+					if d != n && matches(d) {
+						next = append(next, d)
+					}
+					return true
+				})
+				continue
+			}
+			for _, c := range n.Children {
+				if matches(c) {
+					next = append(next, c)
+				}
+			}
+		}
+		if s.Index > 0 {
+			// Positional predicate applies per parent context in
+			// standard XPath; our flat collection applies it per parent
+			// by grouping on Parent pointers.
+			next = nthPerParent(next, s.Index)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// nthPerParent keeps, for each distinct parent, the idx-th (1-based)
+// node of the slice, preserving document order.
+func nthPerParent(nodes []*xmltree.Node, idx int) []*xmltree.Node {
+	count := make(map[*xmltree.Node]int, 8)
+	var out []*xmltree.Node
+	for _, n := range nodes {
+		count[n.Parent]++
+		if count[n.Parent] == idx {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SelectValues evaluates p against ctx and returns string values:
+// element text for text() paths, attribute values for @attr paths, and
+// element text for bare element paths (a convenience so configurations
+// may write "title" to mean "title/text()").
+func (p *Path) SelectValues(ctx *xmltree.Node) []string {
+	nodes := p.SelectNodes(ctx)
+	if len(nodes) == 0 {
+		return nil
+	}
+	last := p.Steps[len(p.Steps)-1]
+	var out []string
+	switch last.Kind {
+	case AttrStep:
+		for _, n := range nodes {
+			if v, ok := n.Attr(last.Name); ok {
+				out = append(out, v)
+			}
+		}
+	default: // TextStep or bare element path
+		for _, n := range nodes {
+			if t := n.Text(); t != "" {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// First returns the first selected value, or "" if the path selects
+// nothing.
+func (p *Path) First(ctx *xmltree.Node) string {
+	vals := p.SelectValues(ctx)
+	if len(vals) == 0 {
+		return ""
+	}
+	return vals[0]
+}
+
+// SelectDocument evaluates an absolute path against a document. The
+// first step must match the root element name (or use //).
+func (p *Path) SelectDocument(d *xmltree.Document) []*xmltree.Node {
+	if len(p.Steps) == 0 {
+		return nil
+	}
+	if p.Descendant {
+		return p.SelectNodes(wrapRoot(d))
+	}
+	first := p.Steps[0]
+	if first.Kind != ChildStep || (first.Name != "*" && first.Name != d.Root.Name) {
+		return nil
+	}
+	if len(p.Steps) == 1 {
+		return []*xmltree.Node{d.Root}
+	}
+	rest := &Path{Steps: p.Steps[1:], src: p.src}
+	return rest.SelectNodes(d.Root)
+}
+
+// wrapRoot returns a detached synthetic parent for descendant-axis
+// evaluation over the document root. The root keeps its real parent
+// (nil) because Walk never consults it.
+func wrapRoot(d *xmltree.Document) *xmltree.Node {
+	w := xmltree.NewElement("#document")
+	w.Children = []*xmltree.Node{d.Root}
+	return w
+}

@@ -1,0 +1,304 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+const movieXML = `
+<movie_database>
+  <movies>
+    <movie year="1999" length="136">
+      <title>Matrix</title>
+      <people>
+        <person>Keanu Reeves</person>
+        <person>Carrie-Anne Moss</person>
+        <person>Don Davis</person>
+      </people>
+    </movie>
+    <movie year="1998">
+      <title>Mask of Zorro</title>
+      <people>
+        <person>Antonio Banderas</person>
+      </people>
+    </movie>
+  </movies>
+</movie_database>`
+
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(movieXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func firstMovie(t *testing.T) *xmltree.Node {
+	t.Helper()
+	return doc(t).ElementsByPath("movie_database/movies/movie")[0]
+}
+
+func TestCompileValid(t *testing.T) {
+	valid := []string{
+		"title/text()",
+		"@year",
+		"people/person[1]/text()",
+		"movie_database/movies/movie",
+		"//movie",
+		"text()",
+		"*",
+		"*/text()",
+		"/movie_database/movies",
+		"a[12]/b[3]/@id",
+	}
+	for _, expr := range valid {
+		if _, err := Compile(expr); err != nil {
+			t.Errorf("Compile(%q) failed: %v", expr, err)
+		}
+	}
+}
+
+func TestCompileInvalid(t *testing.T) {
+	invalid := []string{
+		"",
+		"   ",
+		"a//b",
+		"a/text()/b",
+		"@year/title",
+		"a[b]",
+		"a[0]",
+		"a[-1]",
+		"a[1",
+		"@",
+		"a/@",
+		"a[1]extra[",
+	}
+	for _, expr := range invalid {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestIsValuePath(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"title/text()", true},
+		{"@year", true},
+		{"a/b/@c", true},
+		{"movie_database/movies/movie", false},
+		{"text()", true},
+	}
+	for _, c := range cases {
+		if got := MustCompile(c.expr).IsValuePath(); got != c.want {
+			t.Errorf("IsValuePath(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestTextValue(t *testing.T) {
+	m := firstMovie(t)
+	if got := MustCompile("title/text()").First(m); got != "Matrix" {
+		t.Errorf("title/text() = %q", got)
+	}
+}
+
+func TestAttrValue(t *testing.T) {
+	m := firstMovie(t)
+	if got := MustCompile("@year").First(m); got != "1999" {
+		t.Errorf("@year = %q", got)
+	}
+	if got := MustCompile("@missing").SelectValues(m); got != nil {
+		t.Errorf("@missing = %v, want nil", got)
+	}
+}
+
+func TestPositionalPredicate(t *testing.T) {
+	m := firstMovie(t)
+	if got := MustCompile("people/person[1]/text()").First(m); got != "Keanu Reeves" {
+		t.Errorf("person[1] = %q", got)
+	}
+	if got := MustCompile("people/person[3]/text()").First(m); got != "Don Davis" {
+		t.Errorf("person[3] = %q", got)
+	}
+	if got := MustCompile("people/person[4]/text()").SelectValues(m); got != nil {
+		t.Errorf("person[4] = %v, want nil", got)
+	}
+}
+
+func TestPredicatePerParent(t *testing.T) {
+	d, err := xmltree.ParseString(`<r><g><x>a</x><x>b</x></g><g><x>c</x></g></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := MustCompile("g/x[2]/text()").SelectValues(d.Root)
+	if len(vals) != 1 || vals[0] != "b" {
+		t.Errorf("x[2] per parent = %v, want [b]", vals)
+	}
+	first := MustCompile("g/x[1]/text()").SelectValues(d.Root)
+	if len(first) != 2 || first[0] != "a" || first[1] != "c" {
+		t.Errorf("x[1] per parent = %v, want [a c]", first)
+	}
+}
+
+func TestMultipleValues(t *testing.T) {
+	m := firstMovie(t)
+	got := MustCompile("people/person/text()").SelectValues(m)
+	want := []string{"Keanu Reeves", "Carrie-Anne Moss", "Don Davis"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("value[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBareElementPathYieldsText(t *testing.T) {
+	m := firstMovie(t)
+	if got := MustCompile("title").First(m); got != "Matrix" {
+		t.Errorf("bare title = %q", got)
+	}
+}
+
+func TestTextOfContext(t *testing.T) {
+	d, err := xmltree.ParseString(`<t>hello</t>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MustCompile("text()").First(d.Root); got != "hello" {
+		t.Errorf("text() = %q", got)
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	m := firstMovie(t)
+	nodes := MustCompile("*").SelectNodes(m)
+	if len(nodes) != 2 { // title, people
+		t.Errorf("* selected %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestSelectDocumentAbsolute(t *testing.T) {
+	d := doc(t)
+	movies := MustCompile("movie_database/movies/movie").SelectDocument(d)
+	if len(movies) != 2 {
+		t.Fatalf("absolute path selected %d, want 2", len(movies))
+	}
+	if movies[0].FirstChildElement("title").Text() != "Matrix" {
+		t.Error("wrong first movie")
+	}
+	// Root-only path selects the root.
+	if got := MustCompile("movie_database").SelectDocument(d); len(got) != 1 || got[0] != d.Root {
+		t.Errorf("root path = %v", got)
+	}
+	// Wrong root name selects nothing.
+	if got := MustCompile("other/movies/movie").SelectDocument(d); got != nil {
+		t.Errorf("wrong root = %v, want nil", got)
+	}
+}
+
+func TestSelectDocumentDescendant(t *testing.T) {
+	d := doc(t)
+	persons := MustCompile("//person").SelectDocument(d)
+	if len(persons) != 4 {
+		t.Errorf("//person selected %d, want 4", len(persons))
+	}
+	vals := MustCompile("//title/text()").SelectDocument(d)
+	if len(vals) != 2 {
+		t.Errorf("//title selected %d, want 2", len(vals))
+	}
+}
+
+func TestDescendantFromContext(t *testing.T) {
+	m := firstMovie(t)
+	got := MustCompile("//person/text()").SelectValues(m)
+	if len(got) != 3 {
+		t.Errorf("//person from movie = %v, want 3 values", got)
+	}
+}
+
+func TestSelectNodesMissing(t *testing.T) {
+	m := firstMovie(t)
+	if got := MustCompile("nosuch/child").SelectNodes(m); got != nil {
+		t.Errorf("missing path = %v, want nil", got)
+	}
+}
+
+func TestEmptyTextSkipped(t *testing.T) {
+	d, err := xmltree.ParseString(`<r><a></a><a>x</a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := MustCompile("a/text()").SelectValues(d.Root)
+	if len(vals) != 1 || vals[0] != "x" {
+		t.Errorf("vals = %v, want [x]", vals)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on bad input")
+		}
+	}()
+	MustCompile("[[[")
+}
+
+func TestStringReturnsSource(t *testing.T) {
+	const expr = "people/person[1]/text()"
+	if got := MustCompile(expr).String(); got != expr {
+		t.Errorf("String() = %q, want %q", got, expr)
+	}
+}
+
+func TestAttributePredicate(t *testing.T) {
+	d, err := xmltree.ParseString(`<r>
+	  <person role="actor">Keanu</person>
+	  <person role="director">Lana</person>
+	  <person>Anon</person>
+	</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MustCompile(`person[@role='actor']/text()`).SelectValues(d.Root)
+	if len(got) != 1 || got[0] != "Keanu" {
+		t.Errorf("actor filter = %v", got)
+	}
+	got = MustCompile(`person[@role="director"]/text()`).SelectValues(d.Root)
+	if len(got) != 1 || got[0] != "Lana" {
+		t.Errorf("director filter = %v", got)
+	}
+	if got := MustCompile(`person[@role='writer']/text()`).SelectValues(d.Root); got != nil {
+		t.Errorf("writer filter = %v, want nil", got)
+	}
+	// Elements missing the attribute never match.
+	nodes := MustCompile(`person[@role='']`).SelectNodes(d.Root)
+	if len(nodes) != 0 {
+		t.Errorf("empty-value filter matched %d nodes", len(nodes))
+	}
+	// Descendant axis with filter.
+	nodes = MustCompile(`//person[@role='actor']`).SelectDocument(d)
+	if len(nodes) != 1 {
+		t.Errorf("descendant filter = %d nodes", len(nodes))
+	}
+}
+
+func TestAttributePredicateErrors(t *testing.T) {
+	for _, expr := range []string{
+		`person[@role]`,
+		`person[@role=actor]`,
+		`person[@='x']`,
+		`person[@ro le='x']`,
+		`person[@role='x"]`,
+	} {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+}

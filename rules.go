@@ -1,0 +1,33 @@
+package sxnm
+
+import "repro/internal/rules"
+
+// Equational theory support (the paper's Sec. 5 outlook): boolean
+// expressions over per-field similarities replace the single-threshold
+// classification. See internal/rules for the expression language:
+//
+//	sim(1) >= 0.9 and (sim(3) >= 0.8 or desc >= 0.5)
+
+type (
+	// Rule is a compiled equational-theory expression bound to one
+	// candidate.
+	Rule = rules.Rule
+	// RuleSet maps candidates to rules and adapts them to run Options.
+	RuleSet = rules.RuleSet
+)
+
+// CompileRule parses an equational-theory expression for a candidate
+// of a validated configuration.
+func CompileRule(expr string, cand *Candidate) (*Rule, error) {
+	return rules.Compile(expr, cand)
+}
+
+// NewRuleSet compiles one expression per candidate name; candidates
+// without an expression keep their configured threshold rules. Use
+// RuleSet.Options as (or merged into) the Detector options:
+//
+//	rs, _ := sxnm.NewRuleSet(cfg, map[string]string{"movie": "sim(1) >= 0.9"})
+//	det, _ := sxnm.NewWithOptions(cfg, rs.Options())
+func NewRuleSet(cfg *Config, exprs map[string]string) (*RuleSet, error) {
+	return rules.NewRuleSet(cfg, exprs)
+}

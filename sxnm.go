@@ -1,0 +1,219 @@
+// Package sxnm is the public API of this reproduction of "XML
+// Duplicate Detection Using Sorted Neighborhoods" (Puhlmann, Weis,
+// Naumann — EDBT 2006). It detects duplicate elements in nested XML
+// data with the Sorted XML Neighborhood Method (SXNM): per-candidate
+// sort keys generated from configurable character patterns, multi-pass
+// sliding windows over the sorted keys, and a bottom-up similarity
+// that combines weighted object descriptions with the overlap of
+// already-deduplicated descendants.
+//
+// Quick start:
+//
+//	cfg, err := sxnm.LoadConfigFile("config.xml")
+//	doc, err := sxnm.ParseXMLFile("data.xml")
+//	det, err := sxnm.New(cfg)
+//	res, err := det.Run(doc)
+//	for name, cs := range res.Clusters {
+//	    fmt.Println(name, cs.NonSingletons())
+//	}
+//
+// See the examples directory for complete programs.
+package sxnm
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// Re-exported types. The facade aliases the internal packages' types
+// so callers only import this package.
+type (
+	// Config is the full SXNM parameter set: candidates with PATH, OD,
+	// and KEY relations plus windows and thresholds.
+	Config = config.Config
+	// Candidate configures one XML schema element for deduplication.
+	Candidate = config.Candidate
+	// PathDef, ODEntry, KeyDef, and KeyPart are the rows of the
+	// configuration relations of the paper's Sec. 3.2.
+	PathDef = config.PathDef
+	ODEntry = config.ODEntry
+	KeyDef  = config.KeyDef
+	KeyPart = config.KeyPart
+	// RuleKind selects the duplicate classification rule.
+	RuleKind = config.RuleKind
+
+	// Document is a parsed XML document.
+	Document = xmltree.Document
+	// Node is an element or text node of a Document.
+	Node = xmltree.Node
+	// WriteOptions control Document serialization.
+	WriteOptions = xmltree.WriteOptions
+
+	// Result is the outcome of a run: cluster sets, GK tables, stats.
+	Result = core.Result
+	// Options tune a run (pair observation, descendant toggles,
+	// custom decision rules).
+	Options = core.Options
+	// Stats carries the per-phase timings (KG, SW, TC) of the paper's
+	// scalability experiments.
+	Stats = core.Stats
+	// PairObservation describes one window comparison, delivered to
+	// Options.PairObserver.
+	PairObservation = core.PairObservation
+
+	// ClusterSet is the per-candidate duplicate partition (Def. 1).
+	ClusterSet = cluster.ClusterSet
+	// Pair is an unordered pair of element IDs.
+	Pair = cluster.Pair
+)
+
+// Classification rules (see config.RuleKind).
+const (
+	RuleCombined = config.RuleCombined
+	RuleEither   = config.RuleEither
+	RuleBoth     = config.RuleBoth
+)
+
+// LoadConfig reads and validates an XML configuration document.
+func LoadConfig(r io.Reader) (*Config, error) {
+	return config.Parse(r)
+}
+
+// LoadConfigFile reads and validates the configuration at path.
+func LoadConfigFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sxnm: %w", err)
+	}
+	defer f.Close()
+	return config.Parse(f)
+}
+
+// ParseXML parses an XML document from r.
+func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseXMLString parses an XML document held in a string.
+func ParseXMLString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// ParseXMLFile parses the XML document stored at path.
+func ParseXMLFile(path string) (*Document, error) { return xmltree.ParseFile(path) }
+
+// Detector runs SXNM with a fixed configuration.
+type Detector struct {
+	cfg  *Config
+	opts Options
+}
+
+// New validates the configuration (compiling paths, patterns, and
+// keys) and returns a Detector. Candidates that declare an equational
+// rule (Candidate.RuleExpr / the <rule> config element) have their
+// expressions compiled here; syntax errors surface immediately. The
+// configuration must not be mutated afterwards.
+func New(cfg *Config) (*Detector, error) {
+	return NewWithOptions(cfg, Options{})
+}
+
+// NewWithOptions is New with run options applied to every Run call. A
+// FieldRule in opts takes precedence over config-declared rules.
+func NewWithOptions(cfg *Config, opts Options) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: cfg, opts: opts}
+	if d.opts.FieldRule == nil {
+		exprs := make(map[string]string)
+		for i := range cfg.Candidates {
+			if cfg.Candidates[i].RuleExpr != "" {
+				exprs[cfg.Candidates[i].Name] = cfg.Candidates[i].RuleExpr
+			}
+		}
+		if len(exprs) > 0 {
+			rs, err := NewRuleSet(cfg, exprs)
+			if err != nil {
+				return nil, err
+			}
+			d.opts.FieldRule = rs.Options().FieldRule
+		}
+	}
+	return d, nil
+}
+
+// Config returns the validated configuration.
+func (d *Detector) Config() *Config { return d.cfg }
+
+// Run executes both SXNM phases over the document and returns the
+// cluster sets per candidate.
+func (d *Detector) Run(doc *Document) (*Result, error) {
+	return core.Run(doc, d.cfg, d.opts)
+}
+
+// RunReader parses XML from r and runs detection.
+func (d *Detector) RunReader(r io.Reader) (*Result, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(doc)
+}
+
+// RunFile parses the file at path and runs detection.
+func (d *Detector) RunFile(path string) (*Result, error) {
+	doc, err := xmltree.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(doc)
+}
+
+// RunStream executes SXNM over XML read from r without materializing
+// the whole document: key generation is streaming (memory bounded by
+// the largest candidate subtree), then detection runs over the GK
+// tables as usual. Requires plain candidate paths (no //, *, or
+// predicates). The result carries no document, so document-dependent
+// helpers (Deduplicate, Fuse, WriteClustersCSV) do not apply; cluster
+// sets and statistics are complete.
+func (d *Detector) RunStream(r io.Reader) (*Result, error) {
+	kg, err := core.GenerateKeysStream(r, d.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Detect(kg, d.cfg, d.opts)
+}
+
+// RunStreamFile is RunStream over the file at path.
+func (d *Detector) RunStreamFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sxnm: %w", err)
+	}
+	defer f.Close()
+	return d.RunStream(f)
+}
+
+// WriteGK runs only the key generation phase over the document and
+// serializes the GK relations (the paper's temporary tables) to w, so
+// detection can later run repeatedly — e.g. sweeping windows and
+// thresholds — without re-reading the XML. Load with RunFromGK.
+func (d *Detector) WriteGK(doc *Document, w io.Writer) error {
+	kg, err := core.GenerateKeys(doc, d.cfg)
+	if err != nil {
+		return err
+	}
+	return core.WriteGK(w, kg)
+}
+
+// RunFromGK runs the detection phase over GK relations previously
+// serialized by WriteGK under the same configuration.
+func (d *Detector) RunFromGK(r io.Reader) (*Result, error) {
+	kg, err := core.ReadGK(r, d.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Detect(kg, d.cfg, d.opts)
+}

@@ -1,0 +1,225 @@
+package sxnm
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const demoConfig = `
+<sxnm-config>
+  <candidate name="movie" xpath="movie_database/movies/movie" window="5" threshold="0.8">
+    <path id="1" relPath="title/text()"/>
+    <od pid="1" relevance="1"/>
+    <key name="title"><part pid="1" order="1" pattern="K1-K5"/></key>
+  </candidate>
+  <candidate name="person" xpath="movie_database/movies/movie/people/person" window="5" threshold="0.85">
+    <path id="1" relPath="text()"/>
+    <od pid="1" relevance="1"/>
+    <key name="name"><part pid="1" order="1" pattern="C1-C6"/></key>
+  </candidate>
+</sxnm-config>`
+
+const demoXML = `
+<movie_database>
+  <movies>
+    <movie><title>Silent River</title>
+      <people><person>Keanu Reeves</person><person>Don Davis</person></people>
+    </movie>
+    <movie><title>Silnt River</title>
+      <people><person>Keanu Reves</person><person>Don Davis</person></people>
+    </movie>
+    <movie><title>Broken Storm</title>
+      <people><person>Uma Thurman</person></people>
+    </movie>
+  </movies>
+</movie_database>`
+
+func demoDetector(t *testing.T) *Detector {
+	t.Helper()
+	cfg, err := LoadConfig(strings.NewReader(demoConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	det := demoDetector(t)
+	res, err := det.RunReader(strings.NewReader(demoXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	movies := res.Clusters["movie"]
+	if movies == nil {
+		t.Fatal("no movie clusters")
+	}
+	dups := movies.NonSingletons()
+	if len(dups) != 1 || len(dups[0].Members) != 2 {
+		t.Fatalf("movie clusters:\n%s", movies)
+	}
+	persons := res.Clusters["person"]
+	if got := len(persons.NonSingletons()); got != 2 {
+		t.Fatalf("person duplicate clusters = %d, want 2:\n%s", got, persons)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(&Config{}); err == nil {
+		t.Fatal("empty config must fail validation")
+	}
+}
+
+func TestNewWithOptions(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(demoConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := 0
+	det, err := NewWithOptions(cfg, Options{
+		PairObserver: func(PairObservation) { observed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.RunReader(strings.NewReader(demoXML)); err != nil {
+		t.Fatal(err)
+	}
+	if observed == 0 {
+		t.Error("pair observer never invoked")
+	}
+}
+
+func TestDetectorConfigAccessor(t *testing.T) {
+	det := demoDetector(t)
+	if det.Config().Candidate("movie") == nil {
+		t.Error("config accessor broken")
+	}
+}
+
+func TestRunFileAndParseFile(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := dir + "/data.xml"
+	cfgPath := dir + "/config.xml"
+	if err := writeFile(xmlPath, demoXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(cfgPath, demoConfig); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfigFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.RunFile(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters["movie"].NonSingletons()) != 1 {
+		t.Error("file-based run found wrong duplicates")
+	}
+	if _, err := det.RunFile(dir + "/absent.xml"); err == nil {
+		t.Error("absent file should fail")
+	}
+	if _, err := LoadConfigFile(dir + "/absent.xml"); err == nil {
+		t.Error("absent config should fail")
+	}
+}
+
+func TestRunReaderBadXML(t *testing.T) {
+	det := demoDetector(t)
+	if _, err := det.RunReader(strings.NewReader("not xml <")); err == nil {
+		t.Error("bad xml should fail")
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	det := demoDetector(t)
+	doc, err := ParseXMLString(demoXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Deduplicate(doc, res)
+	movies := clean.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 2 {
+		t.Fatalf("deduplicated movie count = %d, want 2", len(movies))
+	}
+	// The original document is untouched.
+	if got := len(doc.ElementsByPath("movie_database/movies/movie")); got != 3 {
+		t.Errorf("original mutated: %d movies", got)
+	}
+	// Persons within the removed movie are gone; the surviving movie
+	// keeps its persons.
+	persons := clean.ElementsByPath("movie_database/movies/movie/people/person")
+	if len(persons) != 3 {
+		t.Errorf("deduplicated person count = %d, want 3", len(persons))
+	}
+}
+
+func TestDeduplicateKeepsMostComplete(t *testing.T) {
+	// Second duplicate carries an extra review (a non-candidate child):
+	// it is the more complete record and should be the survivor.
+	xmlStr := `
+<movie_database>
+  <movies>
+    <movie><title>Silent River</title>
+      <people><person>Keanu Reeves</person></people>
+    </movie>
+    <movie><title>Silent River!</title>
+      <people><person>Keanu Reeves</person></people>
+      <review>A stunning achievement in modern cinema.</review>
+    </movie>
+  </movies>
+</movie_database>`
+	det := demoDetector(t)
+	doc, err := ParseXMLString(xmlStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Deduplicate(doc, res)
+	movies := clean.ElementsByPath("movie_database/movies/movie")
+	if len(movies) != 1 {
+		t.Fatalf("movie count = %d, want 1", len(movies))
+	}
+	if movies[0].FirstChildElement("review") == nil {
+		t.Error("survivor should be the richer record carrying the review")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	det := demoDetector(t)
+	res, err := det.RunReader(strings.NewReader(demoXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(res)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	if sums[0].Candidate != "movie" || sums[1].Candidate != "person" {
+		t.Errorf("summary order: %+v", sums)
+	}
+	if sums[0].Elements != 3 || sums[0].NonSingleton != 1 || sums[0].Pairs != 1 {
+		t.Errorf("movie summary: %+v", sums[0])
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

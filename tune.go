@@ -1,0 +1,30 @@
+package sxnm
+
+import "repro/internal/tune"
+
+// Parameter tuning (the paper's Sec. 3.4 guidance: calibrate
+// thresholds and windows on a labelled sample).
+
+type (
+	// TuneOptions configure a tuning sweep; see internal/tune.
+	TuneOptions = tune.Options
+	// TuneResult holds every evaluated setting plus the best one.
+	TuneResult = tune.Result
+	// TuneSetting is one evaluated parameter combination.
+	TuneSetting = tune.Setting
+)
+
+// Tune sweeps thresholds (and optionally windows and descendant
+// thresholds) for one candidate over a labelled sample document whose
+// candidate elements carry x-gold identities, and reports the setting
+// with the best f-measure. The configuration must be validated and is
+// not modified.
+func Tune(sample *Document, cfg *Config, opts TuneOptions) (*TuneResult, error) {
+	return tune.Tune(sample, cfg, opts)
+}
+
+// ApplyTuned writes a tuned setting into the configuration's candidate
+// and re-validates.
+func ApplyTuned(cfg *Config, candidate string, best TuneSetting) error {
+	return tune.Apply(cfg, candidate, best)
+}
