@@ -1,0 +1,27 @@
+# Verification pipeline for the SXNM reproduction. `make check` is the
+# full gate: vet, build, race-enabled tests, and a short fuzz pass over
+# every parser in the tree.
+
+GO       ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test fuzz-short
+
+check: vet build test fuzz-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Each fuzz target runs for $(FUZZTIME) with the unit tests filtered
+# out (-run '^$$' keeps the corpus-only seeds from re-running twice).
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/xmltree
+	$(GO) test -run '^$$' -fuzz FuzzCompilePattern -fuzztime $(FUZZTIME) ./internal/keygen
+	$(GO) test -run '^$$' -fuzz FuzzCompileRule -fuzztime $(FUZZTIME) ./internal/rules
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/xpath

@@ -9,6 +9,7 @@ package sxnm
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -421,6 +422,33 @@ func BenchmarkAblationKeyGenDOMvsStream(b *testing.B) {
 	b.Run("stream", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.GenerateKeysStream(strings.NewReader(xmlText), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCancellationOverhead contrasts a plain Run (nil Done
+// channel: every cancellation check short-circuits) against the same
+// run under a cancelable context (checks active, polled every 1024
+// window pairs). The delta is the price of the robustness layer on the
+// sliding-window hot loop — it must stay in the noise (<2%).
+func BenchmarkCancellationOverhead(b *testing.B) {
+	doc := largeCDDoc(b)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := validated(b, config.DataSet3(5))
+			if _, err := core.Run(doc, cfg, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cancelable", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < b.N; i++ {
+			cfg := validated(b, config.DataSet3(5))
+			if _, err := core.RunContext(ctx, doc, cfg, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

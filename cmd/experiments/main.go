@@ -13,17 +13,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, core.ErrCanceled) ||
+			errors.Is(err, core.ErrDeadlineExceeded) ||
+			errors.Is(err, core.ErrLimitExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -35,9 +44,26 @@ func run(args []string) error {
 		quick   = fs.Bool("quick", false, "reduced data sizes for a fast run")
 		seed    = fs.Int64("seed", 1, "generation seed")
 		format  = fs.String("format", "text", "output format: text | markdown")
+		timeout = fs.Duration("timeout", 0, "abort the whole artifact run after this duration (0 = unlimited)")
+		depth   = fs.Int("max-depth", 0, "per-run document depth ceiling (0 = unlimited)")
+		nodes   = fs.Int("max-nodes", 0, "per-run document node ceiling (0 = unlimited)")
+		cmps    = fs.Int("max-comparisons", 0, "per-run window comparison ceiling (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// One envelope for every detection run: ^C and -timeout abort the
+	// sweep with a typed cause (exit code 3) rather than mid-table junk.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	env := experiments.RunEnv{
+		Ctx:    ctx,
+		Limits: core.Limits{MaxDepth: *depth, MaxNodes: *nodes, MaxComparisons: *cmps},
 	}
 	var render func(experiments.Table) string
 	switch *format {
@@ -87,7 +113,7 @@ func run(args []string) error {
 	}
 
 	if sel("fig4a", "fig4b") {
-		opts := experiments.Set1MoviesOptions{Seed: *seed}
+		opts := experiments.Set1MoviesOptions{Seed: *seed, Env: env}
 		if *quick {
 			opts.Movies = 500
 			opts.Windows = []int{2, 4, 8, 12}
@@ -110,7 +136,7 @@ func run(args []string) error {
 		}
 	}
 	if sel("fig4c") {
-		opts := experiments.Set1CDsOptions{Seed: *seed}
+		opts := experiments.Set1CDsOptions{Seed: *seed, Env: env}
 		if *quick {
 			opts.Discs = 200
 			opts.Windows = []int{2, 4, 8, 12}
@@ -123,7 +149,7 @@ func run(args []string) error {
 		fmt.Println(render(r.FMeasureTable()))
 	}
 	if sel("fig4d") {
-		opts := experiments.Set1LargeOptions{Seed: *seed}
+		opts := experiments.Set1LargeOptions{Seed: *seed, Env: env}
 		if *quick {
 			opts.Discs = 2000
 			opts.Windows = []int{2, 5}
@@ -143,7 +169,7 @@ func run(args []string) error {
 		fmt.Println(render(r.BreakdownTable("MP")))
 	}
 	if sel("fig5", "fig5a", "fig5b", "fig5c", "fig5d") {
-		opts := experiments.Set2Options{Seed: *seed}
+		opts := experiments.Set2Options{Seed: *seed, Env: env}
 		if *quick {
 			opts.Sizes = []int{500, 1000, 2000}
 		} else {
@@ -168,7 +194,7 @@ func run(args []string) error {
 		}
 	}
 	if sel("ablations") {
-		opts := experiments.AblationOptions{Seed: *seed}
+		opts := experiments.AblationOptions{Seed: *seed, Env: env}
 		if *quick {
 			opts.Movies = 300
 		} else {
@@ -182,7 +208,7 @@ func run(args []string) error {
 		fmt.Println(render(r.Table()))
 	}
 	if sel("fig6a", "fig6b") {
-		opts := experiments.Set3Options{Seed: *seed}
+		opts := experiments.Set3Options{Seed: *seed, Env: env}
 		if *quick {
 			opts.Discs = 250
 		}

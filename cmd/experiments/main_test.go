@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
 
 func TestRunTablesOnly(t *testing.T) {
 	// Tables are cheap and exercise the full selection plumbing.
@@ -37,5 +42,20 @@ func TestRunMarkdownFormat(t *testing.T) {
 	}
 	if err := run([]string{"-run", "table2", "-format", "bogus"}); err == nil {
 		t.Error("unknown format should fail")
+	}
+}
+
+func TestRunInterruptedByLimits(t *testing.T) {
+	// A one-comparison budget interrupts the first ablation variant;
+	// the whole sweep aborts with the typed cause instead of emitting
+	// partially measured tables.
+	err := run([]string{"-run", "ablations", "-quick", "-max-comparisons", "1"})
+	if !errors.Is(err, core.ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+
+	err = run([]string{"-run", "fig6a", "-quick", "-timeout", "1ns"})
+	if !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
 	}
 }

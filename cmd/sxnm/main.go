@@ -9,12 +9,22 @@
 // keys (see the package documentation of repro for the format). With
 // -clusters the detected duplicate clusters are printed per candidate;
 // with -output a de-duplicated copy of the input is written.
+//
+// Operational limits: -timeout bounds the wall clock, -max-depth and
+// -max-nodes reject oversized documents at parse time, and
+// -max-comparisons caps the sliding-window work. An interrupted run
+// (limit breach, timeout, or ^C) reports the candidates that finished
+// and exits with code 3 instead of 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	sxnm "repro"
 	"repro/internal/xmltree"
@@ -23,6 +33,11 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sxnm:", err)
+		if errors.Is(err, sxnm.ErrCanceled) ||
+			errors.Is(err, sxnm.ErrDeadlineExceeded) ||
+			errors.Is(err, sxnm.ErrLimitExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -40,6 +55,10 @@ func run(args []string) error {
 		stream     = fs.Bool("stream", false, "streaming key generation (bounded memory; summary and stats only)")
 		gkOut      = fs.String("gk-out", "", "write the generated GK relations here (phase 1 only)")
 		gkIn       = fs.String("gk-in", "", "run detection over previously saved GK relations instead of -input")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = unlimited)")
+		maxDepth   = fs.Int("max-depth", 0, "reject documents nested deeper than this many elements (0 = unlimited)")
+		maxNodes   = fs.Int("max-nodes", 0, "reject documents with more than this many nodes (0 = unlimited)")
+		maxCmp     = fs.Int("max-comparisons", 0, "stop after this many window comparisons (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,17 +67,27 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-config and one of -input or -gk-in are required")
 	}
+	lim := sxnm.Limits{
+		Timeout:        *timeout,
+		MaxDepth:       *maxDepth,
+		MaxNodes:       *maxNodes,
+		MaxComparisons: *maxCmp,
+	}
 
 	cfg, err := sxnm.LoadConfigFile(*configPath)
 	if err != nil {
 		return err
 	}
-	det, err := sxnm.New(cfg)
+	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{Limits: lim})
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var doc *sxnm.Document
 	var res *sxnm.Result
+	var runErr error
 	if *gkIn != "" {
 		if *stream || *outputPath != "" || *clusters || *csvPath != "" || *gkOut != "" {
 			return fmt.Errorf("-gk-in supports only the summary, -stats, and -clusters-xml outputs")
@@ -68,23 +97,32 @@ func run(args []string) error {
 			return err
 		}
 		defer f.Close()
-		if res, err = det.RunFromGK(f); err != nil {
-			return err
-		}
+		res, runErr = det.RunFromGKContext(ctx, f)
 	} else if *stream {
 		if *outputPath != "" || *clusters || *csvPath != "" {
 			return fmt.Errorf("-stream supports only the summary, -stats, and -clusters-xml outputs (no document is materialized)")
 		}
-		if res, err = det.RunStreamFile(*inputPath); err != nil {
-			return err
-		}
+		res, runErr = det.RunStreamFileContext(ctx, *inputPath)
 	} else {
-		if doc, err = sxnm.ParseXMLFile(*inputPath); err != nil {
+		if doc, err = xmltree.ParseFileWithLimits(*inputPath, lim); err != nil {
 			return err
 		}
-		if res, err = det.Run(doc); err != nil {
-			return err
+		res, runErr = det.RunContext(ctx, doc)
+	}
+	if runErr != nil {
+		if res == nil || res.Incomplete == nil {
+			return runErr
 		}
+		// Graceful degradation: report how far the run got, summarize
+		// the candidates that completed, and exit with the interruption
+		// status. Document-derived outputs are skipped — they would
+		// silently reflect a partially deduplicated document.
+		reportIncomplete(res)
+		for _, s := range sxnm.Summarize(res) {
+			fmt.Printf("%s: %d elements, %d clusters, %d duplicate groups, %d duplicate pairs\n",
+				s.Candidate, s.Elements, s.Clusters, s.NonSingleton, s.Pairs)
+		}
+		return runErr
 	}
 
 	if *gkOut != "" {
@@ -145,6 +183,19 @@ func run(args []string) error {
 		fmt.Printf("wrote de-duplicated document to %s\n", *outputPath)
 	}
 	return nil
+}
+
+// reportIncomplete describes an interrupted run on stderr: the phase
+// and cause, plus which candidates finished and which did not.
+func reportIncomplete(res *sxnm.Result) {
+	inc := res.Incomplete
+	fmt.Fprintf(os.Stderr, "sxnm: run interrupted during %s: %v\n", inc.Phase, inc.Cause)
+	if len(inc.Completed) > 0 {
+		fmt.Fprintf(os.Stderr, "sxnm: completed candidates: %s\n", strings.Join(inc.Completed, ", "))
+	}
+	if len(inc.Interrupted) > 0 {
+		fmt.Fprintf(os.Stderr, "sxnm: interrupted candidates: %s\n", strings.Join(inc.Interrupted, ", "))
+	}
 }
 
 // printClusters shows each duplicate group with a short description of

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	sxnm "repro"
 )
 
 const testConfig = `
@@ -72,6 +75,49 @@ func TestRunBadFiles(t *testing.T) {
 	badCfg := write(t, dir, "bad.xml", "<sxnm-config/>")
 	if err := run([]string{"-config", badCfg, "-input", data}); err == nil {
 		t.Error("invalid config should fail")
+	}
+}
+
+func TestRunLimitFlags(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+
+	// Unreachable limits leave the run untouched.
+	if err := run([]string{"-config", cfg, "-input", data,
+		"-timeout", "1m", "-max-depth", "100", "-max-nodes", "10000", "-max-comparisons", "100000"}); err != nil {
+		t.Fatalf("generous limits: %v", err)
+	}
+
+	// The document nests movie_database/movies/movie/title: depth 4.
+	err := run([]string{"-config", cfg, "-input", data, "-max-depth", "2"})
+	var le *sxnm.LimitError
+	if !errors.As(err, &le) || le.Limit != "max-depth" {
+		t.Errorf("-max-depth 2: want max-depth LimitError, got %v", err)
+	}
+
+	err = run([]string{"-config", cfg, "-input", data, "-max-nodes", "3"})
+	if !errors.As(err, &le) || le.Limit != "max-nodes" {
+		t.Errorf("-max-nodes 3: want max-nodes LimitError, got %v", err)
+	}
+
+	// Three movies in a window of five: three comparisons, so a cap of
+	// one interrupts the sliding window mid-candidate.
+	err = run([]string{"-config", cfg, "-input", data, "-max-comparisons", "1"})
+	if !errors.Is(err, sxnm.ErrLimitExceeded) {
+		t.Errorf("-max-comparisons 1: want ErrLimitExceeded, got %v", err)
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	// An already-expired deadline is noticed at the latest when the
+	// first candidate enters transitive closure.
+	err := run([]string{"-config", cfg, "-input", data, "-timeout", "1ns"})
+	if !errors.Is(err, sxnm.ErrDeadlineExceeded) {
+		t.Errorf("-timeout 1ns: want ErrDeadlineExceeded, got %v", err)
 	}
 }
 

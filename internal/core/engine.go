@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/runlimit"
 	"repro/internal/similarity"
 	"repro/internal/xmltree"
 )
@@ -56,8 +60,14 @@ type Options struct {
 	// so same-depth candidates never read each other's cluster sets.
 	// Results are identical to sequential runs. Phase durations then
 	// overlap in wall-clock terms, so keep this off for Fig. 5 style
-	// measurements.
+	// measurements. A panic inside a worker is recovered into a
+	// *PanicError naming the candidate and cancels its siblings.
 	Parallel bool
+	// Limits bounds the run's wall-clock time and resource use; the
+	// zero value is unlimited. On a breach the run stops gracefully,
+	// returning the partial Result (with Result.Incomplete describing
+	// how far it got) alongside the typed cause.
+	Limits Limits
 }
 
 // CandidateStats holds per-candidate phase measurements.
@@ -93,27 +103,63 @@ func (s *Stats) DuplicateDetection() time.Duration {
 
 // Result is the outcome of a full SXNM run: one cluster set per
 // candidate (Def. 1), the GK tables, and the phase statistics.
+// Incomplete is nil for a run that finished; an interrupted run
+// (cancellation, deadline, or resource limit) returns the work
+// completed so far with Incomplete describing the interruption.
 type Result struct {
-	Clusters map[string]*cluster.ClusterSet
-	Tables   map[string]*GKTable
-	Stats    Stats
+	Clusters   map[string]*cluster.ClusterSet
+	Tables     map[string]*GKTable
+	Stats      Stats
+	Incomplete *Incomplete
 }
 
 // Run executes SXNM over the document: key generation, then bottom-up
 // multi-pass sliding-window duplicate detection with transitive
 // closure per candidate. The configuration must be validated.
 func Run(doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, error) {
-	kg, err := GenerateKeys(doc, cfg)
+	return RunContext(context.Background(), doc, cfg, opts)
+}
+
+// RunContext is Run under a context and opts.Limits: the run stops
+// cooperatively on cancellation, deadline expiry, or a limit breach.
+// It then returns the partial Result (never nil on interruption, with
+// Result.Incomplete set) together with the typed cause — ErrCanceled,
+// ErrDeadlineExceeded, or a *LimitError, matchable via errors.Is/As.
+// An uninterrupted run returns results identical to Run.
+func RunContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, error) {
+	ctx, stop := runlimit.WithTimeout(ctx, opts.Limits)
+	defer stop()
+	kg, err := GenerateKeysContext(ctx, doc, cfg, opts.Limits)
 	if err != nil {
+		if isInterruption(err) {
+			return PartialFromKeyGen(kg, err), err
+		}
 		return nil, err
 	}
-	return Detect(kg, cfg, opts)
+	return DetectContext(ctx, kg, cfg, opts)
 }
 
 // Detect executes the duplicate detection phase over previously
 // generated keys; splitting it from Run lets benchmarks time the
 // phases separately.
 func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error) {
+	return DetectContext(context.Background(), kg, cfg, opts)
+}
+
+// DetectContext is Detect with the cooperative cancellation and
+// resource budget of RunContext applied to the detection phase.
+func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error) {
+	ctx, stop := runlimit.WithTimeout(ctx, opts.Limits)
+	defer stop()
+	// Parallel workers share a cancelable context so a panic in one
+	// worker stops its siblings promptly.
+	cancelSiblings := context.CancelFunc(func() {})
+	if opts.Parallel {
+		ctx, cancelSiblings = context.WithCancel(ctx)
+	}
+	defer cancelSiblings()
+	bud := newBudget(ctx, opts.Limits)
+
 	res := &Result{
 		Clusters: make(map[string]*cluster.ClusterSet, len(cfg.Candidates)),
 		Tables:   kg.Tables,
@@ -122,9 +168,11 @@ func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error)
 			Candidates: make(map[string]*CandidateStats, len(cfg.Candidates)),
 		},
 	}
+	var completed []string
 	for _, group := range DetectionOrder(kg, cfg) {
 		type outcome struct {
 			name   string
+			ran    bool
 			cs     *cluster.ClusterSet
 			cstats *CandidateStats
 			err    error
@@ -132,13 +180,22 @@ func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error)
 		outcomes := make([]outcome, len(group))
 		runOne := func(i int) {
 			cand := group[i]
+			defer func() {
+				if r := recover(); r != nil {
+					outcomes[i] = outcome{name: cand.Name, ran: true, err: &PanicError{
+						Candidate: cand.Name, Value: r, Stack: debug.Stack(),
+					}}
+					cancelSiblings()
+				}
+			}()
 			t := kg.Tables[cand.Name]
 			if t == nil {
-				outcomes[i] = outcome{err: fmt.Errorf("core: no GK table for candidate %q", cand.Name)}
+				outcomes[i] = outcome{name: cand.Name, ran: true,
+					err: fmt.Errorf("core: no GK table for candidate %q", cand.Name)}
 				return
 			}
-			cs, cstats, err := detectCandidate(t, res.Clusters, opts)
-			outcomes[i] = outcome{name: cand.Name, cs: cs, cstats: cstats, err: err}
+			cs, cstats, err := detectCandidate(bud, t, res.Clusters, opts)
+			outcomes[i] = outcome{name: cand.Name, ran: true, cs: cs, cstats: cstats, err: err}
 		}
 		if opts.Parallel && len(group) > 1 {
 			var wg sync.WaitGroup
@@ -153,11 +210,41 @@ func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error)
 		} else {
 			for i := range group {
 				runOne(i)
+				// Sequentially there is no point starting the next
+				// candidate once this one was cut short or failed.
+				if outcomes[i].err != nil {
+					break
+				}
 			}
 		}
+
+		// Classify the group's outcomes: panics and hard errors abort
+		// the run; interruptions keep the completed work.
+		var intr *interruptError
+		var interrupted []string
 		for _, o := range outcomes {
-			if o.err != nil {
+			if !o.ran || o.err == nil {
+				continue
+			}
+			var pe *PanicError
+			if errors.As(o.err, &pe) {
 				return nil, o.err
+			}
+			if !isInterruption(o.err) {
+				return nil, o.err
+			}
+			var ie *interruptError
+			if !errors.As(o.err, &ie) {
+				ie = &interruptError{cause: o.err, phase: PhaseSlidingWindow, pass: -1}
+			}
+			if intr == nil {
+				intr = ie
+			}
+			interrupted = append(interrupted, o.name)
+		}
+		for _, o := range outcomes {
+			if !o.ran || o.err != nil {
+				continue
 			}
 			res.Clusters[o.name] = o.cs
 			res.Stats.Candidates[o.name] = o.cstats
@@ -166,6 +253,17 @@ func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error)
 			res.Stats.Comparisons += o.cstats.Comparisons
 			res.Stats.FilteredOut += o.cstats.FilteredOut
 			res.Stats.DuplicatePairs += o.cstats.DuplicatePairs
+			completed = append(completed, o.name)
+		}
+		if intr != nil {
+			res.Incomplete = &Incomplete{
+				Cause:       intr.cause,
+				Phase:       intr.phase,
+				Completed:   completed,
+				Interrupted: interrupted,
+				KeyPass:     intr.pass,
+			}
+			return res, intr.cause
 		}
 	}
 	return res, nil
@@ -173,8 +271,10 @@ func Detect(kg *KeyGenResult, cfg *config.Config, opts Options) (*Result, error)
 
 // detectCandidate runs the multi-pass sliding window (Sec. 3.4,
 // "general duplicate detection process") for one candidate and closes
-// the detected pairs into a cluster set.
-func detectCandidate(t *GKTable, clusters map[string]*cluster.ClusterSet, opts Options) (*cluster.ClusterSet, *CandidateStats, error) {
+// the detected pairs into a cluster set. The budget's cancellation and
+// comparison caps are polled every few iterations of the hot loops; an
+// interruption surfaces as an *interruptError naming the phase.
+func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.ClusterSet, opts Options) (*cluster.ClusterSet, *CandidateStats, error) {
 	cand := t.Candidate
 	cstats := &CandidateStats{Rows: len(t.Rows)}
 
@@ -213,11 +313,19 @@ func detectCandidate(t *GKTable, clusters map[string]*cluster.ClusterSet, opts O
 			for j := lo; j < i; j++ {
 				a, b := &t.Rows[order[j]], &t.Rows[order[i]]
 				cstats.WindowPairs++
+				if err := bud.poll(cstats.WindowPairs); err != nil {
+					cstats.SlidingWindow = time.Since(swStart)
+					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
+				}
 				key := packPair(a.EID, b.EID)
 				if _, seen := compared[key]; seen {
 					continue
 				}
 				compared[key] = struct{}{}
+				if err := bud.addComparison(); err != nil {
+					cstats.SlidingWindow = time.Since(swStart)
+					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
+				}
 				odSim, descSim, hasDesc, dup, filtered, err := comparePair(t, a, b, useDesc, opts)
 				if err != nil {
 					return nil, nil, err
@@ -249,11 +357,31 @@ func detectCandidate(t *GKTable, clusters map[string]*cluster.ClusterSet, opts O
 	cstats.SlidingWindow = time.Since(swStart)
 
 	tcStart := time.Now()
+	tcInterrupt := func(err error) (*cluster.ClusterSet, *CandidateStats, error) {
+		cstats.TransitiveClosure = time.Since(tcStart)
+		return nil, cstats, &interruptError{cause: err, phase: PhaseTransitiveClosure, pass: -1}
+	}
+	// Phase-entry check so a cancellation arriving at the tail of the
+	// sliding window is attributed to the closure it would interrupt.
+	if bud.active {
+		if err := bud.check(); err != nil {
+			return tcInterrupt(err)
+		}
+	}
 	uf := cluster.NewUnionFind()
+	tcIter := 0
 	for i := range t.Rows {
+		tcIter++
+		if err := bud.poll(tcIter); err != nil {
+			return tcInterrupt(err)
+		}
 		uf.Add(t.Rows[i].EID)
 	}
 	for _, p := range pairs {
+		tcIter++
+		if err := bud.poll(tcIter); err != nil {
+			return tcInterrupt(err)
+		}
 		uf.Union(p.A, p.B)
 	}
 	cs := cluster.Build(uf)

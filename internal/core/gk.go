@@ -4,10 +4,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/runlimit"
 	"repro/internal/similarity"
 	"repro/internal/xmltree"
 )
@@ -65,7 +67,23 @@ type KeyGenResult struct {
 //
 // The configuration must be validated.
 func GenerateKeys(doc *xmltree.Document, cfg *config.Config) (*KeyGenResult, error) {
+	return GenerateKeysContext(context.Background(), doc, cfg, Limits{})
+}
+
+// GenerateKeysContext is GenerateKeys under a context and limits: the
+// document walk checks for cancellation periodically, lim.MaxRows caps
+// the rows recorded per candidate, and lim.MaxDepth/MaxNodes are
+// verified up front (mirroring the parse-time checks for documents
+// built in memory). On interruption the partial KeyGenResult built so
+// far is returned together with the typed cause.
+func GenerateKeysContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, lim Limits) (*KeyGenResult, error) {
 	start := time.Now()
+	ctx, stop := runlimit.WithTimeout(ctx, lim)
+	defer stop()
+	bud := newBudget(ctx, lim)
+	if err := checkDocLimits(doc, lim); err != nil {
+		return &KeyGenResult{Tables: map[string]*GKTable{}, Duration: time.Since(start)}, err
+	}
 
 	tables := make(map[string]*GKTable, len(cfg.Candidates))
 	for i := range cfg.Candidates {
@@ -117,18 +135,26 @@ func GenerateKeys(doc *xmltree.Document, cfg *config.Config) (*KeyGenResult, err
 		row  int // index into tables[cand.Name].Rows
 	}
 	var stack []open
+	visited := 0
 	var walk func(n *xmltree.Node) error
 	walk = func(n *xmltree.Node) error {
 		if n.Kind != xmltree.ElementNode {
 			return nil
 		}
+		visited++
+		if err := bud.poll(visited); err != nil {
+			return err
+		}
 		pushed := false
 		if c := candidateOf(n); c != nil {
+			t := tables[c.Name]
+			if lim.MaxRows > 0 && len(t.Rows)+1 > lim.MaxRows {
+				return &LimitError{Limit: "max-rows", Max: lim.MaxRows, Observed: len(t.Rows) + 1}
+			}
 			row, err := buildRow(n, c)
 			if err != nil {
 				return err
 			}
-			t := tables[c.Name]
 			t.byEID[row.EID] = len(t.Rows)
 			t.Rows = append(t.Rows, row)
 			if len(stack) > 0 {
@@ -154,6 +180,11 @@ func GenerateKeys(doc *xmltree.Document, cfg *config.Config) (*KeyGenResult, err
 		return nil
 	}
 	if err := walk(doc.Root); err != nil {
+		if isInterruption(err) {
+			// Keep the rows extracted so far: the caller may still
+			// inspect or persist the partial tables.
+			return &KeyGenResult{Tables: tables, Duration: time.Since(start)}, err
+		}
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/runlimit"
 	"repro/internal/similarity"
 	"repro/internal/xmltree"
 )
@@ -30,7 +32,20 @@ import (
 // stack before the subtree is read. Configurations violating this are
 // rejected with an error; use GenerateKeys for them.
 func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) {
+	return GenerateKeysStreamContext(context.Background(), r, cfg, Limits{})
+}
+
+// GenerateKeysStreamContext is GenerateKeysStream under a context and
+// limits. Because the stream *is* the parse, lim.MaxDepth and
+// lim.MaxNodes are enforced on the fly (same semantics as
+// xmltree.ParseWithLimits), lim.MaxRows caps rows per candidate, and
+// cancellation is polled every few tokens. On interruption the partial
+// KeyGenResult is returned together with the typed cause.
+func GenerateKeysStreamContext(ctx context.Context, r io.Reader, cfg *config.Config, lim Limits) (*KeyGenResult, error) {
 	start := time.Now()
+	ctx, stop := runlimit.WithTimeout(ctx, lim)
+	defer stop()
+	bud := newBudget(ctx, lim)
 
 	tables := make(map[string]*GKTable, len(cfg.Candidates))
 	byAbsPath := make(map[string]*config.Candidate, len(cfg.Candidates))
@@ -88,6 +103,20 @@ func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) 
 	// name. They are attached to the row when the instance closes.
 	var pendingDesc []map[string][]int
 
+	// partial returns the tables filled so far together with the typed
+	// interruption cause, preserving completed work.
+	partial := func(cause error) (*KeyGenResult, error) {
+		return &KeyGenResult{Tables: tables, Duration: time.Since(start)}, cause
+	}
+	checkNodes := func() error {
+		if lim.MaxNodes > 0 && nextID > lim.MaxNodes {
+			return &runlimit.LimitError{Limit: "max-nodes", Max: lim.MaxNodes, Observed: nextID}
+		}
+		return nil
+	}
+
+	tokens := 0
+	depth := 0
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -96,9 +125,20 @@ func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) 
 		if err != nil {
 			return nil, fmt.Errorf("core: stream: %w", err)
 		}
+		tokens++
+		if err := bud.poll(tokens); err != nil {
+			return partial(err)
+		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			depth++
+			if lim.MaxDepth > 0 && depth > lim.MaxDepth {
+				return partial(&runlimit.LimitError{Limit: "max-depth", Max: lim.MaxDepth, Observed: depth})
+			}
 			nextID++
+			if err := checkNodes(); err != nil {
+				return partial(err)
+			}
 			id := nextID
 			if cur != nil {
 				// Inside a buffered candidate subtree.
@@ -130,6 +170,7 @@ func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) 
 				pendingDesc = append(pendingDesc, nil)
 			}
 		case xml.EndElement:
+			depth--
 			if cur != nil {
 				// Does this end tag close the innermost candidate?
 				if len(candRoots) > 0 && cur == candRoots[len(candRoots)-1] {
@@ -140,12 +181,17 @@ func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) 
 					candRoots = candRoots[:len(candRoots)-1]
 					pendingDesc = pendingDesc[:len(pendingDesc)-1]
 
+					tbl := tables[inst.cand.Name]
+					if lim.MaxRows > 0 && len(tbl.Rows)+1 > lim.MaxRows {
+						return partial(&runlimit.LimitError{
+							Limit: "max-rows", Max: lim.MaxRows, Observed: len(tbl.Rows) + 1,
+						})
+					}
 					row, err := buildRow(root, inst.cand)
 					if err != nil {
 						return nil, err
 					}
 					row.Desc = desc
-					tbl := tables[inst.cand.Name]
 					tbl.byEID[row.EID] = len(tbl.Rows)
 					tbl.Rows = append(tbl.Rows, row)
 
@@ -189,12 +235,18 @@ func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) 
 					continue
 				}
 				nextID++
+				if err := checkNodes(); err != nil {
+					return partial(err)
+				}
 				txt := xmltree.NewText(s)
 				txt.ID = nextID
 				cur.AppendChild(txt)
 			} else {
 				if sawRoot && depthOutside > 0 {
 					nextID++
+					if err := checkNodes(); err != nil {
+						return partial(err)
+					}
 				}
 			}
 		}

@@ -18,6 +18,7 @@ type AblationOptions struct {
 	Movies int // clean movies (default 1000)
 	Seed   int64
 	Window int // base window (default 5)
+	Env    RunEnv
 }
 
 func (o *AblationOptions) defaults() {
@@ -74,7 +75,7 @@ func ExpAblations(opts AblationOptions) (*AblationResult, error) {
 			return err
 		}
 		start := time.Now()
-		run, err := core.Run(doc, cfg, o)
+		run, err := opts.Env.Run(doc, cfg, o)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/xmltree"
+)
+
+// RunEnv is the operational envelope shared by every detection run of
+// an experiment: the context governing cancellation and the resource
+// Limits. The zero value is context.Background with no limits — the
+// paper's unbounded behavior — so existing callers need no changes.
+//
+// Experiments sweep many configurations over generated corpora, so a
+// single run's interruption aborts the whole experiment: partial
+// tables would silently skew the reproduced figures. The typed cause
+// (core.ErrCanceled, core.ErrDeadlineExceeded, core.ErrLimitExceeded)
+// propagates out for the caller to report.
+type RunEnv struct {
+	Ctx    context.Context
+	Limits core.Limits
+}
+
+func (e RunEnv) context() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
+}
+
+// Run executes one detection run under the environment, applying its
+// Limits on top of the run options.
+func (e RunEnv) Run(doc *xmltree.Document, cfg *config.Config, opts core.Options) (*core.Result, error) {
+	opts.Limits = e.Limits
+	return core.RunContext(e.context(), doc, cfg, opts)
+}

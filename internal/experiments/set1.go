@@ -20,6 +20,7 @@ type Set1MoviesOptions struct {
 	Movies  int   // clean movies (default 2000)
 	Seed    int64 // generation seed
 	Windows []int // window sizes to sweep (default 2..20 step 2)
+	Env     RunEnv
 }
 
 func (o *Set1MoviesOptions) defaults() {
@@ -88,7 +89,7 @@ func ExpSet1Movies(opts Set1MoviesOptions) (*Set1MoviesResult, error) {
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
-			run, err := core.Run(doc, cfg, core.Options{})
+			run, err := opts.Env.Run(doc, cfg, core.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -153,6 +154,7 @@ type Set1CDsOptions struct {
 	Discs   int // clean discs (default 500, as in the paper)
 	Seed    int64
 	Windows []int // default 2..12
+	Env     RunEnv
 }
 
 func (o *Set1CDsOptions) defaults() {
@@ -196,7 +198,7 @@ func ExpSet1CDs(opts Set1CDsOptions) (*Set1CDsResult, error) {
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
-			run, err := core.Run(doc, cfg, core.Options{})
+			run, err := opts.Env.Run(doc, cfg, core.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -217,6 +219,7 @@ type Set1LargeOptions struct {
 	Discs   int // corpus size (default 10000, as in the paper)
 	Seed    int64
 	Windows []int // default 2..10
+	Env     RunEnv
 }
 
 func (o *Set1LargeOptions) defaults() {
@@ -268,7 +271,7 @@ func ExpSet1Large(opts Set1LargeOptions) (*Set1LargeResult, error) {
 			if err := cfg.Validate(); err != nil {
 				return nil, err
 			}
-			run, err := core.Run(doc, cfg, core.Options{})
+			run, err := opts.Env.Run(doc, cfg, core.Options{})
 			if err != nil {
 				return nil, err
 			}

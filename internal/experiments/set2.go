@@ -18,6 +18,7 @@ type Set2Options struct {
 	// Repeats re-runs each measurement and keeps the fastest (default
 	// 3), damping scheduler noise in the phase timings.
 	Repeats int
+	Env     RunEnv
 }
 
 func (o *Set2Options) defaults() {
@@ -69,7 +70,7 @@ func ExpSet2Scalability(opts Set2Options) (*Set2Result, error) {
 				if err := cfg.Validate(); err != nil {
 					return nil, err
 				}
-				run, err := core.Run(doc, cfg, core.Options{})
+				run, err := opts.Env.Run(doc, cfg, core.Options{})
 				if err != nil {
 					return nil, err
 				}

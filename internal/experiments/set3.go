@@ -25,6 +25,7 @@ type Set3Options struct {
 	FixedOD float64
 	// DescThresholds sweeps Fig. 6(b) (default 0.1..0.9 step 0.1).
 	DescThresholds []float64
+	Env            RunEnv
 }
 
 func (o *Set3Options) defaults() {
@@ -91,7 +92,7 @@ func ExpSet3Thresholds(opts Set3Options) (*Set3Result, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
-		run, err := core.Run(doc, cfg, core.Options{DisableDescendants: true})
+		run, err := opts.Env.Run(doc, cfg, core.Options{DisableDescendants: true})
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +112,7 @@ func ExpSet3Thresholds(opts Set3Options) (*Set3Result, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
-		run, err := core.Run(doc, cfg, core.Options{})
+		run, err := opts.Env.Run(doc, cfg, core.Options{})
 		if err != nil {
 			return nil, err
 		}

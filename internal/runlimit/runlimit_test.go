@@ -1,0 +1,79 @@
+package runlimit
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLimitErrorMatching(t *testing.T) {
+	var err error = &LimitError{Limit: "max-nodes", Max: 10, Observed: 11}
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Error("LimitError should match ErrLimitExceeded")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "max-nodes" || le.Observed != 11 {
+		t.Errorf("errors.As lost fields: %+v", le)
+	}
+	if !strings.Contains(err.Error(), "max-nodes") {
+		t.Errorf("message should name the limit: %q", err.Error())
+	}
+	if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded) {
+		t.Error("LimitError must not match the other causes")
+	}
+}
+
+func TestContextCause(t *testing.T) {
+	if ContextCause(context.Background()) != nil {
+		t.Error("live context should have no cause")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !errors.Is(ContextCause(ctx), ErrCanceled) {
+		t.Error("canceled context should map to ErrCanceled")
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if !errors.Is(ContextCause(dctx), ErrDeadlineExceeded) {
+		t.Error("expired context should map to ErrDeadlineExceeded")
+	}
+}
+
+func TestIsInterruption(t *testing.T) {
+	for _, err := range []error{
+		ErrCanceled,
+		ErrDeadlineExceeded,
+		&LimitError{Limit: "max-rows", Max: 1, Observed: 2},
+	} {
+		if !IsInterruption(err) {
+			t.Errorf("%v should be an interruption", err)
+		}
+	}
+	if IsInterruption(errors.New("boom")) || IsInterruption(nil) {
+		t.Error("plain errors and nil are not interruptions")
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, stop := WithTimeout(context.Background(), Limits{})
+	defer stop()
+	if ctx.Done() != nil {
+		t.Error("no timeout must preserve a nil Done channel")
+	}
+	ctx2, stop2 := WithTimeout(context.Background(), Limits{Timeout: time.Minute})
+	defer stop2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Error("timeout should install a deadline")
+	}
+}
+
+func TestBounded(t *testing.T) {
+	if (Limits{}).Bounded() || (Limits{CheckEvery: 5}).Bounded() {
+		t.Error("zero limits (or CheckEvery alone) are unbounded")
+	}
+	if !(Limits{MaxDepth: 1}).Bounded() || !(Limits{Timeout: 1}).Bounded() {
+		t.Error("any cap makes Limits bounded")
+	}
+}

@@ -1,0 +1,92 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/runlimit"
+)
+
+// Regression (alongside hardening_test.go): content after the root
+// element used to be silently ignored; it must now be rejected.
+func TestTrailingContentRejected(t *testing.T) {
+	cases := []struct {
+		name, xml string
+		ok        bool
+	}{
+		{"trailing text", "<r><e>x</e></r>trailing junk", false},
+		{"trailing entity", "<r/>&#65;", false},
+		{"trailing cdata", "<r/><![CDATA[junk]]>", false},
+		{"trailing whitespace", "<r><e>x</e></r>\n\t  ", true},
+		{"trailing comment", "<r/><!-- fine -->", true},
+		{"leading whitespace", "\n  <r/>", true},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.xml)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("%s: trailing content accepted", c.name)
+			} else if !strings.Contains(err.Error(), "after root element") {
+				t.Errorf("%s: unclear error: %v", c.name, err)
+			}
+		}
+	}
+}
+
+func TestParseWithLimitsDepth(t *testing.T) {
+	deep := strings.Repeat("<d>", 10) + "x" + strings.Repeat("</d>", 10)
+
+	if _, err := ParseWithLimits(strings.NewReader(deep), runlimit.Limits{MaxDepth: 10}); err != nil {
+		t.Fatalf("depth exactly at the cap must parse: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(deep), runlimit.Limits{MaxDepth: 5})
+	if !errors.Is(err, runlimit.ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+	var le *runlimit.LimitError
+	if !errors.As(err, &le) || le.Limit != "max-depth" || le.Max != 5 || le.Observed != 6 {
+		t.Errorf("limit details = %+v", le)
+	}
+}
+
+func TestParseWithLimitsNodes(t *testing.T) {
+	// <r> + 5 <e>text</e> children = 1 + 5*2 = 11 nodes.
+	xml := "<r>" + strings.Repeat("<e>text</e>", 5) + "</r>"
+	if _, err := ParseWithLimits(strings.NewReader(xml), runlimit.Limits{MaxNodes: 11}); err != nil {
+		t.Fatalf("node count at the cap must parse: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(xml), runlimit.Limits{MaxNodes: 4})
+	var le *runlimit.LimitError
+	if !errors.As(err, &le) || le.Limit != "max-nodes" {
+		t.Fatalf("want max-nodes LimitError, got %v", err)
+	}
+}
+
+// Node numbering with limits enabled must match unlimited parsing.
+func TestParseWithLimitsNumberingUnchanged(t *testing.T) {
+	xml := `<r><a>one</a><b x="1">two<c/></b></r>`
+	plain, err := ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := ParseWithLimits(strings.NewReader(xml), runlimit.Limits{MaxDepth: 100, MaxNodes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != limited.String() {
+		t.Error("limited parse changed the document")
+	}
+	if plain.Stats() != limited.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", plain.Stats(), limited.Stats())
+	}
+}
+
+func TestParseFileWithLimits(t *testing.T) {
+	if _, err := ParseFileWithLimits("/nonexistent/x.xml", runlimit.Limits{}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -7,18 +7,41 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"repro/internal/runlimit"
 )
 
 // Parse reads an XML document from r into a Document. Namespaces are
 // flattened to local names; comments, processing instructions, and
 // directives are dropped; pure-whitespace text between elements is
-// discarded. Node IDs are assigned in document order starting at 1.
+// discarded. Non-whitespace content after the root element closes is
+// rejected. Node IDs are assigned in document order starting at 1.
 func Parse(r io.Reader) (*Document, error) {
+	return ParseWithLimits(r, runlimit.Limits{})
+}
+
+// ParseWithLimits is Parse with resource ceilings enforced during the
+// token scan: lim.MaxDepth caps element nesting (root = depth 1) and
+// lim.MaxNodes caps the document-order node count (elements plus
+// significant text nodes). A breach aborts the parse with a
+// *runlimit.LimitError, so hostile or runaway documents fail fast
+// instead of exhausting memory. Zero limits parse unbounded.
+func ParseWithLimits(r io.Reader, lim runlimit.Limits) (*Document, error) {
 	dec := xml.NewDecoder(r)
 	dec.Strict = true
 
 	var root *Node
 	var cur *Node
+	depth := 0
+	nodes := 0
+	countNode := func() error {
+		nodes++
+		if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+			return fmt.Errorf("xmltree: parse: %w",
+				&runlimit.LimitError{Limit: "max-nodes", Max: lim.MaxNodes, Observed: nodes})
+		}
+		return nil
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -29,6 +52,14 @@ func Parse(r io.Reader) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			depth++
+			if lim.MaxDepth > 0 && depth > lim.MaxDepth {
+				return nil, fmt.Errorf("xmltree: parse: %w",
+					&runlimit.LimitError{Limit: "max-depth", Max: lim.MaxDepth, Observed: depth})
+			}
+			if err := countNode(); err != nil {
+				return nil, err
+			}
 			e := NewElement(t.Name.Local)
 			for _, a := range t.Attr {
 				// Drop namespace declarations; keep everything else by
@@ -53,11 +84,18 @@ func Parse(r io.Reader) (*Document, error) {
 				return nil, errors.New("xmltree: parse: unbalanced end element")
 			}
 			cur = cur.Parent
+			depth--
 		case xml.CharData:
-			if cur == nil {
-				continue // whitespace or stray text outside root
-			}
 			s := string(t)
+			if cur == nil {
+				// Whitespace around the root is insignificant, but any
+				// other content outside the root element means the input
+				// is not a well-formed single document.
+				if root != nil && strings.TrimSpace(s) != "" {
+					return nil, errors.New("xmltree: parse: non-whitespace content after root element")
+				}
+				continue
+			}
 			if strings.TrimSpace(s) == "" {
 				continue
 			}
@@ -66,6 +104,9 @@ func Parse(r io.Reader) (*Document, error) {
 			if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
 				cur.Children[k-1].Data += s
 				continue
+			}
+			if err := countNode(); err != nil {
+				return nil, err
 			}
 			cur.AppendChild(NewText(s))
 		}
@@ -86,10 +127,16 @@ func ParseString(s string) (*Document, error) {
 
 // ParseFile parses the XML document stored at path.
 func ParseFile(path string) (*Document, error) {
+	return ParseFileWithLimits(path, runlimit.Limits{})
+}
+
+// ParseFileWithLimits parses the XML document stored at path with the
+// resource ceilings of ParseWithLimits.
+func ParseFileWithLimits(path string, lim runlimit.Limits) (*Document, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("xmltree: %w", err)
 	}
 	defer f.Close()
-	return Parse(f)
+	return ParseWithLimits(f, lim)
 }

@@ -1,0 +1,154 @@
+package sxnm
+
+// Facade-level tests for operational limits, cancellation, and
+// graceful degradation — including the acceptance scenario: a short
+// deadline over the large generated corpus returns promptly with a
+// partial Result, while the same run uncancelled is byte-identical to
+// an unlimited run.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+)
+
+func largeConfig(t *testing.T) *Config {
+	t.Helper()
+	cfg := config.DataSet3(5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestDeadlineOverLargeDataset(t *testing.T) {
+	doc := dataset.DataSet3(1500, 1)
+
+	// Reference: the unlimited run (~400ms on dev hardware).
+	det, err := New(largeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const deadline = 50 * time.Millisecond
+	limited, err := NewWithOptions(largeConfig(t), Options{Limits: Limits{Timeout: deadline}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	part, err := limited.RunContext(context.Background(), doc)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+	if part == nil || part.Incomplete == nil {
+		t.Fatal("deadline breach must return a partial result with Incomplete")
+	}
+	if !errors.Is(part.Incomplete.Cause, ErrDeadlineExceeded) {
+		t.Errorf("Incomplete.Cause = %v", part.Incomplete.Cause)
+	}
+	if len(part.Incomplete.Interrupted) == 0 && part.Incomplete.Phase == "" {
+		t.Errorf("Incomplete must name the interrupted work: %+v", part.Incomplete)
+	}
+	// The acceptance bound is ~2x the deadline; the checks fire every
+	// 1024 window pairs (about a millisecond of work), so the only
+	// reason to miss 100ms is scheduler noise or the race detector —
+	// allow 5x before failing.
+	if elapsed > 5*deadline {
+		t.Errorf("run took %v, want well under %v", elapsed, 5*deadline)
+	}
+	// Whatever completed matches the unlimited run exactly.
+	for _, name := range part.Incomplete.Completed {
+		if part.Clusters[name].String() != full.Clusters[name].String() {
+			t.Errorf("candidate %q: partial clusters diverge", name)
+		}
+	}
+}
+
+func TestUncancelledRunByteIdenticalToSeed(t *testing.T) {
+	doc := dataset.DataSet3(800, 1)
+	det, err := New(largeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	det2, err := New(largeConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := det2.RunContext(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCtx.Incomplete != nil {
+		t.Fatal("uncancelled run must be complete")
+	}
+	a := ClustersDocument(plain).String()
+	b := ClustersDocument(viaCtx).String()
+	if a != b {
+		t.Error("cancelable context changed the serialized cluster output")
+	}
+}
+
+func TestRunStreamContextPartialResult(t *testing.T) {
+	doc := dataset.DataSet3(500, 1)
+	xmlText := doc.String()
+	det, err := NewWithOptions(largeConfig(t), Options{Limits: Limits{CheckEvery: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupt immediately: keygen never gets past token one
+	res, err := det.RunStreamContext(ctx, strings.NewReader(xmlText))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if res == nil || res.Incomplete == nil || res.Incomplete.Phase != "key-generation" {
+		t.Fatalf("want key-generation partial result, got %+v", res)
+	}
+}
+
+func TestFacadeLimitErrors(t *testing.T) {
+	det, err := NewWithOptions(largeConfig(t), Options{Limits: Limits{MaxDepth: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = det.RunReader(strings.NewReader("<cds><disc><dtitle>x</dtitle></disc></cds>"))
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "max-depth" {
+		t.Fatalf("want max-depth LimitError through the facade, got %v", err)
+	}
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Error("facade error should match ErrLimitExceeded")
+	}
+	if !strings.HasPrefix(err.Error(), "sxnm:") {
+		t.Errorf("facade error should carry the sxnm: prefix: %v", err)
+	}
+}
+
+func TestParseXMLWithLimits(t *testing.T) {
+	_, err := ParseXMLWithLimits(strings.NewReader("<a><b><c/></b></a>"), Limits{MaxDepth: 2})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+	doc, err := ParseXMLWithLimits(strings.NewReader("<a><b/></a>"), Limits{MaxDepth: 2})
+	if err != nil || doc == nil {
+		t.Fatalf("within limits should parse: %v", err)
+	}
+}

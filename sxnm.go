@@ -21,6 +21,7 @@
 package sxnm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/runlimit"
 	"repro/internal/xmltree"
 )
 
@@ -71,6 +73,28 @@ type (
 	ClusterSet = cluster.ClusterSet
 	// Pair is an unordered pair of element IDs.
 	Pair = cluster.Pair
+
+	// Limits bounds a run: wall-clock timeout, parse-time depth and
+	// node ceilings, GK rows per candidate, and window comparisons.
+	// The zero value is unlimited (the paper's behavior).
+	Limits = core.Limits
+	// Incomplete describes how far an interrupted run got; see
+	// Result.Incomplete.
+	Incomplete = core.Incomplete
+	// LimitError names the breached limit and the observed value; it
+	// matches ErrLimitExceeded via errors.Is.
+	LimitError = core.LimitError
+	// PanicError reports a panic recovered inside a Parallel detection
+	// worker, carrying the candidate name and stack.
+	PanicError = core.PanicError
+)
+
+// Typed interruption causes carried by interrupted runs alongside the
+// partial Result; match with errors.Is.
+var (
+	ErrCanceled         = core.ErrCanceled
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	ErrLimitExceeded    = core.ErrLimitExceeded
 )
 
 // Classification rules (see config.RuleKind).
@@ -85,18 +109,30 @@ func LoadConfig(r io.Reader) (*Config, error) {
 	return config.Parse(r)
 }
 
-// LoadConfigFile reads and validates the configuration at path.
+// LoadConfigFile reads and validates the configuration at path. Every
+// error is prefixed "sxnm:" and names the file.
 func LoadConfigFile(path string) (*Config, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sxnm: %w", err)
 	}
 	defer f.Close()
-	return config.Parse(f)
+	cfg, err := config.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("sxnm: %s: %w", path, err)
+	}
+	return cfg, nil
 }
 
 // ParseXML parses an XML document from r.
 func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseXMLWithLimits parses an XML document from r, enforcing the
+// MaxDepth and MaxNodes ceilings during the token scan so hostile
+// documents fail fast with a *LimitError instead of exhausting memory.
+func ParseXMLWithLimits(r io.Reader, lim Limits) (*Document, error) {
+	return xmltree.ParseWithLimits(r, lim)
+}
 
 // ParseXMLString parses an XML document held in a string.
 func ParseXMLString(s string) (*Document, error) { return xmltree.ParseString(s) }
@@ -150,25 +186,56 @@ func (d *Detector) Config() *Config { return d.cfg }
 // Run executes both SXNM phases over the document and returns the
 // cluster sets per candidate.
 func (d *Detector) Run(doc *Document) (*Result, error) {
-	return core.Run(doc, d.cfg, d.opts)
+	return d.RunContext(context.Background(), doc)
+}
+
+// RunContext is Run under a context and the Detector's Limits (set via
+// NewWithOptions): the run stops cooperatively on cancellation,
+// deadline expiry, or a limit breach and returns the partial Result
+// (Result.Incomplete describes how far it got) together with the typed
+// cause — ErrCanceled, ErrDeadlineExceeded, or a *LimitError.
+func (d *Detector) RunContext(ctx context.Context, doc *Document) (*Result, error) {
+	return core.RunContext(ctx, doc, d.cfg, d.opts)
 }
 
 // RunReader parses XML from r and runs detection.
 func (d *Detector) RunReader(r io.Reader) (*Result, error) {
-	doc, err := xmltree.Parse(r)
+	return d.RunReaderContext(context.Background(), r)
+}
+
+// RunReaderContext is RunReader under a context; the Detector's
+// MaxDepth/MaxNodes limits are enforced while parsing.
+func (d *Detector) RunReaderContext(ctx context.Context, r io.Reader) (*Result, error) {
+	doc, err := xmltree.ParseWithLimits(r, d.opts.Limits)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sxnm: %w", err)
 	}
-	return d.Run(doc)
+	return d.RunContext(ctx, doc)
 }
 
 // RunFile parses the file at path and runs detection.
 func (d *Detector) RunFile(path string) (*Result, error) {
-	doc, err := xmltree.ParseFile(path)
+	return d.RunFileContext(context.Background(), path)
+}
+
+// RunFileContext is RunFile under a context. Every error is prefixed
+// "sxnm:" and names the file; interrupted runs still return their
+// partial Result.
+func (d *Detector) RunFileContext(ctx context.Context, path string) (*Result, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sxnm: %w", err)
 	}
-	return d.Run(doc)
+	defer f.Close()
+	doc, err := xmltree.ParseWithLimits(f, d.opts.Limits)
+	if err != nil {
+		return nil, fmt.Errorf("sxnm: %s: %w", path, err)
+	}
+	res, err := d.RunContext(ctx, doc)
+	if err != nil {
+		return res, fmt.Errorf("sxnm: %s: %w", path, err)
+	}
+	return res, nil
 }
 
 // RunStream executes SXNM over XML read from r without materializing
@@ -179,21 +246,45 @@ func (d *Detector) RunFile(path string) (*Result, error) {
 // helpers (Deduplicate, Fuse, WriteClustersCSV) do not apply; cluster
 // sets and statistics are complete.
 func (d *Detector) RunStream(r io.Reader) (*Result, error) {
-	kg, err := core.GenerateKeysStream(r, d.cfg)
+	return d.RunStreamContext(context.Background(), r)
+}
+
+// RunStreamContext is RunStream under a context and the Detector's
+// Limits. MaxDepth/MaxNodes are enforced on the fly during the token
+// scan; an interrupted run returns the partial Result with
+// Result.Incomplete set alongside the typed cause.
+func (d *Detector) RunStreamContext(ctx context.Context, r io.Reader) (*Result, error) {
+	ctx, stop := runlimit.WithTimeout(ctx, d.opts.Limits)
+	defer stop()
+	kg, err := core.GenerateKeysStreamContext(ctx, r, d.cfg, d.opts.Limits)
 	if err != nil {
+		if runlimit.IsInterruption(err) {
+			return core.PartialFromKeyGen(kg, err), err
+		}
 		return nil, err
 	}
-	return core.Detect(kg, d.cfg, d.opts)
+	return core.DetectContext(ctx, kg, d.cfg, d.opts)
 }
 
 // RunStreamFile is RunStream over the file at path.
 func (d *Detector) RunStreamFile(path string) (*Result, error) {
+	return d.RunStreamFileContext(context.Background(), path)
+}
+
+// RunStreamFileContext is RunStreamFile under a context. Every error
+// is prefixed "sxnm:" and names the file; interrupted runs still
+// return their partial Result.
+func (d *Detector) RunStreamFileContext(ctx context.Context, path string) (*Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sxnm: %w", err)
 	}
 	defer f.Close()
-	return d.RunStream(f)
+	res, err := d.RunStreamContext(ctx, f)
+	if err != nil {
+		return res, fmt.Errorf("sxnm: %s: %w", path, err)
+	}
+	return res, nil
 }
 
 // WriteGK runs only the key generation phase over the document and
@@ -211,9 +302,15 @@ func (d *Detector) WriteGK(doc *Document, w io.Writer) error {
 // RunFromGK runs the detection phase over GK relations previously
 // serialized by WriteGK under the same configuration.
 func (d *Detector) RunFromGK(r io.Reader) (*Result, error) {
+	return d.RunFromGKContext(context.Background(), r)
+}
+
+// RunFromGKContext is RunFromGK under a context and the Detector's
+// Limits applied to the detection phase.
+func (d *Detector) RunFromGKContext(ctx context.Context, r io.Reader) (*Result, error) {
 	kg, err := core.ReadGK(r, d.cfg)
 	if err != nil {
 		return nil, err
 	}
-	return core.Detect(kg, d.cfg, d.opts)
+	return core.DetectContext(ctx, kg, d.cfg, d.opts)
 }
