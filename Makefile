@@ -25,3 +25,6 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzCompilePattern -fuzztime $(FUZZTIME) ./internal/keygen
 	$(GO) test -run '^$$' -fuzz FuzzCompileRule -fuzztime $(FUZZTIME) ./internal/rules
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/xpath
+	$(GO) test -run '^$$' -fuzz 'FuzzReadGK$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzGKEscape$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzParseManifest -fuzztime $(FUZZTIME) ./internal/checkpoint

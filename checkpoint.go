@@ -1,0 +1,144 @@
+package sxnm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// Checkpoint error types, re-exported from internal/checkpoint.
+type (
+	// CheckpointMismatchError reports a checkpoint that is intact but
+	// belongs to a different configuration, document, or format
+	// version; it matches ErrCheckpointMismatch via errors.Is.
+	CheckpointMismatchError = checkpoint.MismatchError
+	// CheckpointCorruptError reports checkpoint bytes that failed
+	// checksum or structural validation; it matches
+	// ErrCheckpointCorrupt via errors.Is.
+	CheckpointCorruptError = checkpoint.CorruptError
+)
+
+// Typed checkpoint conditions; match with errors.Is.
+var (
+	// ErrNoCheckpoint reports that the checkpoint directory holds no
+	// checkpoint; Resume returns it, RunCheckpointed starts fresh.
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrCheckpointMismatch reports a checkpoint recorded for a
+	// different configuration or document. Neither RunCheckpointed nor
+	// Resume will touch it; delete the directory (or pick another) to
+	// proceed.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+	// ErrCheckpointCorrupt reports damaged checkpoint bytes — a torn
+	// write or bit rot. RunCheckpointed discards it and restarts clean;
+	// Resume refuses with this error.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+)
+
+// RunCheckpointed is Run with durable progress in the directory dir:
+// after key generation and after each candidate completes, the state
+// is persisted crash-safely, so an interrupted or crashed run invoked
+// again with the same config, document, and directory resumes instead
+// of restarting. When dir already holds a valid matching checkpoint,
+// the run continues from it; when it holds nothing, or a corrupt
+// remnant of a crash, a fresh run starts; when it holds a checkpoint
+// of a *different* config or document, the run refuses with
+// ErrCheckpointMismatch rather than silently mixing state.
+func (d *Detector) RunCheckpointed(doc *Document, dir string) (*Result, error) {
+	return d.RunCheckpointedContext(context.Background(), doc, dir)
+}
+
+// RunCheckpointedContext is RunCheckpointed under a context and the
+// Detector's Limits. An interrupted run (cancellation, deadline,
+// limit breach) flushes its progress to dir before returning the
+// partial Result and the typed cause, so a later identical call picks
+// up where it stopped.
+func (d *Detector) RunCheckpointedContext(ctx context.Context, doc *Document, dir string) (*Result, error) {
+	cfgFP, docFP, err := d.fingerprints(doc)
+	if err != nil {
+		return nil, err
+	}
+	cp, st, err := checkpoint.Load(checkpoint.OSFS(), dir, d.cfg, cfgFP, docFP)
+	switch {
+	case err == nil:
+		return d.continueFrom(ctx, doc, cp, st)
+	case errors.Is(err, ErrNoCheckpoint), errors.Is(err, ErrCheckpointCorrupt):
+		cp, err = checkpoint.Create(checkpoint.OSFS(), dir, cfgFP, docFP)
+		if err != nil {
+			return nil, fmt.Errorf("sxnm: %w", err)
+		}
+		return d.finishRun(cp)(core.RunContext(ctx, doc, d.cfg, d.checkpointedOpts(cp, nil)))
+	default:
+		return nil, fmt.Errorf("sxnm: %w", err)
+	}
+}
+
+// Resume continues the run checkpointed in dir, strictly: unlike
+// RunCheckpointed it never starts over, failing with ErrNoCheckpoint,
+// ErrCheckpointMismatch, or ErrCheckpointCorrupt when dir holds
+// nothing resumable for this config and document.
+func (d *Detector) Resume(doc *Document, dir string) (*Result, error) {
+	return d.ResumeContext(context.Background(), doc, dir)
+}
+
+// ResumeContext is Resume under a context and the Detector's Limits.
+func (d *Detector) ResumeContext(ctx context.Context, doc *Document, dir string) (*Result, error) {
+	cfgFP, docFP, err := d.fingerprints(doc)
+	if err != nil {
+		return nil, err
+	}
+	cp, st, err := checkpoint.Load(checkpoint.OSFS(), dir, d.cfg, cfgFP, docFP)
+	if err != nil {
+		return nil, fmt.Errorf("sxnm: %w", err)
+	}
+	return d.continueFrom(ctx, doc, cp, st)
+}
+
+// continueFrom resumes a loaded checkpoint: key generation reruns only
+// when it never completed; otherwise detection continues over the
+// recovered GK tables, completed candidates' clusters, and pass-level
+// progress.
+func (d *Detector) continueFrom(ctx context.Context, doc *Document, cp *checkpoint.Dir, st *checkpoint.State) (*Result, error) {
+	if st.KeyGen == nil {
+		return d.finishRun(cp)(core.RunContext(ctx, doc, d.cfg, d.checkpointedOpts(cp, nil)))
+	}
+	return d.finishRun(cp)(core.DetectContext(ctx, st.KeyGen, d.cfg, d.checkpointedOpts(cp, st.ResumeState())))
+}
+
+// checkpointedOpts clones the Detector's options with the checkpoint
+// hooks attached.
+func (d *Detector) checkpointedOpts(cp *checkpoint.Dir, rs *core.ResumeState) Options {
+	opts := d.opts
+	opts.Checkpointer = cp
+	opts.Resume = rs
+	return opts
+}
+
+// finishRun marks the checkpoint done after an uninterrupted run;
+// interruptions pass through with their partial Result, leaving the
+// checkpoint resumable.
+func (d *Detector) finishRun(cp *checkpoint.Dir) func(*Result, error) (*Result, error) {
+	return func(res *Result, err error) (*Result, error) {
+		if err != nil {
+			return res, err
+		}
+		if err := cp.Finish(); err != nil {
+			return res, fmt.Errorf("sxnm: %w", err)
+		}
+		return res, nil
+	}
+}
+
+func (d *Detector) fingerprints(doc *Document) (string, string, error) {
+	cfgFP, err := checkpoint.ConfigFingerprint(d.cfg)
+	if err != nil {
+		return "", "", fmt.Errorf("sxnm: %w", err)
+	}
+	docFP, err := checkpoint.DocumentFingerprint(doc)
+	if err != nil {
+		return "", "", fmt.Errorf("sxnm: %w", err)
+	}
+	return cfgFP, docFP, nil
+}

@@ -1,0 +1,139 @@
+package sxnm
+
+// Facade-level checkpoint tests: interrupted checkpointed runs resume
+// to results byte-identical to an uninterrupted run, finished
+// checkpoints make reruns free, and Resume is strict about missing,
+// mismatched, and corrupt state.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+)
+
+func checkpointCorpus(t *testing.T) (*Config, *Document) {
+	t.Helper()
+	cfg := config.DataSet3(5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, dataset.DataSet3(120, 7)
+}
+
+func clustersEqual(t *testing.T, got, want *Result) {
+	t.Helper()
+	if len(got.Clusters) != len(want.Clusters) {
+		t.Fatalf("cluster set count %d, want %d", len(got.Clusters), len(want.Clusters))
+	}
+	for name, cs := range want.Clusters {
+		if g := got.Clusters[name]; g == nil || g.String() != cs.String() {
+			t.Errorf("candidate %q: clusters diverge from reference", name)
+		}
+	}
+}
+
+func TestRunCheckpointedResumesInterruptedRun(t *testing.T) {
+	cfg, doc := checkpointCorpus(t)
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ref.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	limited, err := NewWithOptions(cfg, Options{Limits: Limits{MaxComparisons: full.Stats.Comparisons / 3, CheckEvery: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, runErr := limited.RunCheckpointed(doc, dir)
+	if !errors.Is(runErr, ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", runErr)
+	}
+	if part == nil || part.Incomplete == nil {
+		t.Fatal("interrupted run must return a partial result")
+	}
+
+	// The same detector without limits resumes to the full result.
+	res, err := ref.RunCheckpointed(doc, dir)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	clustersEqual(t, res, full)
+	if res.Stats.Comparisons >= full.Stats.Comparisons {
+		t.Errorf("resumed run redid all %d comparisons (full run: %d); checkpoint state unused",
+			res.Stats.Comparisons, full.Stats.Comparisons)
+	}
+
+	// Rerunning a finished checkpoint is free: everything resumes.
+	again, err := ref.RunCheckpointed(doc, dir)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	clustersEqual(t, again, full)
+	if again.Stats.Comparisons != 0 {
+		t.Errorf("rerun of a finished checkpoint performed %d comparisons, want 0", again.Stats.Comparisons)
+	}
+}
+
+func TestResumeIsStrict(t *testing.T) {
+	cfg, doc := checkpointCorpus(t)
+	det, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := det.Resume(doc, t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("empty dir: want ErrNoCheckpoint, got %v", err)
+	}
+
+	dir := t.TempDir()
+	if _, err := det.RunCheckpointed(doc, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different window is a different config fingerprint.
+	otherCfg := config.DataSet3(9)
+	other, err := New(otherCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = other.Resume(doc, dir)
+	var me *CheckpointMismatchError
+	if !errors.As(err, &me) || me.Field != "config" {
+		t.Errorf("config mismatch: got %v", err)
+	}
+	if _, err := other.RunCheckpointed(doc, dir); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("RunCheckpointed must also refuse a mismatched checkpoint, got %v", err)
+	}
+
+	// A different document is a different document fingerprint.
+	otherDoc := dataset.DataSet3(120, 8)
+	if _, err := det.Resume(otherDoc, dir); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("document mismatch: got %v", err)
+	}
+
+	// Corruption: Resume refuses, RunCheckpointed restarts clean.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.tsv"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Resume(doc, dir); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("corrupt manifest: want ErrCheckpointCorrupt, got %v", err)
+	}
+	res, err := det.RunCheckpointedContext(context.Background(), doc, dir)
+	if err != nil {
+		t.Fatalf("clean restart over corrupt checkpoint: %v", err)
+	}
+	full, err := det.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustersEqual(t, res, full)
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -54,7 +55,7 @@ func run(args []string) error {
 	}
 	// One envelope for every detection run: ^C and -timeout abort the
 	// sweep with a typed cause (exit code 3) rather than mid-table junk.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -13,8 +13,17 @@
 // Operational limits: -timeout bounds the wall clock, -max-depth and
 // -max-nodes reject oversized documents at parse time, and
 // -max-comparisons caps the sliding-window work. An interrupted run
-// (limit breach, timeout, or ^C) reports the candidates that finished
-// and exits with code 3 instead of 1.
+// (limit breach, timeout, SIGINT, or SIGTERM) reports the candidates
+// that finished and exits with code 3 instead of 1.
+//
+// With -checkpoint DIR the run persists its progress to DIR
+// crash-safely; rerunning the same command after an interruption or a
+// crash resumes from the last durable state instead of starting over.
+// A checkpoint recorded for a different config or input is refused.
+//
+// Exit codes: 0 = success, 1 = error (bad flags, unreadable input,
+// invalid config, mismatched checkpoint), 3 = interrupted (partial
+// results reported; resumable when -checkpoint is set).
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	sxnm "repro"
 	"repro/internal/xmltree"
@@ -55,6 +65,7 @@ func run(args []string) error {
 		stream     = fs.Bool("stream", false, "streaming key generation (bounded memory; summary and stats only)")
 		gkOut      = fs.String("gk-out", "", "write the generated GK relations here (phase 1 only)")
 		gkIn       = fs.String("gk-in", "", "run detection over previously saved GK relations instead of -input")
+		ckptDir    = fs.String("checkpoint", "", "persist progress to this directory and auto-resume from it")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = unlimited)")
 		maxDepth   = fs.Int("max-depth", 0, "reject documents nested deeper than this many elements (0 = unlimited)")
 		maxNodes   = fs.Int("max-nodes", 0, "reject documents with more than this many nodes (0 = unlimited)")
@@ -82,12 +93,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var doc *sxnm.Document
 	var res *sxnm.Result
 	var runErr error
+	if *ckptDir != "" && (*stream || *gkIn != "") {
+		// Both modes run without a materialized document, so there is
+		// no document fingerprint to bind the checkpoint to.
+		return fmt.Errorf("-checkpoint cannot be combined with -stream or -gk-in")
+	}
 	if *gkIn != "" {
 		if *stream || *outputPath != "" || *clusters || *csvPath != "" || *gkOut != "" {
 			return fmt.Errorf("-gk-in supports only the summary, -stats, and -clusters-xml outputs")
@@ -107,7 +123,11 @@ func run(args []string) error {
 		if doc, err = xmltree.ParseFileWithLimits(*inputPath, lim); err != nil {
 			return err
 		}
-		res, runErr = det.RunContext(ctx, doc)
+		if *ckptDir != "" {
+			res, runErr = det.RunCheckpointedContext(ctx, doc, *ckptDir)
+		} else {
+			res, runErr = det.RunContext(ctx, doc)
+		}
 	}
 	if runErr != nil {
 		if res == nil || res.Incomplete == nil {
@@ -118,6 +138,9 @@ func run(args []string) error {
 		// status. Document-derived outputs are skipped — they would
 		// silently reflect a partially deduplicated document.
 		reportIncomplete(res)
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "sxnm: progress saved; rerun the same command to resume from %s\n", *ckptDir)
+		}
 		for _, s := range sxnm.Summarize(res) {
 			fmt.Printf("%s: %d elements, %d clusters, %d duplicate groups, %d duplicate pairs\n",
 				s.Candidate, s.Elements, s.Clusters, s.NonSingleton, s.Pairs)

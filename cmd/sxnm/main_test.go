@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	sxnm "repro"
@@ -185,5 +186,47 @@ func TestRunGKPipeline(t *testing.T) {
 	}
 	if err := run([]string{"-config", cfg}); err == nil {
 		t.Error("neither -input nor -gk-in should fail")
+	}
+}
+
+func TestRunCheckpointFlag(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	ckpt := filepath.Join(dir, "ckpt")
+
+	// An interrupted checkpointed run exits with the interruption cause
+	// and leaves a resumable checkpoint behind.
+	err := run([]string{"-config", cfg, "-input", data, "-checkpoint", ckpt, "-max-comparisons", "1"})
+	if !errors.Is(err, sxnm.ErrLimitExceeded) {
+		t.Fatalf("capped checkpointed run: want ErrLimitExceeded, got %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(ckpt, "manifest.tsv")); err != nil {
+		t.Fatalf("no manifest after interruption: %v", err)
+	}
+
+	// The same command without the cap resumes and completes.
+	if err := run([]string{"-config", cfg, "-input", data, "-checkpoint", ckpt, "-clusters"}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	// A checkpoint bound to different data is refused.
+	other := write(t, dir, "other.xml", strings.Replace(testData, "Broken Storm", "Broken Stone", 1))
+	if err := run([]string{"-config", cfg, "-input", other, "-checkpoint", ckpt}); !errors.Is(err, sxnm.ErrCheckpointMismatch) {
+		t.Errorf("mismatched input: want ErrCheckpointMismatch, got %v", err)
+	}
+}
+
+func TestRunCheckpointFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "cfg.xml", testConfig)
+	data := write(t, dir, "data.xml", testData)
+	for _, args := range [][]string{
+		{"-config", cfg, "-input", data, "-checkpoint", dir, "-stream"},
+		{"-config", cfg, "-gk-in", data, "-checkpoint", dir},
+	} {
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+			t.Errorf("%v: want -checkpoint conflict error, got %v", args, err)
+		}
 	}
 }

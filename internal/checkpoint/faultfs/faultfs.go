@@ -1,0 +1,162 @@
+// Package faultfs is a fault-injection filesystem for the checkpoint
+// layer: it wraps a real checkpoint.FS and simulates a process crash
+// at any chosen I/O step. Each mutating operation — directory
+// creation, temp-file creation, every write, fsync, close, rename,
+// directory sync, and removal — counts as one step; when the
+// configured step is reached the operation fails with ErrCrash and
+// every subsequent operation fails too, exactly as if the process had
+// died there. Optionally the crashing step, when it is a write, first
+// delivers half its bytes, modeling a torn write.
+//
+// The crash-recovery invariant test iterates the crash point over
+// every step of a checkpointed run and asserts that recovery (resume
+// or clean restart) always reproduces the uninterrupted clusters.
+package faultfs
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/checkpoint"
+)
+
+// ErrCrash is the error every operation at or after the injected
+// crash point returns.
+var ErrCrash = errors.New("faultfs: injected crash")
+
+// FS wraps an inner checkpoint.FS with step counting and crash
+// injection. Safe for concurrent use.
+type FS struct {
+	inner checkpoint.FS
+
+	mu      sync.Mutex
+	step    int  // operations attempted so far
+	crashAt int  // 1-based step that crashes; 0 = never
+	torn    bool // deliver half the bytes of a crashing write
+	crashed bool
+}
+
+// New returns a counting FS that never crashes until CrashAt is set.
+func New(inner checkpoint.FS) *FS { return &FS{inner: inner} }
+
+// CrashAt arms the injector: the n-th operation (1-based) fails with
+// ErrCrash, as does everything after it. With torn set, a crashing
+// write first persists the first half of its payload.
+func (f *FS) CrashAt(n int, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	f.torn = torn
+}
+
+// Steps returns the number of operations attempted so far; run once
+// without a crash point to learn how many steps a workload performs.
+func (f *FS) Steps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.step
+}
+
+// Crashed reports whether the injected crash has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// begin accounts one operation; it reports whether the operation must
+// fail, and whether this is the very step that crashes (so a torn
+// write can emit partial bytes).
+func (f *FS) begin() (dead, firing bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return true, false
+	}
+	f.step++
+	if f.crashAt > 0 && f.step >= f.crashAt {
+		f.crashed = true
+		return true, true
+	}
+	return false, false
+}
+
+func (f *FS) MkdirAll(dir string) error {
+	if dead, _ := f.begin(); dead {
+		return ErrCrash
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (checkpoint.File, error) {
+	if dead, _ := f.begin(); dead {
+		return nil, ErrCrash
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if dead, _ := f.begin(); dead {
+		return ErrCrash
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if dead, _ := f.begin(); dead {
+		return ErrCrash
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if dead, _ := f.begin(); dead {
+		return ErrCrash
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type file struct {
+	fs    *FS
+	inner checkpoint.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	dead, firing := w.fs.begin()
+	if dead {
+		if firing && w.fs.torn && len(p) > 1 {
+			// Torn write: half the payload reaches the disk before the
+			// "power loss". The temp file is left behind exactly as a
+			// real crash would leave it.
+			n, _ := w.inner.Write(p[:len(p)/2])
+			return n, ErrCrash
+		}
+		return 0, ErrCrash
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	if dead, _ := w.fs.begin(); dead {
+		return ErrCrash
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Close() error {
+	// Closing is accounted but still performed even "after the crash":
+	// the OS closes every descriptor of a dead process, and leaking
+	// them would break test cleanup on platforms with open-file locks.
+	dead, _ := w.fs.begin()
+	err := w.inner.Close()
+	if dead {
+		return ErrCrash
+	}
+	return err
+}
+
+func (w *file) Name() string { return w.inner.Name() }

@@ -1,0 +1,70 @@
+package checkpoint
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the mutating file operations a checkpoint directory
+// performs — exactly the steps where a crash can lose or tear data.
+// Production code uses OSFS; the fault-injection harness
+// (internal/checkpoint/faultfs) wraps it to simulate a crash at every
+// individual step. Reads are not abstracted: recovery always happens
+// in a fresh process over whatever bytes actually reached the disk.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// CreateTemp creates a new temporary file in dir; the caller
+	// writes, syncs, closes, and renames it into place.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (used only for best-effort cleanup of
+	// superseded sections; a crash here is harmless).
+	Remove(name string) error
+	// SyncDir flushes the directory entry metadata so a completed
+	// rename survives power loss.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle returned by FS.CreateTemp.
+type File interface {
+	io.Writer
+	// Sync flushes the file contents to stable storage.
+	Sync() error
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// OSFS returns the real operating-system implementation of FS.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; the rename itself
+	// is still atomic there, so degrade silently rather than failing
+	// the checkpoint.
+	_ = d.Sync()
+	return d.Close()
+}

@@ -68,6 +68,16 @@ type Options struct {
 	// returning the partial Result (with Result.Incomplete describing
 	// how far it got) alongside the typed cause.
 	Limits Limits
+	// Checkpointer, when non-nil, receives durable-progress callbacks:
+	// the GK tables after key generation, per-candidate pass progress,
+	// and each finished candidate's cluster set. An error from a
+	// callback aborts the run (except the best-effort flush during an
+	// interruption, whose error is dropped).
+	Checkpointer Checkpointer
+	// Resume, when non-nil, seeds detection with a prior run's
+	// completed candidates and mid-candidate pass progress. Resumed
+	// cluster sets must stem from the same GK tables and configuration.
+	Resume *ResumeState
 }
 
 // CandidateStats holds per-candidate phase measurements.
@@ -136,6 +146,11 @@ func RunContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, 
 		}
 		return nil, err
 	}
+	if opts.Checkpointer != nil {
+		if cerr := opts.Checkpointer.KeysGenerated(kg); cerr != nil {
+			return nil, fmt.Errorf("core: checkpoint key generation: %w", cerr)
+		}
+	}
 	return DetectContext(ctx, kg, cfg, opts)
 }
 
@@ -168,14 +183,21 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 			Candidates: make(map[string]*CandidateStats, len(cfg.Candidates)),
 		},
 	}
+	var resumedClusters map[string]*cluster.ClusterSet
+	var resumedProgress map[string]*CandidateProgress
+	if opts.Resume != nil {
+		resumedClusters = opts.Resume.Clusters
+		resumedProgress = opts.Resume.Progress
+	}
 	var completed []string
 	for _, group := range DetectionOrder(kg, cfg) {
 		type outcome struct {
-			name   string
-			ran    bool
-			cs     *cluster.ClusterSet
-			cstats *CandidateStats
-			err    error
+			name    string
+			ran     bool
+			resumed bool
+			cs      *cluster.ClusterSet
+			cstats  *CandidateStats
+			err     error
 		}
 		outcomes := make([]outcome, len(group))
 		runOne := func(i int) {
@@ -194,7 +216,19 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 					err: fmt.Errorf("core: no GK table for candidate %q", cand.Name)}
 				return
 			}
-			cs, cstats, err := detectCandidate(bud, t, res.Clusters, opts)
+			if cs, ok := resumedClusters[cand.Name]; ok {
+				// Completed by the checkpointed run being resumed: adopt
+				// the cluster set without re-detecting. Comparison stats
+				// stay zero — that work happened in the earlier process.
+				outcomes[i] = outcome{name: cand.Name, ran: true, resumed: true, cs: cs,
+					cstats: &CandidateStats{
+						Rows:         len(t.Rows),
+						Clusters:     cs.Len(),
+						NonSingleton: len(cs.NonSingletons()),
+					}}
+				return
+			}
+			cs, cstats, err := detectCandidate(bud, t, res.Clusters, resumedProgress[cand.Name], opts)
 			outcomes[i] = outcome{name: cand.Name, ran: true, cs: cs, cstats: cstats, err: err}
 		}
 		if opts.Parallel && len(group) > 1 {
@@ -254,6 +288,11 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 			res.Stats.FilteredOut += o.cstats.FilteredOut
 			res.Stats.DuplicatePairs += o.cstats.DuplicatePairs
 			completed = append(completed, o.name)
+			if opts.Checkpointer != nil && !o.resumed {
+				if cerr := opts.Checkpointer.CandidateDone(o.name, o.cs); cerr != nil {
+					return nil, fmt.Errorf("core: checkpoint candidate %q: %w", o.name, cerr)
+				}
+			}
 		}
 		if intr != nil {
 			res.Incomplete = &Incomplete{
@@ -274,7 +313,14 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 // the detected pairs into a cluster set. The budget's cancellation and
 // comparison caps are polled every few iterations of the hot loops; an
 // interruption surfaces as an *interruptError naming the phase.
-func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.ClusterSet, opts Options) (*cluster.ClusterSet, *CandidateStats, error) {
+//
+// A non-nil prog resumes mid-candidate: passes before prog.NextPass
+// are skipped and prog.Pairs seed both the duplicate pair list and the
+// compared-pair set. Pairs compared but not classified duplicates by
+// the earlier run are re-compared when windows revisit them; the
+// classification is deterministic, so the resulting cluster set is
+// identical to an uninterrupted run (only comparison counts differ).
+func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.ClusterSet, prog *CandidateProgress, opts Options) (*cluster.ClusterSet, *CandidateStats, error) {
 	cand := t.Candidate
 	cstats := &CandidateStats{Rows: len(t.Rows)}
 
@@ -288,9 +334,29 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	w := cand.Window
 	compared := make(map[uint64]struct{})
 	var pairs []cluster.Pair
+	startPass := 0
+	if prog != nil {
+		startPass = prog.NextPass
+		if startPass > len(keys) {
+			return nil, nil, fmt.Errorf("core: candidate %q: resume pass %d beyond %d keys",
+				cand.Name, startPass, len(keys))
+		}
+		pairs = append(pairs, prog.Pairs...)
+		for _, p := range prog.Pairs {
+			compared[packPair(p.A, p.B)] = struct{}{}
+		}
+	}
+	// flush persists the pairs found so far, so a later resume can
+	// restart at key pass next. Best-effort on the interruption path:
+	// the typed cause wins over a checkpoint write failure.
+	flush := func(next int) {
+		if opts.Checkpointer != nil {
+			_ = opts.Checkpointer.Progress(cand.Name, next, pairs)
+		}
+	}
 
 	order := make([]int, len(t.Rows))
-	for pass := range keys {
+	for pass := startPass; pass < len(keys); pass++ {
 		for i := range order {
 			order[i] = i
 		}
@@ -315,6 +381,7 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				cstats.WindowPairs++
 				if err := bud.poll(cstats.WindowPairs); err != nil {
 					cstats.SlidingWindow = time.Since(swStart)
+					flush(pass)
 					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
 				}
 				key := packPair(a.EID, b.EID)
@@ -324,6 +391,7 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				compared[key] = struct{}{}
 				if err := bud.addComparison(); err != nil {
 					cstats.SlidingWindow = time.Since(swStart)
+					flush(pass)
 					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
 				}
 				odSim, descSim, hasDesc, dup, filtered, err := comparePair(t, a, b, useDesc, opts)
@@ -352,6 +420,13 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				}
 			}
 		}
+		// A completed pass is a durable resume point; the final pass is
+		// covered moments later by the candidate's own completion.
+		if pass+1 < len(keys) && opts.Checkpointer != nil {
+			if err := opts.Checkpointer.Progress(cand.Name, pass+1, pairs); err != nil {
+				return nil, nil, fmt.Errorf("core: checkpoint candidate %q after pass %d: %w", cand.Name, pass, err)
+			}
+		}
 	}
 	cstats.DuplicatePairs = len(pairs)
 	cstats.SlidingWindow = time.Since(swStart)
@@ -359,6 +434,9 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	tcStart := time.Now()
 	tcInterrupt := func(err error) (*cluster.ClusterSet, *CandidateStats, error) {
 		cstats.TransitiveClosure = time.Since(tcStart)
+		// Every window pass is complete: a resume re-enters directly at
+		// the transitive closure.
+		flush(len(keys))
 		return nil, cstats, &interruptError{cause: err, phase: PhaseTransitiveClosure, pass: -1}
 	}
 	// Phase-entry check so a cancellation arriving at the tail of the

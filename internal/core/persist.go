@@ -20,12 +20,14 @@ import (
 //
 // Format (UTF-8, one section per candidate):
 //
-//	#gk	<candidate>	keys=<n>	od=<m>
+//	#gk	<candidate>	keys=<n>	od=<m>	rows=<r>
 //	<eid>	<key1>	…	<keyn>	<od1>	…	<odm>	<desc>
 //
 // OD cells hold the |-joined values of one OD entry; the desc cell
 // holds `name=eid,eid;name2=…`. Tabs, newlines, percent signs, pipes,
-// and the desc separators are percent-escaped inside values.
+// and the desc separators are percent-escaped inside values. The
+// rows count lets the reader detect a truncated section; dumps from
+// older versions without it are still accepted.
 
 // WriteGK serializes the key generation result.
 func WriteGK(w io.Writer, kg *KeyGenResult) error {
@@ -39,7 +41,7 @@ func WriteGK(w io.Writer, kg *KeyGenResult) error {
 		t := kg.Tables[name]
 		nKeys := len(t.Candidate.CompiledKeys())
 		nOD := len(t.Candidate.OD)
-		fmt.Fprintf(bw, "#gk\t%s\tkeys=%d\tod=%d\n", escapeGK(name), nKeys, nOD)
+		fmt.Fprintf(bw, "#gk\t%s\tkeys=%d\tod=%d\trows=%d\n", escapeGK(name), nKeys, nOD, len(t.Rows))
 		for i := range t.Rows {
 			row := &t.Rows[i]
 			bw.WriteString(strconv.Itoa(row.EID))
@@ -91,7 +93,18 @@ func ReadGK(r io.Reader, cfg *config.Config) (*KeyGenResult, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var cur *GKTable
 	nKeys, nOD := 0, 0
+	wantRows, gotRows := -1, 0 // -1: header without rows= (older dump)
 	lineNo := 0
+	// checkRows verifies a finished section against its declared row
+	// count, catching dumps truncated at a line boundary (which no
+	// per-line check can see).
+	checkRows := func() error {
+		if cur != nil && wantRows >= 0 && gotRows != wantRows {
+			return fmt.Errorf("core: gk: candidate %q truncated: header declares %d rows, got %d",
+				cur.Candidate.Name, wantRows, gotRows)
+		}
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -99,8 +112,11 @@ func ReadGK(r io.Reader, cfg *config.Config) (*KeyGenResult, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#gk\t") {
+			if err := checkRows(); err != nil {
+				return nil, err
+			}
 			parts := strings.Split(line, "\t")
-			if len(parts) != 4 {
+			if len(parts) != 4 && len(parts) != 5 {
 				return nil, fmt.Errorf("core: gk line %d: malformed header", lineNo)
 			}
 			name := unescapeGK(parts[1])
@@ -114,6 +130,12 @@ func ReadGK(r io.Reader, cfg *config.Config) (*KeyGenResult, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("core: gk line %d: malformed header counts", lineNo)
 			}
+			wantRows, gotRows = -1, 0
+			if len(parts) == 5 {
+				if wantRows, err1 = headerCount(parts[4], "rows"); err1 != nil || wantRows < 0 {
+					return nil, fmt.Errorf("core: gk line %d: malformed header counts", lineNo)
+				}
+			}
 			if nKeys != len(t.Candidate.CompiledKeys()) || nOD != len(t.Candidate.OD) {
 				return nil, fmt.Errorf("core: gk line %d: candidate %q has %d keys/%d od in dump but %d/%d in config",
 					lineNo, name, nKeys, nOD, len(t.Candidate.CompiledKeys()), len(t.Candidate.OD))
@@ -124,13 +146,15 @@ func ReadGK(r io.Reader, cfg *config.Config) (*KeyGenResult, error) {
 		if cur == nil {
 			return nil, fmt.Errorf("core: gk line %d: row before header", lineNo)
 		}
+		cand := cur.Candidate.Name
 		parts := strings.Split(line, "\t")
 		if len(parts) != 1+nKeys+nOD+1 {
-			return nil, fmt.Errorf("core: gk line %d: want %d fields, got %d", lineNo, 1+nKeys+nOD+1, len(parts))
+			return nil, fmt.Errorf("core: gk line %d: candidate %q: want %d fields, got %d",
+				lineNo, cand, 1+nKeys+nOD+1, len(parts))
 		}
 		eid, err := strconv.Atoi(parts[0])
 		if err != nil {
-			return nil, fmt.Errorf("core: gk line %d: bad eid %q", lineNo, parts[0])
+			return nil, fmt.Errorf("core: gk line %d: candidate %q: bad eid %q", lineNo, cand, parts[0])
 		}
 		row := GKRow{EID: eid, Keys: make([]string, nKeys), OD: make([][]string, nOD)}
 		for i := 0; i < nKeys; i++ {
@@ -146,14 +170,18 @@ func ReadGK(r io.Reader, cfg *config.Config) (*KeyGenResult, error) {
 		}
 		desc, err := decodeDesc(parts[len(parts)-1])
 		if err != nil {
-			return nil, fmt.Errorf("core: gk line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("core: gk line %d: candidate %q: %w", lineNo, cand, err)
 		}
 		row.Desc = desc
 		cur.byEID[row.EID] = len(cur.Rows)
 		cur.Rows = append(cur.Rows, row)
+		gotRows++
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("core: gk: %w", err)
+	}
+	if err := checkRows(); err != nil {
+		return nil, err
 	}
 	return &KeyGenResult{Tables: tables}, nil
 }
@@ -218,18 +246,19 @@ func decodeDesc(s string) (map[string][]int, error) {
 }
 
 // escapeGK percent-escapes the characters that carry structure in the
-// dump format.
+// dump format. It works on bytes (all structural characters are
+// ASCII), so even invalid UTF-8 survives the round trip unchanged.
 func escapeGK(s string) string {
 	if !strings.ContainsAny(s, "\t\n\r%|;=,") {
 		return s
 	}
 	var b strings.Builder
-	for _, r := range s {
-		switch r {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
 		case '\t', '\n', '\r', '%', '|', ';', '=', ',':
-			fmt.Fprintf(&b, "%%%02X", r)
+			fmt.Fprintf(&b, "%%%02X", s[i])
 		default:
-			b.WriteRune(r)
+			b.WriteByte(s[i])
 		}
 	}
 	return b.String()

@@ -116,6 +116,11 @@ func TestReadGKErrors(t *testing.T) {
 		{"wrong width", "#gk\tmovie\tkeys=1\tod=1\n1\tK\n"},
 		{"bad desc", "#gk\tmovie\tkeys=1\tod=1\n1\tK\tV\tjunk\n"},
 		{"bad desc eid", "#gk\tmovie\tkeys=1\tod=1\n1\tK\tV\tperson=zz\n"},
+		{"bad rows count", "#gk\tmovie\tkeys=1\tod=1\trows=x\n"},
+		{"negative rows count", "#gk\tmovie\tkeys=1\tod=1\trows=-1\n"},
+		{"truncated at eof", "#gk\tmovie\tkeys=1\tod=1\trows=2\n1\tK\tV\t\n"},
+		{"truncated before next section", "#gk\tmovie\tkeys=1\tod=1\trows=2\n1\tK\tV\t\n#gk\tmovie\tkeys=1\tod=1\trows=0\n"},
+		{"extra rows", "#gk\tmovie\tkeys=1\tod=1\trows=1\n1\tK\tV\t\n2\tK\tV\t\n"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -123,5 +128,51 @@ func TestReadGKErrors(t *testing.T) {
 				t.Errorf("ReadGK(%q) succeeded", c.in)
 			}
 		})
+	}
+}
+
+// TestReadGKErrorDiagnostics pins the diagnostic contract: row-level
+// errors name the candidate and the 1-based line, truncation names the
+// candidate with both counts.
+func TestReadGKErrorDiagnostics(t *testing.T) {
+	cfg := mustValidate(t, movieConfig(config.RuleCombined))
+	cases := []struct {
+		name, in string
+		want     []string
+	}{
+		{"truncated section", "#gk\tmovie\tkeys=1\tod=1\trows=3\n1\tK\tV\t\n",
+			[]string{`"movie"`, "truncated", "3 rows", "got 1"}},
+		{"header count mismatch", "#gk\tmovie\tkeys=5\tod=1\trows=0\n",
+			[]string{`"movie"`, "line 1", "5 keys"}},
+		{"bad desc encoding", "#gk\tmovie\tkeys=1\tod=1\trows=1\n1\tK\tV\tjunk\n",
+			[]string{`"movie"`, "line 2", "desc"}},
+		{"bad row width", "#gk\tmovie\tkeys=1\tod=1\trows=1\n1\tK\n",
+			[]string{`"movie"`, "line 2", "fields"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadGK(strings.NewReader(c.in), cfg)
+			if err == nil {
+				t.Fatalf("ReadGK(%q) succeeded", c.in)
+			}
+			for _, frag := range c.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q does not mention %q", err, frag)
+				}
+			}
+		})
+	}
+}
+
+// A v1 dump without rows= still loads (forward compatibility with
+// pre-rows checkpoints and saved GK files).
+func TestReadGKAcceptsHeaderWithoutRows(t *testing.T) {
+	cfg := mustValidate(t, movieConfig(config.RuleCombined))
+	kg, err := ReadGK(strings.NewReader("#gk\tmovie\tkeys=1\tod=1\n1\tK\tV\t\n"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kg.Tables["movie"].Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(kg.Tables["movie"].Rows))
 	}
 }
