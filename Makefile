@@ -1,13 +1,15 @@
 # Verification pipeline for the SXNM reproduction. `make check` is the
-# full gate: vet, build, race-enabled tests, and a short fuzz pass over
-# every parser in the tree.
+# full gate: vet, build, race-enabled tests, a one-iteration
+# trace-overhead benchmark (compile + smoke, not a measurement), and a
+# short fuzz pass over every parser in the tree.
 
 GO       ?= go
 FUZZTIME ?= 10s
+BENCHN   ?= 1000
 
-.PHONY: check vet build test fuzz-short
+.PHONY: check vet build test fuzz-short bench bench-overhead
 
-check: vet build test fuzz-short
+check: vet build test bench-overhead fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +19,24 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Regenerate the committed BENCH_sxnm.json baseline: a deterministic
+# movies corpus (seed 1, $(BENCHN) objects) run end to end with the
+# observer attached; the run report IS the baseline. Compare a fresh
+# report against the committed file to spot perf or accuracy drift.
+bench:
+	mkdir -p /tmp/sxnm-bench
+	$(GO) run ./cmd/xmlgen -kind movies -n $(BENCHN) -seed 1 \
+		-out /tmp/sxnm-bench/movies.xml -config-out /tmp/sxnm-bench/config.xml
+	$(GO) run ./cmd/sxnm -config /tmp/sxnm-bench/config.xml \
+		-input /tmp/sxnm-bench/movies.xml -stats -report BENCH_sxnm.json
+
+# One iteration of the no-observer / metrics-only / full-trace
+# benchmark trio. Proves the instrumented paths still run; use
+# `go test -bench ObserverOverhead -benchtime 2s ./internal/core` for
+# real overhead numbers.
+bench-overhead:
+	$(GO) test -run '^$$' -bench BenchmarkObserverOverhead -benchtime 1x ./internal/core
 
 # Each fuzz target runs for $(FUZZTIME) with the unit tests filtered
 # out (-run '^$$' keeps the corpus-only seeds from re-running twice).

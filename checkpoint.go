@@ -108,8 +108,10 @@ func (d *Detector) continueFrom(ctx context.Context, doc *Document, cp *checkpoi
 }
 
 // checkpointedOpts clones the Detector's options with the checkpoint
-// hooks attached.
+// hooks attached; the Detector's observer, when set, also accounts
+// checkpoint writes.
 func (d *Detector) checkpointedOpts(cp *checkpoint.Dir, rs *core.ResumeState) Options {
+	cp.SetObserver(d.opts.Observer)
 	opts := d.opts
 	opts.Checkpointer = cp
 	opts.Resume = rs

@@ -24,7 +24,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// writeMetrics dumps the sweep's final counters in Prometheus text
+// format.
+func writeMetrics(path string, m *obs.Metrics) error {
+	m.SampleHeap()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -49,6 +65,8 @@ func run(args []string) error {
 		depth   = fs.Int("max-depth", 0, "per-run document depth ceiling (0 = unlimited)")
 		nodes   = fs.Int("max-nodes", 0, "per-run document node ceiling (0 = unlimited)")
 		cmps    = fs.Int("max-comparisons", 0, "per-run window comparison ceiling (0 = unlimited)")
+		trace   = fs.String("trace", "", "stream a JSONL span trace of every detection run to this file")
+		metrics = fs.String("metrics", "", "write the sweep's combined counters in Prometheus text format to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +83,27 @@ func run(args []string) error {
 	env := experiments.RunEnv{
 		Ctx:    ctx,
 		Limits: core.Limits{MaxDepth: *depth, MaxNodes: *nodes, MaxComparisons: *cmps},
+	}
+	if *trace != "" || *metrics != "" {
+		var sinks []obs.Sink
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			jl := obs.NewJSONL(f)
+			defer jl.Flush()
+			sinks = append(sinks, jl)
+		}
+		env.Observer = obs.New(sinks...)
+		if *metrics != "" {
+			defer func() {
+				if err := writeMetrics(*metrics, env.Observer.Metrics()); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: -metrics:", err)
+				}
+			}()
+		}
 	}
 	var render func(experiments.Table) string
 	switch *format {

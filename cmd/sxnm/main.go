@@ -21,6 +21,18 @@
 // crash resumes from the last durable state instead of starting over.
 // A checkpoint recorded for a different config or input is refused.
 //
+// Observability: -trace FILE streams a JSONL span trace of every
+// phase, -metrics FILE dumps the final counters in Prometheus text
+// format, -report FILE writes a machine-readable run report
+// (report.json) with per-candidate per-pass statistics, -progress
+// prints a live progress line with ETA to stderr (redrawn in place on
+// a terminal, appended at a low rate otherwise), and -pprof ADDR
+// serves net/http/pprof (plus /debug/vars with live sxnm counters)
+// for the run's duration. All observability outputs are also written
+// for interrupted runs, so a cut-short job still leaves its trace and
+// report behind. Pass "-" as FILE to write to stdout (stderr for
+// -trace).
+//
 // Exit codes: 0 = success, 1 = error (bad flags, unreadable input,
 // invalid config, mismatched checkpoint), 3 = interrupted (partial
 // results reported; resumable when -checkpoint is set).
@@ -31,10 +43,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
+
+	_ "net/http/pprof"
 
 	sxnm "repro"
 	"repro/internal/xmltree"
@@ -70,6 +88,11 @@ func run(args []string) error {
 		maxDepth   = fs.Int("max-depth", 0, "reject documents nested deeper than this many elements (0 = unlimited)")
 		maxNodes   = fs.Int("max-nodes", 0, "reject documents with more than this many nodes (0 = unlimited)")
 		maxCmp     = fs.Int("max-comparisons", 0, "stop after this many window comparisons (0 = unlimited)")
+		tracePath  = fs.String("trace", "", "stream a JSONL span trace of every phase to this file (\"-\" = stderr)")
+		metricsOut = fs.String("metrics", "", "write the final counters in Prometheus text format to this file (\"-\" = stdout)")
+		reportOut  = fs.String("report", "", "write a machine-readable run report (JSON) to this file (\"-\" = stdout)")
+		progress   = fs.Bool("progress", false, "print live progress with ETA to stderr")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/vars on this address for the run's duration")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +112,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{Limits: lim})
+	o, err := setupObservability(obsFlags{
+		trace:    *tracePath,
+		metrics:  *metricsOut,
+		report:   *reportOut,
+		progress: *progress,
+		pprof:    *pprofAddr,
+		input:    firstNonEmpty(*inputPath, *gkIn),
+	})
+	if err != nil {
+		return err
+	}
+	defer o.close()
+	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{Limits: lim, Observer: o.ob})
 	if err != nil {
 		return err
 	}
@@ -104,6 +139,7 @@ func run(args []string) error {
 		// no document fingerprint to bind the checkpoint to.
 		return fmt.Errorf("-checkpoint cannot be combined with -stream or -gk-in")
 	}
+	o.startProgress()
 	if *gkIn != "" {
 		if *stream || *outputPath != "" || *clusters || *csvPath != "" || *gkOut != "" {
 			return fmt.Errorf("-gk-in supports only the summary, -stats, and -clusters-xml outputs")
@@ -120,7 +156,10 @@ func run(args []string) error {
 		}
 		res, runErr = det.RunStreamFileContext(ctx, *inputPath)
 	} else {
-		if doc, err = xmltree.ParseFileWithLimits(*inputPath, lim); err != nil {
+		sp := o.ob.StartSpan("parse")
+		doc, err = xmltree.ParseFileWithLimits(*inputPath, lim)
+		sp.End()
+		if err != nil {
 			return err
 		}
 		if *ckptDir != "" {
@@ -128,6 +167,15 @@ func run(args []string) error {
 		} else {
 			res, runErr = det.RunContext(ctx, doc)
 		}
+	}
+	o.stopProgress()
+	// Observability outputs are written for interrupted runs too: a
+	// cut-short job still leaves its trace, metrics, and report behind.
+	if oerr := o.finish(cfg, doc); oerr != nil {
+		if runErr == nil {
+			return oerr
+		}
+		fmt.Fprintln(os.Stderr, "sxnm:", oerr)
 	}
 	if runErr != nil {
 		if res == nil || res.Incomplete == nil {
@@ -172,9 +220,10 @@ func run(args []string) error {
 	}
 	if *stats {
 		fmt.Printf("key generation:     %v\n", res.Stats.KeyGen)
-		fmt.Printf("sliding window:     %v\n", res.Stats.SlidingWindow)
-		fmt.Printf("transitive closure: %v\n", res.Stats.TransitiveClosure)
-		fmt.Printf("duplicate detection (SW+TC): %v\n", res.Stats.DuplicateDetection())
+		fmt.Printf("sliding window:     %v (CPU, summed over workers)\n", res.Stats.SlidingWindow)
+		fmt.Printf("transitive closure: %v (CPU, summed over workers)\n", res.Stats.TransitiveClosure)
+		fmt.Printf("duplicate detection (SW+TC, CPU): %v\n", res.Stats.DuplicateDetection())
+		fmt.Printf("duplicate detection (wall clock): %v\n", res.Stats.DetectionWall)
 		fmt.Printf("comparisons: %d, duplicate pairs: %d\n",
 			res.Stats.Comparisons, res.Stats.DuplicatePairs)
 	}
@@ -206,6 +255,163 @@ func run(args []string) error {
 		fmt.Printf("wrote de-duplicated document to %s\n", *outputPath)
 	}
 	return nil
+}
+
+// obsFlags carries the observability flag values into setupObservability.
+type obsFlags struct {
+	trace    string
+	metrics  string
+	report   string
+	progress bool
+	pprof    string
+	input    string
+}
+
+// observability owns the run's observer and its output destinations.
+// The zero value (no flag set) is fully inert: ob is nil, every method
+// is a no-op, and the engine pays only a nil test.
+type observability struct {
+	ob       *sxnm.Observer
+	col      *sxnm.Collector
+	traceOut *sxnm.TraceJSONL
+	traceC   io.Closer
+	prog     *sxnm.Progress
+	metrics  string
+	report   string
+	input    string
+}
+
+// setupObservability builds the observer demanded by the flags: a
+// JSONL sink for -trace, a Collector for -report, bare metrics for
+// -metrics/-progress, and a pprof listener (with /debug/vars carrying
+// the live counters) for -pprof.
+func setupObservability(f obsFlags) (*observability, error) {
+	o := &observability{metrics: f.metrics, report: f.report, input: f.input}
+	if f.trace == "" && f.metrics == "" && f.report == "" && !f.progress && f.pprof == "" {
+		return o, nil
+	}
+	var sinks []sxnm.TraceSink
+	if f.trace != "" {
+		w := io.Writer(os.Stderr)
+		if f.trace != "-" {
+			file, err := os.Create(f.trace)
+			if err != nil {
+				return nil, err
+			}
+			o.traceC = file
+			w = file
+		}
+		o.traceOut = sxnm.NewTraceJSONL(w)
+		sinks = append(sinks, o.traceOut)
+	}
+	if f.report != "" {
+		o.col = sxnm.NewCollector()
+		sinks = append(sinks, o.col)
+	}
+	o.ob = sxnm.NewObserver(sinks...)
+	if f.progress {
+		o.prog = sxnm.NewProgress(os.Stderr, o.ob.Metrics(), 0)
+	}
+	if f.pprof != "" {
+		o.ob.Metrics().PublishExpvar("sxnm")
+		ln, err := net.Listen("tcp", f.pprof)
+		if err != nil {
+			return nil, fmt.Errorf("-pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "sxnm: pprof on http://%s/debug/pprof/ (live counters at /debug/vars)\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
+	return o, nil
+}
+
+func (o *observability) startProgress() {
+	if o.prog != nil {
+		o.prog.Start()
+	}
+}
+
+func (o *observability) stopProgress() {
+	if o.prog != nil {
+		o.prog.Stop()
+		o.prog = nil
+	}
+}
+
+// finish flushes the trace and writes the -metrics and -report
+// outputs. Called after the run regardless of how it ended.
+func (o *observability) finish(cfg *sxnm.Config, doc *sxnm.Document) error {
+	if o.ob == nil {
+		return nil
+	}
+	o.ob.Metrics().SampleHeap()
+	if o.traceOut != nil {
+		if err := o.traceOut.Flush(); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	if o.metrics != "" {
+		if err := writeTo(o.metrics, func(w io.Writer) error {
+			return o.ob.Metrics().WritePrometheus(w)
+		}); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if o.report != "" {
+		rep := o.col.Report(o.ob.Metrics())
+		rep.GeneratedAt = time.Now().UTC()
+		rep.Input = o.input
+		if fp, err := sxnm.ConfigFingerprint(cfg); err == nil {
+			rep.ConfigFingerprint = fp
+		}
+		if doc != nil {
+			if fp, err := sxnm.DocumentFingerprint(doc); err == nil {
+				rep.DocFingerprint = fp
+			}
+		}
+		if err := writeTo(o.report, func(w io.Writer) error {
+			return rep.WriteJSON(w)
+		}); err != nil {
+			return fmt.Errorf("-report: %w", err)
+		}
+	}
+	return nil
+}
+
+// close releases the trace file; safe after finish and on early error
+// returns.
+func (o *observability) close() {
+	o.stopProgress()
+	if o.traceOut != nil {
+		o.traceOut.Flush()
+		o.traceOut = nil
+	}
+	if o.traceC != nil {
+		o.traceC.Close()
+		o.traceC = nil
+	}
+}
+
+// writeTo writes via fn to the named file, or to stdout for "-".
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // reportIncomplete describes an interrupted run on stderr: the phase

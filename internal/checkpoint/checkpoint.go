@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -131,8 +132,60 @@ type Dir struct {
 	fsys FS
 	path string
 
-	mu  sync.Mutex
-	man manifest
+	mu      sync.Mutex
+	man     manifest
+	ob      *obs.Observer
+	opBytes int64 // bytes written by the in-flight operation
+}
+
+// SetObserver attaches an observer: every subsequent checkpoint
+// operation emits one SpanCheckpoint span (kind, bytes written) and
+// bumps the CheckpointWrites/CheckpointBytes counters. Byte counting
+// happens here, under d.mu, so concurrent detection workers never
+// misattribute each other's writes. A nil or disabled observer turns
+// observation off.
+func (d *Dir) SetObserver(ob *obs.Observer) {
+	if !ob.Enabled() {
+		ob = nil
+	}
+	d.mu.Lock()
+	d.ob = ob
+	d.mu.Unlock()
+}
+
+// opSpan opens the span for one public checkpoint operation and
+// resets the byte counter; the returned func closes it with the bytes
+// the operation wrote (temp-file bytes of a failed write included,
+// with the failure recorded). Callers hold d.mu.
+func (d *Dir) opSpan(kind string) func(err error) {
+	d.opBytes = 0
+	if d.ob == nil {
+		return func(error) {}
+	}
+	sp := d.ob.StartSpan(obs.SpanCheckpoint, obs.String(obs.AttrKind, kind))
+	return func(err error) {
+		sp.SetAttr(obs.Int64(obs.AttrBytes, d.opBytes))
+		if err != nil {
+			sp.SetAttr(obs.String(obs.AttrCause, err.Error()))
+		}
+		sp.End()
+		if m := d.ob.Metrics(); m != nil {
+			m.CheckpointWrites.Add(1)
+			m.CheckpointBytes.Add(d.opBytes)
+		}
+	}
+}
+
+// countWriter tallies bytes passing through writeAtomic.
+type countWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
 }
 
 // Path returns the run directory.
@@ -276,9 +329,11 @@ func readSection(dir string, sec *section) ([]byte, error) {
 
 // KeysGenerated persists the GK tables and moves the checkpoint into
 // the detection phase. Implements core.Checkpointer.
-func (d *Dir) KeysGenerated(kg *core.KeyGenResult) error {
+func (d *Dir) KeysGenerated(kg *core.KeyGenResult) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	end := d.opSpan("gk")
+	defer func() { end(err) }()
 	sec, err := d.writeSection("gk", func(w io.Writer) error {
 		return core.WriteGK(w, kg)
 	})
@@ -297,9 +352,11 @@ func (d *Dir) KeysGenerated(kg *core.KeyGenResult) error {
 
 // Progress persists pass-level progress for one candidate, replacing
 // any earlier progress section. Implements core.Checkpointer.
-func (d *Dir) Progress(candidate string, nextPass int, pairs []cluster.Pair) error {
+func (d *Dir) Progress(candidate string, nextPass int, pairs []cluster.Pair) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	end := d.opSpan("pairs")
+	defer func() { end(err) }()
 	sec, err := d.writeSection("pairs", func(w io.Writer) error {
 		return encodePairs(w, candidate, nextPass, pairs)
 	})
@@ -320,12 +377,14 @@ func (d *Dir) Progress(candidate string, nextPass int, pairs []cluster.Pair) err
 // CandidateDone persists a completed candidate's cluster set and
 // drops its now-superseded progress section. Implements
 // core.Checkpointer.
-func (d *Dir) CandidateDone(candidate string, cs *cluster.ClusterSet) error {
+func (d *Dir) CandidateDone(candidate string, cs *cluster.ClusterSet) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.man.clustersFor(candidate) != nil {
 		return nil // already durable (idempotent under retries)
 	}
+	end := d.opSpan("clusters")
+	defer func() { end(err) }()
 	sec, err := d.writeSection("clusters", func(w io.Writer) error {
 		return encodeClusters(w, candidate, cs)
 	})
@@ -346,9 +405,11 @@ func (d *Dir) CandidateDone(candidate string, cs *cluster.ClusterSet) error {
 // Finish marks the run complete. A finished checkpoint still resumes
 // (every candidate loads as completed), which makes re-running an
 // already-done job idempotent.
-func (d *Dir) Finish() error {
+func (d *Dir) Finish() (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	end := d.opSpan("finish")
+	defer func() { end(err) }()
 	d.man.Phase = PhaseDone
 	return d.writeManifest()
 }
@@ -388,12 +449,13 @@ func (d *Dir) writeAtomic(name string, write func(io.Writer) error) error {
 	}
 	tmp := f.Name()
 	bw := bufio.NewWriter(f)
+	cw := countWriter{w: bw, n: &d.opBytes}
 	fail := func(err error) error {
 		f.Close()
 		_ = d.fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: %s: %w", name, err)
 	}
-	if err := write(bw); err != nil {
+	if err := write(cw); err != nil {
 		return fail(err)
 	}
 	if err := bw.Flush(); err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/runlimit"
 	"repro/internal/similarity"
 	"repro/internal/xmltree"
@@ -78,6 +79,13 @@ type Options struct {
 	// completed candidates and mid-candidate pass progress. Resumed
 	// cluster sets must stem from the same GK tables and configuration.
 	Resume *ResumeState
+	// Observer, when non-nil and enabled, receives tracing spans
+	// (key generation, each candidate, each key pass, sliding window,
+	// transitive closure) and live metrics from every phase. A nil or
+	// disabled observer costs one pointer test per run — the hot loops
+	// are untouched — so leaving it unset reproduces the paper's
+	// performance exactly.
+	Observer *obs.Observer
 }
 
 // CandidateStats holds per-candidate phase measurements.
@@ -96,19 +104,38 @@ type CandidateStats struct {
 // Stats aggregates the phase measurements the paper reports in
 // Experiment set 2: key generation (KG), sliding window (SW),
 // transitive closure (TC), and duplicate detection (DD = SW + TC).
+//
+// SlidingWindow and TransitiveClosure are sums of per-candidate
+// durations. Under Options.Parallel candidates overlap in wall-clock
+// time, so these sums measure CPU time spent, not elapsed time — they
+// can exceed the run's wall clock. DetectionWall is the wall-clock
+// duration of the whole detection phase and is the number to quote
+// for "how long did it take"; the CPU sums are the numbers to quote
+// for "how much work was done".
 type Stats struct {
 	KeyGen            time.Duration
-	SlidingWindow     time.Duration
-	TransitiveClosure time.Duration
+	SlidingWindow     time.Duration // CPU-summed across candidates/workers
+	TransitiveClosure time.Duration // CPU-summed across candidates/workers
+	DetectionWall     time.Duration // wall clock of the detection phase
 	Comparisons       int
 	FilteredOut       int
 	DuplicatePairs    int
 	Candidates        map[string]*CandidateStats
 }
 
-// DuplicateDetection returns SW + TC, the paper's DD measure.
+// DuplicateDetection returns SW + TC, the paper's DD measure. This is
+// the CPU-summed variant: under Options.Parallel the per-candidate
+// phases overlap and the sum exceeds elapsed time. Use
+// DuplicateDetectionWall for the elapsed-time view.
 func (s *Stats) DuplicateDetection() time.Duration {
 	return s.SlidingWindow + s.TransitiveClosure
+}
+
+// DuplicateDetectionWall returns the wall-clock duration of the
+// detection phase (sequential runs: ≈ DuplicateDetection plus
+// scheduling overhead; parallel runs: the real elapsed time).
+func (s *Stats) DuplicateDetectionWall() time.Duration {
+	return s.DetectionWall
 }
 
 // Result is the outcome of a full SXNM run: one cluster set per
@@ -139,7 +166,7 @@ func Run(doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, erro
 func RunContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, error) {
 	ctx, stop := runlimit.WithTimeout(ctx, opts.Limits)
 	defer stop()
-	kg, err := GenerateKeysContext(ctx, doc, cfg, opts.Limits)
+	kg, err := GenerateKeysObserved(ctx, doc, cfg, opts.Limits, opts.Observer)
 	if err != nil {
 		if isInterruption(err) {
 			return PartialFromKeyGen(kg, err), err
@@ -175,6 +202,15 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 	defer cancelSiblings()
 	bud := newBudget(ctx, opts.Limits)
 
+	// Normalize the observer once: a disabled observer is treated like
+	// a nil one everywhere downstream, so the atomic enabled flag is
+	// tested exactly once per run.
+	if !opts.Observer.Enabled() {
+		opts.Observer = nil
+	}
+	ob := opts.Observer
+	m := ob.Metrics()
+
 	res := &Result{
 		Clusters: make(map[string]*cluster.ClusterSet, len(cfg.Candidates)),
 		Tables:   kg.Tables,
@@ -189,6 +225,50 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 		resumedClusters = opts.Resume.Clusters
 		resumedProgress = opts.Resume.Progress
 	}
+
+	detStart := time.Now()
+	detSpan := ob.StartSpan(obs.SpanDetect)
+	defer detSpan.End()
+	defer func() { res.Stats.DetectionWall = time.Since(detStart) }()
+	if m != nil {
+		m.MarkStart()
+		m.CandidatesTotal.Store(int64(len(cfg.Candidates)))
+		var rows, expected int64
+		for i := range cfg.Candidates {
+			c := &cfg.Candidates[i]
+			t := kg.Tables[c.Name]
+			if t == nil {
+				continue
+			}
+			rows += int64(len(t.Rows))
+			if _, done := resumedClusters[c.Name]; done {
+				continue
+			}
+			passes := len(c.CompiledKeys())
+			if prog := resumedProgress[c.Name]; prog != nil {
+				passes -= prog.NextPass
+			}
+			if passes > 0 {
+				expected += int64(passes) * estWindowPairs(len(t.Rows), c.Window)
+			}
+		}
+		m.GKRows.Store(rows)
+		m.ExpectedWindowPairs.Store(expected)
+	}
+	if ob != nil && opts.Resume != nil {
+		var seeded int64
+		for _, prog := range resumedProgress {
+			seeded += int64(len(prog.Pairs))
+		}
+		if m != nil {
+			m.ResumedCandidates.Store(int64(len(resumedClusters)))
+			m.ResumedPairs.Store(seeded)
+		}
+		ob.Event(obs.EventResume,
+			obs.Int(obs.AttrCompleted, len(resumedClusters)),
+			obs.Int64(obs.AttrResumedPairs, seeded))
+	}
+
 	var completed []string
 	for _, group := range DetectionOrder(kg, cfg) {
 		type outcome struct {
@@ -226,9 +306,41 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 						Clusters:     cs.Len(),
 						NonSingleton: len(cs.NonSingletons()),
 					}}
+				if sp := detSpan.Child(obs.SpanCandidate,
+					obs.String(obs.AttrCandidate, cand.Name),
+					obs.Int(obs.AttrRows, len(t.Rows)),
+					obs.Bool(obs.AttrResumed, true),
+					obs.Int(obs.AttrClusters, cs.Len()),
+					obs.Int(obs.AttrNonSingleton, len(cs.NonSingletons())),
+				); sp != nil {
+					sp.End()
+				}
 				return
 			}
-			cs, cstats, err := detectCandidate(bud, t, res.Clusters, resumedProgress[cand.Name], opts)
+			candSpan := detSpan.Child(obs.SpanCandidate,
+				obs.String(obs.AttrCandidate, cand.Name),
+				obs.Int(obs.AttrRows, len(t.Rows)),
+				obs.Int(obs.AttrWindow, cand.Window),
+				obs.Int(obs.AttrKeys, len(cand.CompiledKeys())))
+			if prog := resumedProgress[cand.Name]; prog != nil {
+				candSpan.SetAttr(obs.Int(obs.AttrNextPass, prog.NextPass))
+			}
+			cs, cstats, err := detectCandidate(bud, t, res.Clusters, resumedProgress[cand.Name], opts, candSpan)
+			if cstats != nil {
+				candSpan.SetAttr(
+					obs.Int(obs.AttrWindowPairs, cstats.WindowPairs),
+					obs.Int(obs.AttrComparisons, cstats.Comparisons),
+					obs.Int(obs.AttrFilteredOut, cstats.FilteredOut),
+					obs.Int(obs.AttrDuplicatePairs, cstats.DuplicatePairs),
+					obs.Int(obs.AttrClusters, cstats.Clusters),
+					obs.Int(obs.AttrNonSingleton, cstats.NonSingleton),
+					obs.Int64(obs.AttrSWNanos, int64(cstats.SlidingWindow)),
+					obs.Int64(obs.AttrTCNanos, int64(cstats.TransitiveClosure)))
+			}
+			if err != nil && isInterruption(err) {
+				candSpan.SetAttr(obs.Bool(obs.AttrInterrupted, true))
+			}
+			candSpan.End()
 			outcomes[i] = outcome{name: cand.Name, ran: true, cs: cs, cstats: cstats, err: err}
 		}
 		if opts.Parallel && len(group) > 1 {
@@ -288,6 +400,9 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 			res.Stats.FilteredOut += o.cstats.FilteredOut
 			res.Stats.DuplicatePairs += o.cstats.DuplicatePairs
 			completed = append(completed, o.name)
+			if m != nil {
+				m.CandidatesDone.Add(1)
+			}
 			if opts.Checkpointer != nil && !o.resumed {
 				if cerr := opts.Checkpointer.CandidateDone(o.name, o.cs); cerr != nil {
 					return nil, fmt.Errorf("core: checkpoint candidate %q: %w", o.name, cerr)
@@ -301,6 +416,11 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 				Completed:   completed,
 				Interrupted: interrupted,
 				KeyPass:     intr.pass,
+			}
+			if ob != nil {
+				ob.Event(obs.EventInterrupted,
+					obs.String(obs.AttrPhase, intr.phase),
+					obs.String(obs.AttrCause, intr.cause.Error()))
 			}
 			return res, intr.cause
 		}
@@ -320,9 +440,10 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 // the earlier run are re-compared when windows revisit them; the
 // classification is deterministic, so the resulting cluster set is
 // identical to an uninterrupted run (only comparison counts differ).
-func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.ClusterSet, prog *CandidateProgress, opts Options) (*cluster.ClusterSet, *CandidateStats, error) {
+func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.ClusterSet, prog *CandidateProgress, opts Options, candSpan *obs.Span) (*cluster.ClusterSet, *CandidateStats, error) {
 	cand := t.Candidate
 	cstats := &CandidateStats{Rows: len(t.Rows)}
+	m := opts.Observer.Metrics() // nil when no (enabled) observer
 
 	swStart := time.Now()
 	useDesc := cand.DescendantsEnabled() && !opts.DisableDescendants
@@ -355,6 +476,57 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 		}
 	}
 
+	// Observability: deltas since the last flush, pushed to the shared
+	// metric set at pass boundaries and every few thousand window pairs
+	// so a mid-pass Snapshot stays fresh without touching an atomic per
+	// pair. flushed* hold the values already accounted for.
+	var odCalls, descCalls int
+	var flushed CandidateStats
+	var flushedDups, flushedOD, flushedDesc int
+	flushObs := func() {
+		if m == nil {
+			return
+		}
+		m.WindowPairs.Add(int64(cstats.WindowPairs - flushed.WindowPairs))
+		m.Comparisons.Add(int64(cstats.Comparisons - flushed.Comparisons))
+		m.FilteredOut.Add(int64(cstats.FilteredOut - flushed.FilteredOut))
+		m.DuplicatePairs.Add(int64(len(pairs) - flushedDups))
+		m.ODSimCalls.Add(int64(odCalls - flushedOD))
+		m.DescSimCalls.Add(int64(descCalls - flushedDesc))
+		flushed = *cstats
+		flushedDups, flushedOD, flushedDesc = len(pairs), odCalls, descCalls
+	}
+	swSpan := candSpan.Child(obs.SpanSlidingWindow, obs.String(obs.AttrCandidate, cand.Name))
+	// endPass closes one key pass: heap sample, per-pass span with the
+	// pass's own deltas, and a metrics flush.
+	passBase := *cstats
+	passBaseDups := len(pairs)
+	endPass := func(passSpan *obs.Span, interrupted bool) {
+		if m != nil {
+			m.SampleHeap()
+			if !interrupted {
+				m.PassesDone.Add(1)
+			}
+		}
+		if passSpan != nil {
+			passSpan.SetAttr(
+				obs.Int(obs.AttrWindowPairs, cstats.WindowPairs-passBase.WindowPairs),
+				obs.Int(obs.AttrComparisons, cstats.Comparisons-passBase.Comparisons),
+				obs.Int(obs.AttrFilteredOut, cstats.FilteredOut-passBase.FilteredOut),
+				obs.Int(obs.AttrDuplicatePairs, len(pairs)-passBaseDups))
+			if m != nil {
+				passSpan.SetAttr(obs.Int64(obs.AttrHeapBytes, m.HeapInUse.Load()))
+			}
+			if interrupted {
+				passSpan.SetAttr(obs.Bool(obs.AttrInterrupted, true))
+			}
+			passSpan.End()
+		}
+		passBase = *cstats
+		passBaseDups = len(pairs)
+		flushObs()
+	}
+
 	order := make([]int, len(t.Rows))
 	for pass := startPass; pass < len(keys); pass++ {
 		for i := range order {
@@ -368,6 +540,8 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 			}
 			return ra.EID < rb.EID
 		})
+		passSpan := swSpan.Child(obs.SpanPass,
+			obs.String(obs.AttrCandidate, cand.Name), obs.Int(obs.AttrPass, pass))
 		for i := 1; i < len(order); i++ {
 			lo := i - (w - 1)
 			if lo < 0 {
@@ -379,8 +553,13 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 			for j := lo; j < i; j++ {
 				a, b := &t.Rows[order[j]], &t.Rows[order[i]]
 				cstats.WindowPairs++
+				if m != nil && cstats.WindowPairs&0xFFF == 0 {
+					flushObs()
+				}
 				if err := bud.poll(cstats.WindowPairs); err != nil {
 					cstats.SlidingWindow = time.Since(swStart)
+					endPass(passSpan, true)
+					swSpan.End()
 					flush(pass)
 					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
 				}
@@ -391,6 +570,8 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				compared[key] = struct{}{}
 				if err := bud.addComparison(); err != nil {
 					cstats.SlidingWindow = time.Since(swStart)
+					endPass(passSpan, true)
+					swSpan.End()
 					flush(pass)
 					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
 				}
@@ -402,6 +583,10 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 					cstats.FilteredOut++
 				} else {
 					cstats.Comparisons++
+					odCalls++
+				}
+				if useDesc {
+					descCalls++
 				}
 				if opts.PairObserver != nil {
 					opts.PairObserver(PairObservation{
@@ -420,6 +605,7 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				}
 			}
 		}
+		endPass(passSpan, false)
 		// A completed pass is a durable resume point; the final pass is
 		// covered moments later by the candidate's own completion.
 		if pass+1 < len(keys) && opts.Checkpointer != nil {
@@ -430,10 +616,17 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	}
 	cstats.DuplicatePairs = len(pairs)
 	cstats.SlidingWindow = time.Since(swStart)
+	swSpan.End()
+	flushObs()
 
 	tcStart := time.Now()
+	tcSpan := candSpan.Child(obs.SpanTransitiveClosure, obs.String(obs.AttrCandidate, cand.Name))
 	tcInterrupt := func(err error) (*cluster.ClusterSet, *CandidateStats, error) {
 		cstats.TransitiveClosure = time.Since(tcStart)
+		if tcSpan != nil {
+			tcSpan.SetAttr(obs.Bool(obs.AttrInterrupted, true))
+			tcSpan.End()
+		}
 		// Every window pass is complete: a resume re-enters directly at
 		// the transitive closure.
 		flush(len(keys))
@@ -466,7 +659,28 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	cstats.TransitiveClosure = time.Since(tcStart)
 	cstats.Clusters = cs.Len()
 	cstats.NonSingleton = len(cs.NonSingletons())
+	tcSpan.SetAttr(
+		obs.Int(obs.AttrClusters, cs.Len()),
+		obs.Int(obs.AttrNonSingleton, len(cs.NonSingletons())))
+	tcSpan.End()
 	return cs, cstats, nil
+}
+
+// estWindowPairs estimates the window pair slots one key pass visits
+// for n rows and window w: sum over positions i of min(i, w-1) — the
+// ramp-up at the start of the sorted order, then a full window per
+// step. Adaptive window extension can exceed the estimate; repeated
+// pairs across passes are included (each pass slides independently).
+func estWindowPairs(n, w int) int64 {
+	m := int64(w - 1)
+	if m <= 0 || n <= 1 {
+		return 0
+	}
+	N := int64(n)
+	if N-1 <= m {
+		return N * (N - 1) / 2
+	}
+	return m*(N-1) - m*(m-1)/2
 }
 
 // adaptiveLow extends the window start below the fixed bound while the

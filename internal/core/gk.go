@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/runlimit"
 	"repro/internal/similarity"
 	"repro/internal/xmltree"
@@ -77,7 +78,22 @@ func GenerateKeys(doc *xmltree.Document, cfg *config.Config) (*KeyGenResult, err
 // built in memory). On interruption the partial KeyGenResult built so
 // far is returned together with the typed cause.
 func GenerateKeysContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, lim Limits) (*KeyGenResult, error) {
+	return GenerateKeysObserved(ctx, doc, cfg, lim, nil)
+}
+
+// GenerateKeysObserved is GenerateKeysContext with the key generation
+// phase traced: one SpanKeyGen span carrying the candidate count and
+// total rows extracted, plus the GKRows metric. A nil or disabled
+// observer reduces to GenerateKeysContext exactly.
+func GenerateKeysObserved(ctx context.Context, doc *xmltree.Document, cfg *config.Config, lim Limits, ob *obs.Observer) (kgOut *KeyGenResult, errOut error) {
 	start := time.Now()
+	if !ob.Enabled() {
+		ob = nil
+	}
+	if ob != nil {
+		sp := ob.StartSpan(obs.SpanKeyGen, obs.Int("candidates", len(cfg.Candidates)))
+		defer func() { finishKeyGenSpan(sp, ob, kgOut, errOut) }()
+	}
 	ctx, stop := runlimit.WithTimeout(ctx, lim)
 	defer stop()
 	bud := newBudget(ctx, lim)
@@ -189,6 +205,27 @@ func GenerateKeysContext(ctx context.Context, doc *xmltree.Document, cfg *config
 	}
 
 	return &KeyGenResult{Tables: tables, Duration: time.Since(start)}, nil
+}
+
+// finishKeyGenSpan closes a key generation span with the rows
+// extracted (even on an interruption, where partial tables remain
+// inspectable) and seeds the GKRows gauge and a heap sample.
+func finishKeyGenSpan(sp *obs.Span, ob *obs.Observer, kg *KeyGenResult, err error) {
+	rows := 0
+	if kg != nil {
+		for _, t := range kg.Tables {
+			rows += len(t.Rows)
+		}
+	}
+	sp.SetAttr(obs.Int(obs.AttrRows, rows))
+	if err != nil {
+		sp.SetAttr(obs.Bool(obs.AttrInterrupted, true), obs.String(obs.AttrCause, err.Error()))
+	}
+	sp.End()
+	if m := ob.Metrics(); m != nil {
+		m.GKRows.Store(int64(rows))
+		m.SampleHeap()
+	}
 }
 
 // buildRow extracts keys and OD values for one candidate instance.

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+func TestCandidateStatsString(t *testing.T) {
+	c := &CandidateStats{
+		Rows: 10, Comparisons: 40, WindowPairs: 45, FilteredOut: 5,
+		DuplicatePairs: 3, Clusters: 7, NonSingleton: 2,
+		SlidingWindow: 2 * time.Millisecond, TransitiveClosure: time.Millisecond,
+	}
+	s := c.String()
+	for _, want := range []string{
+		"rows=10", "comparisons=40", "window_pairs=45", "filtered_out=5",
+		"duplicate_pairs=3", "clusters=7", "non_singleton=2", "sw=2ms", "tc=1ms",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestCandidateStatsMarshalJSON(t *testing.T) {
+	c := &CandidateStats{
+		Rows: 10, Comparisons: 40, WindowPairs: 45, FilteredOut: 5,
+		DuplicatePairs: 3, Clusters: 7, NonSingleton: 2,
+		SlidingWindow: 2 * time.Millisecond, TransitiveClosure: time.Millisecond,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["rows"] != float64(10) || m["comparisons"] != float64(40) {
+		t.Errorf("counts wrong: %v", m)
+	}
+	if m["sliding_window_ns"] != float64(2_000_000) || m["sliding_window"] != "2ms" {
+		t.Errorf("durations wrong: %v", m)
+	}
+	if m["transitive_closure"] != "1ms" {
+		t.Errorf("tc wrong: %v", m)
+	}
+}
+
+func TestStatsStringAndJSON(t *testing.T) {
+	s := &Stats{
+		KeyGen:            3 * time.Millisecond,
+		SlidingWindow:     4 * time.Millisecond,
+		TransitiveClosure: time.Millisecond,
+		DetectionWall:     2 * time.Millisecond,
+		Comparisons:       100, FilteredOut: 20, DuplicatePairs: 9,
+		Candidates: map[string]*CandidateStats{
+			"movie": {Rows: 5, Comparisons: 100},
+		},
+	}
+	str := s.String()
+	for _, want := range []string{
+		"kg=3ms", "sw_cpu=4ms", "tc_cpu=1ms", "dd_cpu=5ms", "detect_wall=2ms",
+		"comparisons=100", "filtered_out=20", "duplicate_pairs=9", "candidates=1",
+	} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["duplicate_detection_cpu_ns"] != float64(5_000_000) {
+		t.Errorf("dd ns = %v, want 5e6", m["duplicate_detection_cpu_ns"])
+	}
+	if m["detect_wall"] != "2ms" {
+		t.Errorf("detect_wall = %v", m["detect_wall"])
+	}
+	cands, ok := m["candidates"].(map[string]any)
+	if !ok {
+		t.Fatalf("candidates not a map: %T", m["candidates"])
+	}
+	movie, ok := cands["movie"].(map[string]any)
+	if !ok || movie["rows"] != float64(5) {
+		t.Errorf("nested candidate stats = %v", cands["movie"])
+	}
+}
+
+// The marshalled form of a real run must decode without error and keep
+// the headline counters intact.
+func TestStatsJSONFromRun(t *testing.T) {
+	cfg := mustValidate(t, movieConfig(config.RuleEither))
+	doc := mustDoc(t, typoMoviesXML)
+	res, err := Run(doc, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(&res.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if int(m["comparisons"].(float64)) != res.Stats.Comparisons {
+		t.Errorf("comparisons: json %v vs %d", m["comparisons"], res.Stats.Comparisons)
+	}
+}

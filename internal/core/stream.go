@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/runlimit"
 	"repro/internal/similarity"
 	"repro/internal/xmltree"
@@ -42,7 +43,22 @@ func GenerateKeysStream(r io.Reader, cfg *config.Config) (*KeyGenResult, error) 
 // cancellation is polled every few tokens. On interruption the partial
 // KeyGenResult is returned together with the typed cause.
 func GenerateKeysStreamContext(ctx context.Context, r io.Reader, cfg *config.Config, lim Limits) (*KeyGenResult, error) {
+	return GenerateKeysStreamObserved(ctx, r, cfg, lim, nil)
+}
+
+// GenerateKeysStreamObserved is GenerateKeysStreamContext with the
+// phase traced like GenerateKeysObserved; the span carries an
+// additional stream=true attribute.
+func GenerateKeysStreamObserved(ctx context.Context, r io.Reader, cfg *config.Config, lim Limits, ob *obs.Observer) (kgOut *KeyGenResult, errOut error) {
 	start := time.Now()
+	if !ob.Enabled() {
+		ob = nil
+	}
+	if ob != nil {
+		sp := ob.StartSpan(obs.SpanKeyGen,
+			obs.Int("candidates", len(cfg.Candidates)), obs.Bool(obs.AttrStream, true))
+		defer func() { finishKeyGenSpan(sp, ob, kgOut, errOut) }()
+	}
 	ctx, stop := runlimit.WithTimeout(ctx, lim)
 	defer stop()
 	bud := newBudget(ctx, lim)

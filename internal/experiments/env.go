@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -18,9 +19,13 @@ import (
 // tables would silently skew the reproduced figures. The typed cause
 // (core.ErrCanceled, core.ErrDeadlineExceeded, core.ErrLimitExceeded)
 // propagates out for the caller to report.
+// An Observer, when set, traces and counts every detection run of the
+// sweep through one shared metric set — useful to watch a paper-scale
+// experiment progress and to profile where its time goes.
 type RunEnv struct {
-	Ctx    context.Context
-	Limits core.Limits
+	Ctx      context.Context
+	Limits   core.Limits
+	Observer *obs.Observer
 }
 
 func (e RunEnv) context() context.Context {
@@ -34,5 +39,6 @@ func (e RunEnv) context() context.Context {
 // Limits on top of the run options.
 func (e RunEnv) Run(doc *xmltree.Document, cfg *config.Config, opts core.Options) (*core.Result, error) {
 	opts.Limits = e.Limits
+	opts.Observer = e.Observer
 	return core.RunContext(e.context(), doc, cfg, opts)
 }

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the run's live counter and gauge set. All fields are
+// updated atomically; the engine batches hot-loop increments and
+// flushes deltas at pass boundaries and every few thousand window
+// pairs, so a Snapshot taken mid-run is at most a flush interval
+// stale. Counters are monotonic within one run; gauges
+// (heap, expected pairs) are point-in-time.
+type Metrics struct {
+	// Sliding-window counters.
+	WindowPairs    atomic.Int64 // window pair slots visited (incl. repeats)
+	Comparisons    atomic.Int64 // distinct similarity computations
+	FilteredOut    atomic.Int64 // comparisons skipped by the upper-bound filter
+	DuplicatePairs atomic.Int64 // distinct pairs classified duplicate
+	ODSimCalls     atomic.Int64 // object-description similarity invocations
+	DescSimCalls   atomic.Int64 // descendant similarity invocations
+
+	// Phase progress.
+	GKRows          atomic.Int64 // rows across all GK tables
+	PassesDone      atomic.Int64
+	CandidatesDone  atomic.Int64
+	CandidatesTotal atomic.Int64 // gauge, set at detection start
+
+	// Gauges sampled per pass.
+	HeapInUse atomic.Int64 // bytes, sampled via runtime/metrics
+	PeakHeap  atomic.Int64 // high-water mark of HeapInUse samples
+
+	// Work estimate for progress/ETA: remaining window pair slots at
+	// detection start (fixed windows; adaptive extension can exceed it).
+	ExpectedWindowPairs atomic.Int64
+
+	// Checkpointing.
+	CheckpointWrites atomic.Int64
+	CheckpointBytes  atomic.Int64
+
+	// Resume provenance.
+	ResumedCandidates atomic.Int64 // candidates adopted from a checkpoint
+	ResumedPairs      atomic.Int64 // duplicate pairs seeded from a checkpoint
+
+	startOnce sync.Once
+	start     time.Time
+}
+
+// MarkStart pins the rate baseline; the engine calls it when detection
+// begins. Subsequent calls are no-ops.
+func (m *Metrics) MarkStart() {
+	if m == nil {
+		return
+	}
+	m.startOnce.Do(func() { m.start = time.Now() })
+}
+
+// Elapsed returns the time since MarkStart (0 before it).
+func (m *Metrics) Elapsed() time.Duration {
+	if m == nil || m.start.IsZero() {
+		return 0
+	}
+	return time.Since(m.start)
+}
+
+// SampleHeap reads the live heap size from runtime/metrics (far
+// cheaper than runtime.ReadMemStats — no stop-the-world) and updates
+// the HeapInUse gauge and PeakHeap high-water mark.
+func (m *Metrics) SampleHeap() {
+	if m == nil {
+		return
+	}
+	if v := liveHeapBytes(); v > 0 {
+		m.HeapInUse.Store(v)
+		for {
+			peak := m.PeakHeap.Load()
+			if v <= peak || m.PeakHeap.CompareAndSwap(peak, v) {
+				break
+			}
+		}
+	}
+}
+
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+func liveHeapBytes() int64 {
+	sample := []metrics.Sample{{Name: heapMetric}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(sample[0].Value.Uint64())
+}
+
+// Snapshot is a consistent-enough point-in-time copy of Metrics with
+// the derived rates the issue tracker dashboards want precomputed. It
+// marshals cleanly to JSON and renders to Prometheus text format.
+type Snapshot struct {
+	WindowPairs         int64   `json:"window_pairs"`
+	Comparisons         int64   `json:"comparisons"`
+	FilteredOut         int64   `json:"filtered_out"`
+	DuplicatePairs      int64   `json:"duplicate_pairs"`
+	ODSimCalls          int64   `json:"od_sim_calls"`
+	DescSimCalls        int64   `json:"desc_sim_calls"`
+	GKRows              int64   `json:"gk_rows"`
+	PassesDone          int64   `json:"passes_done"`
+	CandidatesDone      int64   `json:"candidates_done"`
+	CandidatesTotal     int64   `json:"candidates_total"`
+	HeapInUse           int64   `json:"heap_in_use_bytes"`
+	PeakHeap            int64   `json:"peak_heap_bytes"`
+	ExpectedWindowPairs int64   `json:"expected_window_pairs"`
+	CheckpointWrites    int64   `json:"checkpoint_writes"`
+	CheckpointBytes     int64   `json:"checkpoint_bytes"`
+	ResumedCandidates   int64   `json:"resumed_candidates"`
+	ResumedPairs        int64   `json:"resumed_pairs"`
+	ElapsedSeconds      float64 `json:"elapsed_seconds"`
+	ComparisonsPerSec   float64 `json:"comparisons_per_sec"`
+	FilterHitRate       float64 `json:"filter_hit_rate"`
+}
+
+// Snapshot copies the current values and computes derived rates.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		WindowPairs:         m.WindowPairs.Load(),
+		Comparisons:         m.Comparisons.Load(),
+		FilteredOut:         m.FilteredOut.Load(),
+		DuplicatePairs:      m.DuplicatePairs.Load(),
+		ODSimCalls:          m.ODSimCalls.Load(),
+		DescSimCalls:        m.DescSimCalls.Load(),
+		GKRows:              m.GKRows.Load(),
+		PassesDone:          m.PassesDone.Load(),
+		CandidatesDone:      m.CandidatesDone.Load(),
+		CandidatesTotal:     m.CandidatesTotal.Load(),
+		HeapInUse:           m.HeapInUse.Load(),
+		PeakHeap:            m.PeakHeap.Load(),
+		ExpectedWindowPairs: m.ExpectedWindowPairs.Load(),
+		CheckpointWrites:    m.CheckpointWrites.Load(),
+		CheckpointBytes:     m.CheckpointBytes.Load(),
+		ResumedCandidates:   m.ResumedCandidates.Load(),
+		ResumedPairs:        m.ResumedPairs.Load(),
+		ElapsedSeconds:      m.Elapsed().Seconds(),
+	}
+	if s.ElapsedSeconds > 0 {
+		s.ComparisonsPerSec = float64(s.Comparisons) / s.ElapsedSeconds
+	}
+	if attempted := s.Comparisons + s.FilteredOut; attempted > 0 {
+		s.FilterHitRate = float64(s.FilteredOut) / float64(attempted)
+	}
+	return s
+}
+
+// promRow describes one exported Prometheus sample.
+type promRow struct {
+	name string
+	kind string // counter | gauge
+	help string
+	val  func(*Snapshot) float64
+}
+
+var promRows = []promRow{
+	{"sxnm_window_pairs_total", "counter", "Window pair slots visited, including repeats across passes.", func(s *Snapshot) float64 { return float64(s.WindowPairs) }},
+	{"sxnm_comparisons_total", "counter", "Distinct similarity computations.", func(s *Snapshot) float64 { return float64(s.Comparisons) }},
+	{"sxnm_filtered_out_total", "counter", "Comparisons skipped by the OD upper-bound filter.", func(s *Snapshot) float64 { return float64(s.FilteredOut) }},
+	{"sxnm_duplicate_pairs_total", "counter", "Distinct pairs classified duplicate before transitive closure.", func(s *Snapshot) float64 { return float64(s.DuplicatePairs) }},
+	{"sxnm_od_sim_calls_total", "counter", "Object-description similarity invocations.", func(s *Snapshot) float64 { return float64(s.ODSimCalls) }},
+	{"sxnm_desc_sim_calls_total", "counter", "Descendant similarity invocations.", func(s *Snapshot) float64 { return float64(s.DescSimCalls) }},
+	{"sxnm_gk_rows_total", "counter", "Rows across all GK tables after key generation.", func(s *Snapshot) float64 { return float64(s.GKRows) }},
+	{"sxnm_passes_done_total", "counter", "Completed key passes.", func(s *Snapshot) float64 { return float64(s.PassesDone) }},
+	{"sxnm_candidates_done_total", "counter", "Completed candidates.", func(s *Snapshot) float64 { return float64(s.CandidatesDone) }},
+	{"sxnm_candidates_total", "gauge", "Candidates configured for this run.", func(s *Snapshot) float64 { return float64(s.CandidatesTotal) }},
+	{"sxnm_heap_in_use_bytes", "gauge", "Live heap bytes, sampled per pass.", func(s *Snapshot) float64 { return float64(s.HeapInUse) }},
+	{"sxnm_peak_heap_bytes", "gauge", "High-water mark of the per-pass heap samples.", func(s *Snapshot) float64 { return float64(s.PeakHeap) }},
+	{"sxnm_expected_window_pairs", "gauge", "Window pair slots expected at detection start.", func(s *Snapshot) float64 { return float64(s.ExpectedWindowPairs) }},
+	{"sxnm_checkpoint_writes_total", "counter", "Durable checkpoint section writes.", func(s *Snapshot) float64 { return float64(s.CheckpointWrites) }},
+	{"sxnm_checkpoint_bytes_total", "counter", "Bytes written to the checkpoint directory.", func(s *Snapshot) float64 { return float64(s.CheckpointBytes) }},
+	{"sxnm_resumed_candidates_total", "counter", "Candidates adopted from a checkpoint instead of re-detected.", func(s *Snapshot) float64 { return float64(s.ResumedCandidates) }},
+	{"sxnm_resumed_pairs_total", "counter", "Duplicate pairs seeded from a checkpoint.", func(s *Snapshot) float64 { return float64(s.ResumedPairs) }},
+	{"sxnm_comparisons_per_second", "gauge", "Comparison throughput since detection start.", func(s *Snapshot) float64 { return s.ComparisonsPerSec }},
+	{"sxnm_filter_hit_rate", "gauge", "Fraction of attempted comparisons the filter skipped.", func(s *Snapshot) float64 { return s.FilterHitRate }},
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (v0.0.4), one HELP/TYPE/sample triple per metric.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, r := range promRows {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n",
+			r.name, r.help, r.name, r.kind, r.name, r.val(&s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the current metric values; see
+// Snapshot.WritePrometheus.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return m.Snapshot().WritePrometheus(w)
+}
+
+// expvarMu serializes the published-name check; expvar.Publish panics
+// on duplicates, and repeated runs in one process (tests, servers)
+// should republish the latest observer instead of crashing.
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the metric set under the given expvar name
+// (e.g. "sxnm"), replacing a previously published metric set of the
+// same name. The value rendered at /debug/vars is the JSON Snapshot.
+func (m *Metrics) PublishExpvar(name string) {
+	if m == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	f := expvar.Func(func() any { return m.Snapshot() })
+	if v := expvar.Get(name); v != nil {
+		// Already published (an earlier run in this process): expvar
+		// offers no replace, so re-point the existing holder when it is
+		// ours, or leave the foreign variable alone.
+		if h, ok := v.(*expvarHolder); ok {
+			h.set(f)
+		}
+		return
+	}
+	h := &expvarHolder{}
+	h.set(f)
+	expvar.Publish(name, h)
+}
+
+// expvarHolder is an expvar.Var whose target can be swapped, working
+// around expvar's publish-once semantics.
+type expvarHolder struct {
+	mu sync.Mutex
+	v  expvar.Var
+}
+
+func (h *expvarHolder) set(v expvar.Var) {
+	h.mu.Lock()
+	h.v = v
+	h.mu.Unlock()
+}
+
+func (h *expvarHolder) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.v == nil {
+		return "null"
+	}
+	return h.v.String()
+}

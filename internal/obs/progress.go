@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Progress periodically renders one-line run summaries (phase
+// progress, comparisons/sec, ETA from pair counts) from a Metrics set
+// to a writer — the CLI's -progress implementation.
+//
+// TTY awareness: when the writer is an interactive terminal the line
+// is redrawn in place (carriage return, no newline) at the configured
+// interval; when it is not (logs, CI, a pipe), lines are appended at
+// a much lower frequency so log files stay readable. Quiet TTY
+// detection never errors: a writer that is not an *os.File is treated
+// as non-interactive.
+type Progress struct {
+	w        io.Writer
+	m        *Metrics
+	tty      bool
+	interval time.Duration
+
+	mu    sync.Mutex
+	stop  chan struct{}
+	done  chan struct{}
+	wrote bool
+}
+
+// Interval defaults: redraw fast on a TTY, append slowly elsewhere.
+const (
+	ttyInterval    = 500 * time.Millisecond
+	nonTTYInterval = 5 * time.Second
+)
+
+// NewProgress returns a progress printer over m writing to w. The
+// reporting interval adapts to whether w is an interactive terminal;
+// pass interval > 0 to override.
+func NewProgress(w io.Writer, m *Metrics, interval time.Duration) *Progress {
+	p := &Progress{w: w, m: m, tty: isTTY(w)}
+	p.interval = interval
+	if p.interval <= 0 {
+		if p.tty {
+			p.interval = ttyInterval
+		} else {
+			p.interval = nonTTYInterval
+		}
+	}
+	return p
+}
+
+// isTTY reports whether w is an interactive character device.
+func isTTY(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// Start launches the reporting goroutine. Call Stop to end it; Stop
+// prints a final line so the last state is always visible.
+func (p *Progress) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop ends the reporting goroutine, printing one final summary line
+// (newline-terminated even on a TTY).
+func (p *Progress) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (p *Progress) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			p.render(true)
+			return
+		case <-t.C:
+			p.render(false)
+		}
+	}
+}
+
+// render writes one progress line. On a TTY intermediate lines end
+// with \r so they overwrite each other; the final line (and every
+// non-TTY line) ends with \n.
+func (p *Progress) render(final bool) {
+	s := p.m.Snapshot()
+	line := FormatProgress(s)
+	if p.tty && !final {
+		fmt.Fprintf(p.w, "\r\x1b[K%s", line)
+		p.wrote = true
+		return
+	}
+	if p.tty && p.wrote {
+		// Clear the in-place line before the terminal newline-terminated one.
+		fmt.Fprint(p.w, "\r\x1b[K")
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// FormatProgress renders one human-readable progress line from a
+// snapshot: phase counts, pair progress with ETA, throughput, memory.
+func FormatProgress(s Snapshot) string {
+	line := fmt.Sprintf("sxnm: candidates %d/%d passes %d", s.CandidatesDone, s.CandidatesTotal, s.PassesDone)
+	if s.ExpectedWindowPairs > 0 {
+		frac := float64(s.WindowPairs) / float64(s.ExpectedWindowPairs)
+		if frac > 1 {
+			frac = 1 // adaptive windows can overshoot the estimate
+		}
+		line += fmt.Sprintf(" | pairs %s/%s (%.0f%%)", countStr(s.WindowPairs), countStr(s.ExpectedWindowPairs), frac*100)
+		if eta, ok := etaFrom(s, frac); ok {
+			line += fmt.Sprintf(" eta %s", eta)
+		}
+	} else {
+		line += fmt.Sprintf(" | pairs %s", countStr(s.WindowPairs))
+	}
+	line += fmt.Sprintf(" | %s cmp (%.0f/s) | %d dups | heap %s",
+		countStr(s.Comparisons), s.ComparisonsPerSec, s.DuplicatePairs, byteStr(s.HeapInUse))
+	return line
+}
+
+// etaFrom projects the remaining wall time from the pair-count
+// fraction and elapsed time. Needs a meaningful fraction and a second
+// of signal to avoid wild early estimates.
+func etaFrom(s Snapshot, frac float64) (time.Duration, bool) {
+	if frac <= 0.001 || frac >= 1 || s.ElapsedSeconds < 0.5 {
+		return 0, false
+	}
+	rem := s.ElapsedSeconds * (1 - frac) / frac
+	return time.Duration(rem * float64(time.Second)).Round(time.Second), true
+}
+
+func countStr(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func byteStr(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Ring is a bounded in-memory sink that keeps the most recent records,
+// dropping the oldest on overflow. It is the test- and debug-friendly
+// sink: cheap, allocation-stable, and inspectable after a run.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Record
+	next    int // next write position
+	full    bool
+	dropped int64
+}
+
+// NewRing returns a ring holding at most capacity records. A
+// non-positive capacity is rounded up to 1.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(rec Record) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Records returns the retained records, oldest first.
+func (r *Ring) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Record, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns how many records were evicted by overflow.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// JSONL streams every record to w as one JSON object per line — the
+// run-scale sink: constant memory, parseable with any JSON tooling,
+// and append-friendly. Writes are buffered; call Flush (or Close)
+// before reading the output. The first write error is sticky and
+// reported by Err/Flush/Close; subsequent records are dropped rather
+// than blocking the run.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer // non-nil when the writer should be closed by Close
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w. When w is also an
+// io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(rec Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(data); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the sticky error, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.bw.Flush()
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is closable, closes
+// it. The first error wins.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	c := j.c
+	j.c = nil
+	j.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Err returns the sticky write/encode error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ParseJSONL decodes records previously written by a JSONL sink —
+// the round-trip used by tests and by report tooling that re-reads a
+// trace file.
+func ParseJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,168 @@
+package sxnm
+
+// Facade-level observability tests: an observed run emits a parseable
+// trace, a report whose counts match Result.Stats, checkpoint-write
+// accounting, and resume provenance distinguishing recovered work.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func observedDetector(t *testing.T, opts Options) (*Detector, *Document, *Collector, *TraceRing, *TraceJSONL, *bytes.Buffer) {
+	t.Helper()
+	cfg, doc := checkpointCorpus(t)
+	ring := NewTraceRing(1 << 14)
+	col := NewCollector()
+	var trace bytes.Buffer
+	jl := NewTraceJSONL(&trace)
+	opts.Observer = NewObserver(ring, col, jl)
+	det, err := NewWithOptions(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, doc, col, ring, jl, &trace
+}
+
+func TestFacadeObservedRun(t *testing.T) {
+	det, doc, col, _, jl, trace := observedDetector(t, Options{UseFilter: true})
+	var xml bytes.Buffer
+	if err := doc.Write(&xml, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.RunReader(bytes.NewReader(xml.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := det.opts.Observer.Metrics()
+	rep := col.Report(m)
+	if rep.Totals.Comparisons != int64(res.Stats.Comparisons) ||
+		rep.Totals.FilteredOut != int64(res.Stats.FilteredOut) ||
+		rep.Totals.DuplicatePairs != int64(res.Stats.DuplicatePairs) {
+		t.Errorf("report totals %+v diverge from stats (%d/%d/%d)", rep.Totals,
+			res.Stats.Comparisons, res.Stats.FilteredOut, res.Stats.DuplicatePairs)
+	}
+	if rep.ParseMS <= 0 {
+		t.Error("parse phase not traced through RunReader")
+	}
+
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseTrace(trace)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range recs {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"parse", "keygen", "detect", "candidate", "pass", "sliding-window", "transitive-closure"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans", want)
+		}
+	}
+
+	var prom bytes.Buffer
+	if err := m.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "sxnm_comparisons_total") {
+		t.Error("prometheus dump missing counters")
+	}
+}
+
+func TestFacadeStreamRunTraced(t *testing.T) {
+	det, doc, col, ring, _, _ := observedDetector(t, Options{})
+	var xml bytes.Buffer
+	if err := doc.Write(&xml, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.RunStream(bytes.NewReader(xml.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var kgStreamed bool
+	for _, r := range ring.Records() {
+		if r.Name == "keygen" && r.AttrBool("stream") {
+			kgStreamed = true
+		}
+	}
+	if !kgStreamed {
+		t.Error("streaming key generation span missing stream=true")
+	}
+	if rep := col.Report(nil); rep.KeyGenMS <= 0 {
+		t.Error("keygen duration not collected from stream run")
+	}
+}
+
+func TestFacadeCheckpointedRunReportsResume(t *testing.T) {
+	cfg, doc := checkpointCorpus(t)
+	full, err := func() (*Result, error) {
+		det, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det.Run(doc)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	limited, err := NewWithOptions(cfg, Options{Limits: Limits{MaxComparisons: full.Stats.Comparisons / 3, CheckEvery: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := limited.RunCheckpointed(doc, dir); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("want interruption, got %v", err)
+	}
+
+	// Resume with an observer: the report must show recovered work and
+	// checkpoint writes.
+	ring := NewTraceRing(1 << 14)
+	col := NewCollector()
+	ob := NewObserver(ring, col)
+	det, err := NewWithOptions(cfg, Options{Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.RunCheckpointed(doc, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustersEqual(t, res, full)
+
+	m := ob.Metrics()
+	rep := col.Report(m)
+	if rep.Checkpoint == nil || rep.Checkpoint.Writes == 0 || rep.Checkpoint.Bytes == 0 {
+		t.Errorf("checkpoint accounting missing: %+v", rep.Checkpoint)
+	}
+	if rep.Resume == nil {
+		t.Fatal("resumed run's report carries no resume provenance")
+	}
+	if m.ResumedCandidates.Load() == 0 && m.ResumedPairs.Load() == 0 && len(rep.Resume.NextPass) == 0 {
+		t.Errorf("resume provenance empty: %+v", rep.Resume)
+	}
+	// Totals still match the (partial-work) stats of the resumed run.
+	if rep.Totals.Comparisons != int64(res.Stats.Comparisons) {
+		t.Errorf("report comparisons %d vs stats %d", rep.Totals.Comparisons, res.Stats.Comparisons)
+	}
+}
+
+func TestFingerprintExports(t *testing.T) {
+	cfg, doc := checkpointCorpus(t)
+	cfgFP, err := ConfigFingerprint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docFP, err := DocumentFingerprint(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgFP) != 64 || len(docFP) != 64 || cfgFP == docFP {
+		t.Errorf("fingerprints = %q / %q", cfgFP, docFP)
+	}
+}

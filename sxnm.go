@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runlimit"
 	"repro/internal/xmltree"
 )
@@ -206,11 +207,23 @@ func (d *Detector) RunReader(r io.Reader) (*Result, error) {
 // RunReaderContext is RunReader under a context; the Detector's
 // MaxDepth/MaxNodes limits are enforced while parsing.
 func (d *Detector) RunReaderContext(ctx context.Context, r io.Reader) (*Result, error) {
-	doc, err := xmltree.ParseWithLimits(r, d.opts.Limits)
+	doc, err := d.parseObserved(r)
 	if err != nil {
 		return nil, fmt.Errorf("sxnm: %w", err)
 	}
 	return d.RunContext(ctx, doc)
+}
+
+// parseObserved parses under the Detector's limits with the parse
+// phase traced when an observer is attached.
+func (d *Detector) parseObserved(r io.Reader) (*Document, error) {
+	sp := d.opts.Observer.StartSpan(obs.SpanParse)
+	doc, err := xmltree.ParseWithLimits(r, d.opts.Limits)
+	if err != nil {
+		sp.SetAttr(obs.Bool(obs.AttrInterrupted, true), obs.String(obs.AttrCause, err.Error()))
+	}
+	sp.End()
+	return doc, err
 }
 
 // RunFile parses the file at path and runs detection.
@@ -227,7 +240,7 @@ func (d *Detector) RunFileContext(ctx context.Context, path string) (*Result, er
 		return nil, fmt.Errorf("sxnm: %w", err)
 	}
 	defer f.Close()
-	doc, err := xmltree.ParseWithLimits(f, d.opts.Limits)
+	doc, err := d.parseObserved(f)
 	if err != nil {
 		return nil, fmt.Errorf("sxnm: %s: %w", path, err)
 	}
@@ -256,7 +269,7 @@ func (d *Detector) RunStream(r io.Reader) (*Result, error) {
 func (d *Detector) RunStreamContext(ctx context.Context, r io.Reader) (*Result, error) {
 	ctx, stop := runlimit.WithTimeout(ctx, d.opts.Limits)
 	defer stop()
-	kg, err := core.GenerateKeysStreamContext(ctx, r, d.cfg, d.opts.Limits)
+	kg, err := core.GenerateKeysStreamObserved(ctx, r, d.cfg, d.opts.Limits, d.opts.Observer)
 	if err != nil {
 		if runlimit.IsInterruption(err) {
 			return core.PartialFromKeyGen(kg, err), err
