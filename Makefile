@@ -7,7 +7,7 @@ GO       ?= go
 FUZZTIME ?= 10s
 BENCHN   ?= 1000
 
-.PHONY: check vet build test fuzz-short bench bench-overhead
+.PHONY: check vet build test fuzz-short bench bench-overhead bench-check bench-baseline
 
 check: vet build test bench-overhead fuzz-short
 
@@ -31,6 +31,17 @@ bench:
 	$(GO) run ./cmd/sxnm -config /tmp/sxnm-bench/config.xml \
 		-input /tmp/sxnm-bench/movies.xml -stats -report BENCH_sxnm.json
 
+# Guard the window-sweep hot path against perf regressions: re-measure
+# the windowSweepCases benches and fail on >15% ns/op drift from the
+# bench_ns_per_op baselines committed in BENCH_sxnm.json (plus a ≥1.5×
+# 4-worker speedup bar on machines with ≥4 CPUs). bench-baseline
+# re-records after an intentional perf change.
+bench-check:
+	SXNM_BENCH_CHECK=1 $(GO) test -run 'TestBenchGuard$$' -count=1 -v .
+
+bench-baseline:
+	SXNM_BENCH_RECORD=1 $(GO) test -run 'TestBenchGuard$$' -count=1 .
+
 # One iteration of the no-observer / metrics-only / full-trace
 # benchmark trio. Proves the instrumented paths still run; use
 # `go test -bench ObserverOverhead -benchtime 2s ./internal/core` for
@@ -48,3 +59,4 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadGK$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzGKEscape$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzParseManifest -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz FuzzPairKey -fuzztime $(FUZZTIME) ./internal/similarity

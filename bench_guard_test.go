@@ -1,0 +1,102 @@
+package sxnm
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Bench-regression guard for the window-sweep hot path. Two modes,
+// both off by default so `go test ./...` stays fast and deterministic:
+//
+//	SXNM_BENCH_RECORD=1  go test -run TestBenchGuard .   # (make bench-baseline)
+//	    measures every windowSweepCases entry and writes the ns/op map
+//	    under the "bench_ns_per_op" key of BENCH_sxnm.json, preserving
+//	    the rest of the committed run report.
+//	SXNM_BENCH_CHECK=1   go test -run TestBenchGuard .   # (make bench-check)
+//	    re-measures and fails if any case regresses more than 15%
+//	    against the recorded baseline. On machines with ≥4 usable CPUs
+//	    it additionally requires the 4-worker sweep to beat the
+//	    sequential one by ≥1.5× — on fewer cores that bar is physically
+//	    unreachable, so only the per-case regression check applies.
+const (
+	benchBaselineFile = "BENCH_sxnm.json"
+	benchNsKey        = "bench_ns_per_op"
+	benchTolerance    = 0.15
+	benchMinSpeedup   = 1.5
+)
+
+// measureWindowSweep runs each sweep case through testing.Benchmark
+// (default 1s benchtime) and returns ns/op keyed by case name.
+func measureWindowSweep() map[string]float64 {
+	out := make(map[string]float64, len(windowSweepCases))
+	for _, c := range windowSweepCases {
+		opts := c.opts
+		r := testing.Benchmark(func(b *testing.B) { benchWindowSweep(b, opts) })
+		out[c.name] = float64(r.NsPerOp())
+	}
+	return out
+}
+
+func TestBenchGuard(t *testing.T) {
+	record := os.Getenv("SXNM_BENCH_RECORD") == "1"
+	check := os.Getenv("SXNM_BENCH_CHECK") == "1"
+	if !record && !check {
+		t.Skip("set SXNM_BENCH_RECORD=1 or SXNM_BENCH_CHECK=1 (make bench-baseline / bench-check)")
+	}
+	raw, err := os.ReadFile(benchBaselineFile)
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	// The baseline file is the committed run report; decode it loosely
+	// so recording touches only the ns/op key.
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("parse %s: %v", benchBaselineFile, err)
+	}
+	measured := measureWindowSweep()
+	for name, ns := range measured {
+		t.Logf("%-16s %12.0f ns/op", name, ns)
+	}
+
+	if record {
+		report[benchNsKey] = measured
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d window-sweep baselines into %s", len(measured), benchBaselineFile)
+		return
+	}
+
+	base, ok := report[benchNsKey].(map[string]any)
+	if !ok {
+		t.Fatalf("%s has no %q key — run `make bench-baseline` first", benchBaselineFile, benchNsKey)
+	}
+	for _, c := range windowSweepCases {
+		want, ok := base[c.name].(float64)
+		if !ok {
+			t.Errorf("baseline is missing case %q — re-run `make bench-baseline`", c.name)
+			continue
+		}
+		got := measured[c.name]
+		if limit := want * (1 + benchTolerance); got > limit {
+			t.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (+%.0f%% > %.0f%% tolerance)",
+				c.name, got, want, (got/want-1)*100, benchTolerance*100)
+		}
+	}
+	if procs := runtime.GOMAXPROCS(0); procs >= 4 {
+		speedup := measured["seq"] / measured["workers4"]
+		if speedup < benchMinSpeedup {
+			t.Errorf("4-worker sweep speedup %.2fx < %.1fx on %d CPUs", speedup, benchMinSpeedup, procs)
+		} else {
+			t.Logf("4-worker sweep speedup: %.2fx on %d CPUs", speedup, procs)
+		}
+	} else {
+		t.Logf("skipping %.1fx speedup assertion: only %d usable CPU(s)", benchMinSpeedup, procs)
+	}
+}

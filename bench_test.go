@@ -428,6 +428,47 @@ func BenchmarkAblationKeyGenDOMvsStream(b *testing.B) {
 	})
 }
 
+// windowSweepCases is the flag matrix of the deterministic hot-path
+// speedups: the sequential baseline, the sharded pair pool at 4
+// workers, the similarity memo, and both combined. Every case computes
+// the exact same clusters (see internal/core's differential suite);
+// only ns/op may differ. Shared with the bench-regression guard in
+// bench_guard_test.go.
+var windowSweepCases = []struct {
+	name string
+	opts core.Options
+}{
+	{"seq", core.Options{}},
+	{"workers4", core.Options{PairWorkers: 4}},
+	{"cached", core.Options{SimCache: true}},
+	{"workers4+cached", core.Options{PairWorkers: 4, SimCache: true}},
+}
+
+// benchWindowSweep measures Detect only — keys are generated once, so
+// ns/op isolates the sliding-window sweep plus transitive closure.
+func benchWindowSweep(b *testing.B, opts core.Options) {
+	doc := movieDoc(b)
+	cfg := validated(b, config.DataSet1(5))
+	kg, err := core.GenerateKeys(doc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Detect(kg, cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowSweep sweeps the 500-movie document through each
+// speedup combination.
+func BenchmarkWindowSweep(b *testing.B) {
+	for _, c := range windowSweepCases {
+		b.Run(c.name, func(b *testing.B) { benchWindowSweep(b, c.opts) })
+	}
+}
+
 // BenchmarkCancellationOverhead contrasts a plain Run (nil Done
 // channel: every cancellation check short-circuits) against the same
 // run under a cancelable context (checks active, polled every 1024

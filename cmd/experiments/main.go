@@ -67,6 +67,8 @@ func run(args []string) error {
 		cmps    = fs.Int("max-comparisons", 0, "per-run window comparison ceiling (0 = unlimited)")
 		trace   = fs.String("trace", "", "stream a JSONL span trace of every detection run to this file")
 		metrics = fs.String("metrics", "", "write the sweep's combined counters in Prometheus text format to this file")
+		workers = fs.Int("pair-workers", 0, "window-sweep comparison goroutines per pass (-1 = all cores, 0 = sequential, the paper's timing setup); results are identical")
+		cache   = fs.Bool("sim-cache", false, "memoize similarity computations per candidate (identical results, less CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,8 +83,10 @@ func run(args []string) error {
 		defer cancel()
 	}
 	env := experiments.RunEnv{
-		Ctx:    ctx,
-		Limits: core.Limits{MaxDepth: *depth, MaxNodes: *nodes, MaxComparisons: *cmps},
+		Ctx:         ctx,
+		Limits:      core.Limits{MaxDepth: *depth, MaxNodes: *nodes, MaxComparisons: *cmps},
+		PairWorkers: *workers,
+		SimCache:    *cache,
 	}
 	if *trace != "" || *metrics != "" {
 		var sinks []obs.Sink

@@ -21,6 +21,13 @@
 // crash resumes from the last durable state instead of starting over.
 // A checkpoint recorded for a different config or input is refused.
 //
+// Performance: -pair-workers N parallelizes the window sweep inside
+// each key pass (default: all cores; 0 restores the single-threaded
+// sweep) and -sim-cache memoizes similarity computations per
+// candidate (-sim-cache-size bounds it). Both are answer-preserving:
+// clusters, statistics, checkpoints, and reports are byte-identical
+// to the sequential, uncached run.
+//
 // Observability: -trace FILE streams a JSONL span trace of every
 // phase, -metrics FILE dumps the final counters in Prometheus text
 // format, -report FILE writes a machine-readable run report
@@ -93,6 +100,9 @@ func run(args []string) error {
 		reportOut  = fs.String("report", "", "write a machine-readable run report (JSON) to this file (\"-\" = stdout)")
 		progress   = fs.Bool("progress", false, "print live progress with ETA to stderr")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/vars on this address for the run's duration")
+		pairWork   = fs.Int("pair-workers", -1, "window-sweep comparison goroutines per pass (-1 = all cores, 0 = sequential); results are identical either way")
+		simCache   = fs.Bool("sim-cache", false, "memoize similarity computations per candidate (identical results; helps on repetitive values and multi-key configs)")
+		simCacheN  = fs.Int("sim-cache-size", 0, "similarity cache capacity per candidate (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,7 +134,13 @@ func run(args []string) error {
 		return err
 	}
 	defer o.close()
-	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{Limits: lim, Observer: o.ob})
+	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{
+		Limits:       lim,
+		Observer:     o.ob,
+		PairWorkers:  *pairWork,
+		SimCache:     *simCache,
+		SimCacheSize: *simCacheN,
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/dataset"
+	"repro/internal/gen/freedb"
+	"repro/internal/xmltree"
+)
+
+// The differential suite is the proof behind Options.PairWorkers and
+// Options.SimCache: every combination of worker count and cache state
+// must reproduce the sequential, uncached run exactly — cluster sets,
+// Stats (durations excluded — wall clock is the one thing that may
+// change), the full checkpoint callback stream, and every
+// PairObservation including its float64 similarities, compared with ==.
+
+// pairWorkerMatrix is the worker axis from the issue: 0 = the plain
+// sequential loop, 1 = the batching machinery on a single worker,
+// 4/16 = real shard-boundary interleavings (16 > batch/shard sizes on
+// these corpora, forcing tiny uneven shards).
+var pairWorkerMatrix = []int{0, 1, 4, 16}
+
+// runSnapshot is one Detect run reduced to its observable bytes.
+type runSnapshot struct {
+	clusters  map[string]string            // candidate → canonical cluster set
+	stats     string                       // Stats with durations zeroed
+	pairObs   map[string][]PairObservation // per candidate, in comparison order
+	ckpt      map[string][]string          // per candidate checkpoint callbacks, in order
+	doneOrder []string                     // CandidateDone sequence
+}
+
+// recordingCkpt serializes the Checkpointer callback stream. Progress
+// is grouped per candidate (under Options.Parallel candidates
+// interleave arbitrarily in real time, but each candidate's own
+// sequence is part of the determinism contract); CandidateDone order
+// is global — the engine emits it from the group merge loop, which is
+// deterministic even for parallel groups.
+type recordingCkpt struct {
+	mu      sync.Mutex
+	perCand map[string][]string
+	done    []string
+}
+
+func newRecordingCkpt() *recordingCkpt {
+	return &recordingCkpt{perCand: make(map[string][]string)}
+}
+
+func (r *recordingCkpt) KeysGenerated(kg *KeyGenResult) error { return nil }
+
+func (r *recordingCkpt) Progress(candidate string, nextPass int, pairs []cluster.Pair) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.perCand[candidate] = append(r.perCand[candidate],
+		fmt.Sprintf("progress next=%d pairs=%v", nextPass, pairs))
+	return nil
+}
+
+func (r *recordingCkpt) CandidateDone(candidate string, cs *cluster.ClusterSet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.perCand[candidate] = append(r.perCand[candidate], "done "+cs.String())
+	r.done = append(r.done, candidate)
+	return nil
+}
+
+// pairRecorder captures PairObservations grouped by candidate, in
+// per-candidate order.
+type pairRecorder struct {
+	mu     sync.Mutex
+	byCand map[string][]PairObservation
+}
+
+func (p *pairRecorder) observe(o PairObservation) {
+	p.mu.Lock()
+	p.byCand[o.Candidate] = append(p.byCand[o.Candidate], o)
+	p.mu.Unlock()
+}
+
+// normalizeStats renders Stats with every duration zeroed — wall
+// clock is the only field parallelism is allowed to change.
+func normalizeStats(s Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparisons=%d filtered=%d dups=%d\n",
+		s.Comparisons, s.FilteredOut, s.DuplicatePairs)
+	names := make([]string, 0, len(s.Candidates))
+	for name := range s.Candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := *s.Candidates[name]
+		c.SlidingWindow, c.TransitiveClosure = 0, 0
+		fmt.Fprintf(&b, "%s: %+v\n", name, c)
+	}
+	return b.String()
+}
+
+func snapshotRun(t *testing.T, kg *KeyGenResult, cfg *config.Config, opts Options) runSnapshot {
+	t.Helper()
+	rec := newRecordingCkpt()
+	po := &pairRecorder{byCand: make(map[string][]PairObservation)}
+	opts.Checkpointer = rec
+	opts.PairObserver = po.observe
+	res, err := Detect(kg, cfg, opts)
+	if err != nil {
+		t.Fatalf("Detect(workers=%d cache=%v parallel=%v): %v",
+			opts.PairWorkers, opts.SimCache, opts.Parallel, err)
+	}
+	snap := runSnapshot{
+		clusters:  make(map[string]string, len(res.Clusters)),
+		stats:     normalizeStats(res.Stats),
+		pairObs:   po.byCand,
+		ckpt:      rec.perCand,
+		doneOrder: rec.done,
+	}
+	for name, cs := range res.Clusters {
+		snap.clusters[name] = cs.String()
+	}
+	return snap
+}
+
+func diffSnapshots(t *testing.T, label string, want, got runSnapshot) {
+	t.Helper()
+	if !reflect.DeepEqual(got.clusters, want.clusters) {
+		t.Errorf("%s: cluster sets differ from sequential baseline\nwant %v\ngot  %v",
+			label, want.clusters, got.clusters)
+	}
+	if got.stats != want.stats {
+		t.Errorf("%s: Stats differ from sequential baseline\nwant:\n%s\ngot:\n%s",
+			label, want.stats, got.stats)
+	}
+	if !reflect.DeepEqual(got.pairObs, want.pairObs) {
+		t.Errorf("%s: pair observation streams differ from sequential baseline", label)
+	}
+	if !reflect.DeepEqual(got.ckpt, want.ckpt) {
+		t.Errorf("%s: checkpoint callback streams differ\nwant %v\ngot  %v",
+			label, want.ckpt, got.ckpt)
+	}
+	if !reflect.DeepEqual(got.doneOrder, want.doneOrder) {
+		t.Errorf("%s: CandidateDone order differs: want %v, got %v",
+			label, want.doneOrder, got.doneOrder)
+	}
+}
+
+// differentialScenario is one (document, configuration, base options)
+// triple the matrix runs over.
+type differentialScenario struct {
+	name string
+	doc  *xmltree.Document
+	cfg  *config.Config
+	base Options
+}
+
+func differentialScenarios(t *testing.T) []differentialScenario {
+	t.Helper()
+	movies, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cds, err := dataset.DataSet2(dataset.CDs2Options{Discs: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveCfg := config.DataSet1(5)
+	for i := range adaptiveCfg.Candidates {
+		adaptiveCfg.Candidates[i].AdaptiveKeySim = 0.85
+	}
+	return []differentialScenario{
+		// Single candidate, three keys: multi-pass revisits are the
+		// cache's bread and butter.
+		{name: "movies", doc: movies, cfg: mustValidate(t, config.DataSet1(5)), base: Options{}},
+		// Nested candidates with descendants: the interned-set Def. 3
+		// path, RuleEither, bottom-up ordering.
+		{name: "cds", doc: cds, cfg: mustValidate(t, config.DataSet2(4)), base: Options{}},
+		// Generated corpus with the upper-bound filter: the filtered
+		// verdict path must merge identically too.
+		{name: "freedb-filter", doc: freedb.Generate(freedb.DefaultOptions(40, 3)),
+			cfg: mustValidate(t, cdConfig()), base: Options{UseFilter: true}},
+		// Adaptive windows: worker shards see data-dependent window
+		// extents.
+		{name: "movies-adaptive", doc: movies, cfg: mustValidate(t, adaptiveCfg), base: Options{}},
+	}
+}
+
+// TestDifferentialMatrix is the equivalence proof: PairWorkers ∈
+// {0,1,4,16} × SimCache ∈ {off,on} (plus candidate-level Parallel
+// composed on top) all reproduce the sequential uncached run
+// observable-for-observable.
+func TestDifferentialMatrix(t *testing.T) {
+	for _, sc := range differentialScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			kg, err := GenerateKeys(sc.doc, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline := snapshotRun(t, kg, sc.cfg, sc.base)
+			for _, workers := range pairWorkerMatrix {
+				for _, cache := range []bool{false, true} {
+					if workers == 0 && !cache {
+						continue // the baseline itself
+					}
+					opts := sc.base
+					opts.PairWorkers = workers
+					opts.SimCache = cache
+					label := fmt.Sprintf("workers=%d cache=%v", workers, cache)
+					diffSnapshots(t, label, baseline, snapshotRun(t, kg, sc.cfg, opts))
+				}
+			}
+			// Candidate-level parallelism composed with both features,
+			// plus a deliberately tiny cache to force evictions mid-run.
+			opts := sc.base
+			opts.Parallel = true
+			opts.PairWorkers = 4
+			opts.SimCache = true
+			opts.SimCacheSize = 64
+			diffSnapshots(t, "parallel+workers=4+tiny-cache", baseline, snapshotRun(t, kg, sc.cfg, opts))
+		})
+	}
+}
+
+// TestDifferentialInterrupted pins the interruption seam: a
+// MaxComparisons budget trips at a deterministic enumeration point, so
+// the partial result — completed clusters, Incomplete bookkeeping, and
+// the best-effort checkpoint flush — must also be identical across the
+// matrix. (Candidate-level Parallel is excluded: with concurrent
+// candidates the budget is consumed in racy order by design.)
+func TestDifferentialInterrupted(t *testing.T) {
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustValidate(t, config.DataSet1(5))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type partial struct {
+		incomplete Incomplete
+		ckpt       map[string][]string
+		clusters   map[string]string
+	}
+	run := func(workers int, cache bool) partial {
+		rec := newRecordingCkpt()
+		opts := Options{
+			PairWorkers:  workers,
+			SimCache:     cache,
+			Checkpointer: rec,
+			Limits:       Limits{MaxComparisons: 700},
+		}
+		res, err := Detect(kg, cfg, opts)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an interrupted run", workers)
+		}
+		if res == nil || res.Incomplete == nil {
+			t.Fatalf("workers=%d: interrupted run returned no partial result", workers)
+		}
+		p := partial{incomplete: *res.Incomplete, ckpt: rec.perCand,
+			clusters: make(map[string]string)}
+		p.incomplete.Cause = nil // same typed cause, compared via the error above
+		for name, cs := range res.Clusters {
+			p.clusters[name] = cs.String()
+		}
+		return p
+	}
+	want := run(0, false)
+	for _, workers := range pairWorkerMatrix[1:] {
+		for _, cache := range []bool{false, true} {
+			got := run(workers, cache)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d cache=%v: interrupted snapshot differs\nwant %+v\ngot  %+v",
+					workers, cache, want, got)
+			}
+		}
+	}
+}
+
+// TestDifferentialStatsIgnoreCache double-checks the layering rule
+// directly: cache counters live in obs metrics only, so Result.Stats
+// must not change byte-for-byte when the cache is enabled.
+func TestDifferentialStatsIgnoreCache(t *testing.T) {
+	doc := freedb.Generate(freedb.DefaultOptions(30, 9))
+	cfg := mustValidate(t, cdConfig())
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Detect(kg, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Detect(kg, cfg, Options{SimCache: true, SimCacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := normalizeStats(with.Stats), normalizeStats(without.Stats); got != want {
+		t.Errorf("SimCache leaked into Stats:\nwithout:\n%s\nwith:\n%s", want, got)
+	}
+}

@@ -63,7 +63,29 @@ type Options struct {
 	// overlap in wall-clock terms, so keep this off for Fig. 5 style
 	// measurements. A panic inside a worker is recovered into a
 	// *PanicError naming the candidate and cancels its siblings.
+	// Orthogonal to PairWorkers, which parallelizes inside one
+	// candidate's key passes; the two compose.
 	Parallel bool
+	// PairWorkers parallelizes the window sweep inside each key pass:
+	// the pair stream is batched and compared on this many goroutines,
+	// with verdicts merged back in window order. Every observable —
+	// clusters, Stats, spans, checkpoints, PairObserver calls — is
+	// byte-identical to the sequential run (the differential suite in
+	// internal/core proves it). 0 (the zero value) runs the plain
+	// sequential loop; 1 runs the batching machinery on one worker;
+	// negative means one worker per available CPU.
+	PairWorkers int
+	// SimCache memoizes similarity computations per candidate, shared
+	// across that candidate's key passes: value-pair scores for the
+	// Def. 2 OD fields (LRU-bounded) and interned descendant cluster-ID
+	// sets so the Def. 3 overlap becomes a set-ID comparison. Every
+	// similarity function is pure, so results are byte-identical with
+	// the cache on or off; hit/miss/eviction counters surface through
+	// the Observer's metrics and report, never through Stats.
+	SimCache bool
+	// SimCacheSize bounds the value-pair entries held per candidate;
+	// 0 means DefaultSimCacheSize. Ignored unless SimCache is set.
+	SimCacheSize int
 	// Limits bounds the run's wall-clock time and resource use; the
 	// zero value is unlimited. On a breach the run stops gracefully,
 	// returning the partial Result (with Result.Incomplete describing
@@ -445,10 +467,23 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	cstats := &CandidateStats{Rows: len(t.Rows)}
 	m := opts.Observer.Metrics() // nil when no (enabled) observer
 
+	// The similarity memo is per candidate and shared across its key
+	// passes — multi-pass windows revisit pairs, and dirty corpora
+	// repeat values. Purity of the similarity functions makes memoized
+	// results bit-identical to direct computation, so nothing observable
+	// changes; only the obs cache counters do.
+	var cache *similarity.Cache
+	if opts.SimCache {
+		cache = similarity.NewCache(opts.SimCacheSize)
+	}
+
 	swStart := time.Now()
 	useDesc := cand.DescendantsEnabled() && !opts.DisableDescendants
 	if useDesc {
 		resolveDescClusters(t, clusters)
+		if cache != nil {
+			internDescSets(t, cache)
+		}
 	}
 
 	keys := cand.CompiledKeys()
@@ -483,6 +518,7 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	var odCalls, descCalls int
 	var flushed CandidateStats
 	var flushedDups, flushedOD, flushedDesc int
+	var flushedCache similarity.CacheStats
 	flushObs := func() {
 		if m == nil {
 			return
@@ -495,6 +531,14 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 		m.DescSimCalls.Add(int64(descCalls - flushedDesc))
 		flushed = *cstats
 		flushedDups, flushedOD, flushedDesc = len(pairs), odCalls, descCalls
+		if cache != nil {
+			st := cache.Stats()
+			m.SimCacheHits.Add(st.Hits - flushedCache.Hits)
+			m.SimCacheMisses.Add(st.Misses - flushedCache.Misses)
+			m.SimCacheEvictions.Add(st.Evictions - flushedCache.Evictions)
+			m.DescSetsInterned.Add(st.DescSets - flushedCache.DescSets)
+			flushedCache = st
+		}
 	}
 	swSpan := candSpan.Child(obs.SpanSlidingWindow, obs.String(obs.AttrCandidate, cand.Name))
 	// endPass closes one key pass: heap sample, per-pass span with the
@@ -527,8 +571,52 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 		flushObs()
 	}
 
+	// The sweeper splits each pair into an ordered enumeration half
+	// (dedup, budget, counters, observer, pairs — everything below that
+	// reads or writes shared state, kept on this goroutine) and a pure
+	// comparison half that may run on PairWorkers goroutines. curPass
+	// tracks the pass being merged: the sweeper is always drained before
+	// a pass ends, so buffered verdicts never cross a pass boundary.
+	curPass := startPass
+	sw := newSweeper(opts.pairWorkerCount(),
+		func(v *pairVerdict) {
+			v.odSim, v.descSim, v.hasDesc, v.dup, v.filtered, v.err =
+				comparePair(t, v.a, v.b, useDesc, opts, cache)
+		},
+		func(v *pairVerdict) error {
+			if v.err != nil {
+				return v.err
+			}
+			if v.filtered {
+				cstats.FilteredOut++
+			} else {
+				cstats.Comparisons++
+				odCalls++
+			}
+			if useDesc {
+				descCalls++
+			}
+			if opts.PairObserver != nil {
+				opts.PairObserver(PairObservation{
+					Candidate: cand.Name,
+					KeyIndex:  curPass,
+					A:         minInt(v.a.EID, v.b.EID),
+					B:         maxInt(v.a.EID, v.b.EID),
+					ODSim:     v.odSim,
+					DescSim:   v.descSim,
+					HasDesc:   v.hasDesc,
+					Duplicate: v.dup,
+				})
+			}
+			if v.dup {
+				pairs = append(pairs, cluster.MakePair(v.a.EID, v.b.EID))
+			}
+			return nil
+		})
+
 	order := make([]int, len(t.Rows))
 	for pass := startPass; pass < len(keys); pass++ {
+		curPass = pass
 		for i := range order {
 			order[i] = i
 		}
@@ -557,6 +645,14 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 					flushObs()
 				}
 				if err := bud.poll(cstats.WindowPairs); err != nil {
+					// Drain pairs enumerated before the interruption: they
+					// precede it in window order, so the sequential run would
+					// have compared them already. A hard comparison error in
+					// the drain wins over the interruption for the same
+					// reason.
+					if ferr := sw.finish(); ferr != nil {
+						return nil, nil, ferr
+					}
 					cstats.SlidingWindow = time.Since(swStart)
 					endPass(passSpan, true)
 					swSpan.End()
@@ -569,41 +665,24 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				}
 				compared[key] = struct{}{}
 				if err := bud.addComparison(); err != nil {
+					if ferr := sw.finish(); ferr != nil {
+						return nil, nil, ferr
+					}
 					cstats.SlidingWindow = time.Since(swStart)
 					endPass(passSpan, true)
 					swSpan.End()
 					flush(pass)
 					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
 				}
-				odSim, descSim, hasDesc, dup, filtered, err := comparePair(t, a, b, useDesc, opts)
-				if err != nil {
+				if err := sw.add(a, b); err != nil {
 					return nil, nil, err
 				}
-				if filtered {
-					cstats.FilteredOut++
-				} else {
-					cstats.Comparisons++
-					odCalls++
-				}
-				if useDesc {
-					descCalls++
-				}
-				if opts.PairObserver != nil {
-					opts.PairObserver(PairObservation{
-						Candidate: cand.Name,
-						KeyIndex:  pass,
-						A:         minInt(a.EID, b.EID),
-						B:         maxInt(a.EID, b.EID),
-						ODSim:     odSim,
-						DescSim:   descSim,
-						HasDesc:   hasDesc,
-						Duplicate: dup,
-					})
-				}
-				if dup {
-					pairs = append(pairs, cluster.MakePair(a.EID, b.EID))
-				}
 			}
+		}
+		// Drain before the pass is accounted: verdicts of buffered pairs
+		// belong to this pass's span, checkpoint, and counters.
+		if err := sw.finish(); err != nil {
+			return nil, nil, err
 		}
 		endPass(passSpan, false)
 		// A completed pass is a durable resume point; the final pass is
@@ -663,8 +742,19 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 		obs.Int(obs.AttrClusters, cs.Len()),
 		obs.Int(obs.AttrNonSingleton, len(cs.NonSingletons())))
 	tcSpan.End()
+	if cache != nil {
+		st := cache.Stats()
+		candSpan.SetAttr(
+			obs.Int64(obs.AttrSimCacheHits, st.Hits),
+			obs.Int64(obs.AttrSimCacheMisses, st.Misses),
+			obs.Int64(obs.AttrSimCacheEvictions, st.Evictions))
+	}
 	return cs, cstats, nil
 }
+
+// DefaultSimCacheSize is the per-candidate value-pair capacity used
+// when Options.SimCacheSize is zero.
+const DefaultSimCacheSize = similarity.DefaultCacheSize
 
 // estWindowPairs estimates the window pair slots one key pass visits
 // for n rows and window w: sum over positions i of min(i, w-1) — the
@@ -707,7 +797,7 @@ func adaptiveLow(t *GKTable, order []int, i, lo, key int, cand *config.Candidate
 // ComparePair exposes the pair comparison (Defs. 2 and 3 plus the
 // classification rule) for baselines and tools built on the GK tables.
 func (t *GKTable) ComparePair(a, b *GKRow, useDesc bool) (odSim, descSim float64, hasDesc, dup bool, err error) {
-	odSim, descSim, hasDesc, dup, _, err = comparePair(t, a, b, useDesc, Options{})
+	odSim, descSim, hasDesc, dup, _, err = comparePair(t, a, b, useDesc, Options{}, nil)
 	return odSim, descSim, hasDesc, dup, err
 }
 
@@ -746,13 +836,20 @@ func resolveDescClusters(t *GKTable, clusters map[string]*cluster.ClusterSet) {
 }
 
 // comparePair computes OD similarity (Def. 2), descendant similarity
-// (Def. 3), and the duplicate classification for one pair.
-func comparePair(t *GKTable, a, b *GKRow, useDesc bool, opts Options) (odSim, descSim float64, hasDesc, dup, filtered bool, err error) {
+// (Def. 3), and the duplicate classification for one pair. It reads
+// only the table, the two rows, and the (immutable) options plus the
+// concurrency-safe cache, so pair workers may run it in parallel. A
+// nil cache computes everything directly.
+func comparePair(t *GKTable, a, b *GKRow, useDesc bool, opts Options, cache *similarity.Cache) (odSim, descSim float64, hasDesc, dup, filtered bool, err error) {
 	if useDesc {
-		descSim, hasDesc = descendantSimilarity(a, b)
+		if cache != nil {
+			descSim, hasDesc = descendantSimilarityCached(cache, a, b)
+		} else {
+			descSim, hasDesc = descendantSimilarity(a, b)
+		}
 	}
 	if opts.FieldRule != nil {
-		fieldSims, ferr := similarity.ODFieldSims(t.fields, a.OD, b.OD)
+		fieldSims, ferr := cache.ODFieldSims(t.fields, a.OD, b.OD)
 		if ferr != nil {
 			return 0, 0, false, false, false, fmt.Errorf("core: candidate %q: %w", t.Candidate.Name, ferr)
 		}
@@ -769,7 +866,7 @@ func comparePair(t *GKTable, a, b *GKRow, useDesc bool, opts Options) (odSim, de
 			return ub, descSim, hasDesc, false, true, nil
 		}
 	}
-	odSim, err = similarity.ODSimilarity(t.fields, a.OD, b.OD)
+	odSim, err = cache.ODSimilarity(t.fields, a.OD, b.OD)
 	if err != nil {
 		return 0, 0, false, false, false, fmt.Errorf("core: candidate %q: %w", t.Candidate.Name, err)
 	}
@@ -829,6 +926,58 @@ func descendantSimilarity(a, b *GKRow) (float64, bool) {
 			continue
 		}
 		sims = append(sims, similarity.Overlap(la, lb))
+	}
+	if len(sims) == 0 {
+		return 0, false
+	}
+	return similarity.Average(sims), true
+}
+
+// internDescSets interns every row's descendant cluster-ID lists so
+// pair comparisons work on SetIDs; runs once per candidate, after
+// resolveDescClusters.
+func internDescSets(t *GKTable, c *similarity.Cache) {
+	for i := range t.Rows {
+		row := &t.Rows[i]
+		row.descSets = nil
+		if row.descClusters == nil {
+			continue
+		}
+		row.descSets = make(map[string]similarity.SetID, len(row.descClusters))
+		for name, list := range row.descClusters {
+			row.descSets[name] = c.InternDesc(list)
+		}
+	}
+}
+
+// descendantSimilarityCached is descendantSimilarity over interned
+// SetIDs: same type union, same ordering, same both-empty skip, with
+// each per-type overlap served by the cache. A missing descSets entry
+// is the empty multiset (SetID 0), matching the nil-list semantics of
+// the uncached path, so the aggregated float is bit-identical.
+func descendantSimilarityCached(c *similarity.Cache, a, b *GKRow) (float64, bool) {
+	if a.descClusters == nil && b.descClusters == nil {
+		return 0, false
+	}
+	types := make(map[string]struct{}, len(a.descClusters)+len(b.descClusters))
+	for name := range a.descClusters {
+		types[name] = struct{}{}
+	}
+	for name := range b.descClusters {
+		types[name] = struct{}{}
+	}
+	names := make([]string, 0, len(types))
+	for name := range types {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sims []float64
+	for _, name := range names {
+		la, lb := a.descClusters[name], b.descClusters[name]
+		if len(la) == 0 && len(lb) == 0 {
+			continue
+		}
+		sims = append(sims, c.OverlapIDs(a.descSets[name], b.descSets[name]))
 	}
 	if len(sims) == 0 {
 		return 0, false

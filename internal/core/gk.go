@@ -30,6 +30,11 @@ type GKRow struct {
 	// IDs corresponding to Desc once the descendant's cluster set is
 	// known; filled in by the engine before the candidate's own passes.
 	descClusters map[string][]int
+
+	// descSets holds the interned SetID of each descClusters list when
+	// the run uses a similarity cache (Options.SimCache); absence of a
+	// name means the empty multiset (SetID 0).
+	descSets map[string]similarity.SetID
 }
 
 // GKTable is the GK_s relation for one candidate plus the resolved OD

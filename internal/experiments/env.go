@@ -22,10 +22,16 @@ import (
 // An Observer, when set, traces and counts every detection run of the
 // sweep through one shared metric set — useful to watch a paper-scale
 // experiment progress and to profile where its time goes.
+// PairWorkers and SimCache speed up the window sweeps; both are
+// answer-preserving (identical clusters and counters), so reproduced
+// accuracy figures are unaffected — only the timing columns of the
+// scalability experiments change meaning (wall clock vs. single-core).
 type RunEnv struct {
-	Ctx      context.Context
-	Limits   core.Limits
-	Observer *obs.Observer
+	Ctx         context.Context
+	Limits      core.Limits
+	Observer    *obs.Observer
+	PairWorkers int
+	SimCache    bool
 }
 
 func (e RunEnv) context() context.Context {
@@ -40,5 +46,7 @@ func (e RunEnv) context() context.Context {
 func (e RunEnv) Run(doc *xmltree.Document, cfg *config.Config, opts core.Options) (*core.Result, error) {
 	opts.Limits = e.Limits
 	opts.Observer = e.Observer
+	opts.PairWorkers = e.PairWorkers
+	opts.SimCache = e.SimCache
 	return core.RunContext(e.context(), doc, cfg, opts)
 }

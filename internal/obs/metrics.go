@@ -31,6 +31,15 @@ type Metrics struct {
 	CandidatesDone  atomic.Int64
 	CandidatesTotal atomic.Int64 // gauge, set at detection start
 
+	// Similarity memo layer (Options.SimCache). Hits count value-pair
+	// and descendant-overlap results served from memory, including the
+	// interned set-ID fast path; misses count computed-and-inserted
+	// results; evictions count entries dropped to the capacity bound.
+	SimCacheHits      atomic.Int64
+	SimCacheMisses    atomic.Int64
+	SimCacheEvictions atomic.Int64
+	DescSetsInterned  atomic.Int64 // distinct descendant multisets interned
+
 	// Gauges sampled per pass.
 	HeapInUse atomic.Int64 // bytes, sampled via runtime/metrics
 	PeakHeap  atomic.Int64 // high-water mark of HeapInUse samples
@@ -107,6 +116,10 @@ type Snapshot struct {
 	DuplicatePairs      int64   `json:"duplicate_pairs"`
 	ODSimCalls          int64   `json:"od_sim_calls"`
 	DescSimCalls        int64   `json:"desc_sim_calls"`
+	SimCacheHits        int64   `json:"sim_cache_hits"`
+	SimCacheMisses      int64   `json:"sim_cache_misses"`
+	SimCacheEvictions   int64   `json:"sim_cache_evictions"`
+	DescSetsInterned    int64   `json:"desc_sets_interned"`
 	GKRows              int64   `json:"gk_rows"`
 	PassesDone          int64   `json:"passes_done"`
 	CandidatesDone      int64   `json:"candidates_done"`
@@ -121,6 +134,7 @@ type Snapshot struct {
 	ElapsedSeconds      float64 `json:"elapsed_seconds"`
 	ComparisonsPerSec   float64 `json:"comparisons_per_sec"`
 	FilterHitRate       float64 `json:"filter_hit_rate"`
+	SimCacheHitRate     float64 `json:"sim_cache_hit_rate"`
 }
 
 // Snapshot copies the current values and computes derived rates.
@@ -135,6 +149,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		DuplicatePairs:      m.DuplicatePairs.Load(),
 		ODSimCalls:          m.ODSimCalls.Load(),
 		DescSimCalls:        m.DescSimCalls.Load(),
+		SimCacheHits:        m.SimCacheHits.Load(),
+		SimCacheMisses:      m.SimCacheMisses.Load(),
+		SimCacheEvictions:   m.SimCacheEvictions.Load(),
+		DescSetsInterned:    m.DescSetsInterned.Load(),
 		GKRows:              m.GKRows.Load(),
 		PassesDone:          m.PassesDone.Load(),
 		CandidatesDone:      m.CandidatesDone.Load(),
@@ -154,6 +172,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	if attempted := s.Comparisons + s.FilteredOut; attempted > 0 {
 		s.FilterHitRate = float64(s.FilteredOut) / float64(attempted)
 	}
+	if lookups := s.SimCacheHits + s.SimCacheMisses; lookups > 0 {
+		s.SimCacheHitRate = float64(s.SimCacheHits) / float64(lookups)
+	}
 	return s
 }
 
@@ -172,6 +193,10 @@ var promRows = []promRow{
 	{"sxnm_duplicate_pairs_total", "counter", "Distinct pairs classified duplicate before transitive closure.", func(s *Snapshot) float64 { return float64(s.DuplicatePairs) }},
 	{"sxnm_od_sim_calls_total", "counter", "Object-description similarity invocations.", func(s *Snapshot) float64 { return float64(s.ODSimCalls) }},
 	{"sxnm_desc_sim_calls_total", "counter", "Descendant similarity invocations.", func(s *Snapshot) float64 { return float64(s.DescSimCalls) }},
+	{"sxnm_sim_cache_hits_total", "counter", "Similarity results served from the memo layer.", func(s *Snapshot) float64 { return float64(s.SimCacheHits) }},
+	{"sxnm_sim_cache_misses_total", "counter", "Similarity results computed and inserted into the memo layer.", func(s *Snapshot) float64 { return float64(s.SimCacheMisses) }},
+	{"sxnm_sim_cache_evictions_total", "counter", "Memo entries dropped to respect the cache capacity.", func(s *Snapshot) float64 { return float64(s.SimCacheEvictions) }},
+	{"sxnm_desc_sets_interned_total", "counter", "Distinct descendant cluster-ID multisets interned.", func(s *Snapshot) float64 { return float64(s.DescSetsInterned) }},
 	{"sxnm_gk_rows_total", "counter", "Rows across all GK tables after key generation.", func(s *Snapshot) float64 { return float64(s.GKRows) }},
 	{"sxnm_passes_done_total", "counter", "Completed key passes.", func(s *Snapshot) float64 { return float64(s.PassesDone) }},
 	{"sxnm_candidates_done_total", "counter", "Completed candidates.", func(s *Snapshot) float64 { return float64(s.CandidatesDone) }},
@@ -185,6 +210,7 @@ var promRows = []promRow{
 	{"sxnm_resumed_pairs_total", "counter", "Duplicate pairs seeded from a checkpoint.", func(s *Snapshot) float64 { return float64(s.ResumedPairs) }},
 	{"sxnm_comparisons_per_second", "gauge", "Comparison throughput since detection start.", func(s *Snapshot) float64 { return s.ComparisonsPerSec }},
 	{"sxnm_filter_hit_rate", "gauge", "Fraction of attempted comparisons the filter skipped.", func(s *Snapshot) float64 { return s.FilterHitRate }},
+	{"sxnm_sim_cache_hit_rate", "gauge", "Fraction of memo lookups served from memory.", func(s *Snapshot) float64 { return s.SimCacheHitRate }},
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text

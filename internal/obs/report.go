@@ -35,6 +35,12 @@ const (
 	AttrPhase          = "phase"
 	AttrCause          = "cause"
 	AttrStream         = "stream"
+
+	// Similarity memo counters, set on candidate spans when
+	// Options.SimCache is enabled.
+	AttrSimCacheHits      = "sim_cache_hits"
+	AttrSimCacheMisses    = "sim_cache_misses"
+	AttrSimCacheEvictions = "sim_cache_evictions"
 )
 
 // ReportSchema identifies the report.json layout version.
@@ -69,6 +75,9 @@ type CandidateReport struct {
 	DuplicatePairs      int64        `json:"duplicate_pairs"`
 	Clusters            int64        `json:"clusters"`
 	NonSingleton        int64        `json:"non_singleton"`
+	SimCacheHits        int64        `json:"sim_cache_hits,omitempty"`
+	SimCacheMisses      int64        `json:"sim_cache_misses,omitempty"`
+	SimCacheEvictions   int64        `json:"sim_cache_evictions,omitempty"`
 	SlidingWindowMS     float64      `json:"sliding_window_ms"`
 	TransitiveClosureMS float64      `json:"transitive_closure_ms"`
 	WallMS              float64      `json:"wall_ms"`
@@ -129,7 +138,11 @@ type Report struct {
 
 	Totals        Totals  `json:"totals"`
 	FilterHitRate float64 `json:"filter_hit_rate"`
-	PeakHeapBytes int64   `json:"peak_heap_bytes,omitempty"`
+	// SimCacheHitRate is the fraction of memo lookups served from
+	// memory when Options.SimCache is on (0 when the cache is off —
+	// no lookups happen at all).
+	SimCacheHitRate float64 `json:"sim_cache_hit_rate"`
+	PeakHeapBytes   int64   `json:"peak_heap_bytes,omitempty"`
 
 	Resume      *ResumeReport     `json:"resume,omitempty"`
 	Checkpoint  *CheckpointReport `json:"checkpoint,omitempty"`
@@ -212,6 +225,9 @@ func (c *Collector) Emit(r Record) {
 			SlidingWindowMS:     ms(time.Duration(r.AttrInt(AttrSWNanos))),
 			TransitiveClosureMS: ms(time.Duration(r.AttrInt(AttrTCNanos))),
 			WallMS:              ms(r.Dur),
+			SimCacheHits:        r.AttrInt(AttrSimCacheHits),
+			SimCacheMisses:      r.AttrInt(AttrSimCacheMisses),
+			SimCacheEvictions:   r.AttrInt(AttrSimCacheEvictions),
 		}
 		if _, seen := c.candidates[name]; !seen {
 			c.order = append(c.order, name)
@@ -278,6 +294,7 @@ func (c *Collector) Report(m *Metrics) *Report {
 	if attempted := rep.Totals.Comparisons + rep.Totals.FilteredOut; attempted > 0 {
 		rep.FilterHitRate = float64(rep.Totals.FilteredOut) / float64(attempted)
 	}
+	rep.SimCacheHitRate = rep.Metrics.SimCacheHitRate
 	if c.resume != nil {
 		if np := c.resumeNextPass(); len(np) > 0 {
 			rep.Resume.NextPass = np

@@ -1,0 +1,58 @@
+package similarity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPairKey proves the canonical cache-key encoding injective: the
+// encoding round-trips exactly, so two distinct (field, a, b) triples
+// can never share a key — no choice of separator bytes, NULs, invalid
+// UTF-8, or values that are prefixes of each other collides. The memo
+// map itself keys on the struct (inherently collision-free); this
+// encoding is the byte-level equivalent used for shard hashing and
+// external key dumps, and must uphold the same guarantee.
+func FuzzPairKey(f *testing.F) {
+	f.Add(0, "", "")
+	f.Add(1, "a\tb", "c|d")             // common separator bytes inside values
+	f.Add(2, "a|b|c", "")               // value containing a would-be delimiter
+	f.Add(3, "héllo", "wörld")          // multi-byte UTF-8
+	f.Add(4, "\x00", "\x00\x00")        // NULs and NUL-prefix pairs
+	f.Add(5, "\xff\xfe", "\xc3\x28")    // invalid UTF-8 sequences
+	f.Add(6, "ab", "a")                 // one value a prefix of the other
+	f.Add(7, "a", "ba")                 // boundary shift: ("a","ba") vs ("ab","a")
+	f.Add(-8, "é", "é")                // negative field; NFC vs NFD forms
+	f.Add(1<<20, "𝄞clef", "\U0010FFFF") // astral-plane runes
+	f.Add(9, "same", "same")            // equal operands
+	f.Fuzz(func(t *testing.T, field int, a, b string) {
+		key := AppendPairKey(nil, field, a, b)
+		f2, a2, b2, err := DecodePairKey(key)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded key failed: %v", err)
+		}
+		if f2 != field || a2 != a || b2 != b {
+			t.Fatalf("round trip mangled (%d, %q, %q) into (%d, %q, %q)", field, a, b, f2, a2, b2)
+		}
+		// Swapped operands are distinct triples and must encode
+		// differently (the cache does not canonicalize operand order).
+		if a != b {
+			if bytes.Equal(key, AppendPairKey(nil, field, b, a)) {
+				t.Fatalf("(%q, %q) and swapped collide", a, b)
+			}
+		}
+		// Concatenation ambiguity: moving a boundary byte between the
+		// values must change the encoding.
+		if len(a) > 0 {
+			shifted := AppendPairKey(nil, field, a[:len(a)-1], a[len(a)-1:]+b)
+			if bytes.Equal(key, shifted) {
+				t.Fatalf("boundary shift of (%q, %q) collides", a, b)
+			}
+		}
+		// Appending to dst must leave the prefix intact.
+		pre := []byte("prefix")
+		ext := AppendPairKey(pre, field, a, b)
+		if !bytes.HasPrefix(ext, pre) || !bytes.Equal(ext[len(pre):], key) {
+			t.Fatalf("AppendPairKey disturbed its dst prefix")
+		}
+	})
+}

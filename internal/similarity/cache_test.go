@@ -1,0 +1,267 @@
+package similarity
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// The cache's one promise: memoized results are the exact float64 the
+// direct computation produces. Every equality in this file is ==, not
+// approximate.
+
+func TestCacheScoreMatchesDirect(t *testing.T) {
+	c := NewCache(0)
+	f := func(a, b string) bool {
+		direct := NormalizedEdit(a, b)
+		// Twice: once to fill (miss), once to hit.
+		return c.Score(0, NormalizedEdit, a, b) == direct &&
+			c.Score(0, NormalizedEdit, a, b) == direct
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+}
+
+func TestCacheKeepsFieldsApart(t *testing.T) {
+	c := NewCache(0)
+	exact := c.Score(0, Exact, "abc", "abd")
+	edit := c.Score(1, NormalizedEdit, "abc", "abd")
+	if exact == edit {
+		t.Fatalf("distinct fields collided: exact=%v edit=%v", exact, edit)
+	}
+	if got := c.Score(0, Exact, "abc", "abd"); got != exact {
+		t.Fatalf("field 0 hit returned %v, want %v", got, exact)
+	}
+}
+
+func TestCacheDoesNotCanonicalizeOperands(t *testing.T) {
+	// An asymmetric (non-contractual, but permitted) Func must memoize
+	// (a,b) and (b,a) separately.
+	asym := func(a, b string) float64 { return float64(len(a)) / float64(len(a)+len(b)+1) }
+	c := NewCache(0)
+	ab, ba := c.Score(0, asym, "x", "yyy"), c.Score(0, asym, "yyy", "x")
+	if ab == ba {
+		t.Fatalf("asymmetric scores collapsed: %v", ab)
+	}
+	if got := c.Score(0, asym, "x", "yyy"); got != ab {
+		t.Fatalf("hit returned %v, want %v", got, ab)
+	}
+}
+
+func TestCacheODSimilarityMatchesDirect(t *testing.T) {
+	fields := []ODField{
+		{Relevance: 0.5, Sim: NormalizedEdit},
+		{Relevance: 0.3, Sim: Jaro},
+		{Relevance: 0.2, Sim: YearSim},
+	}
+	vals := []string{"", "alpha", "alphq", "1999", "2001", "béta", "beta"}
+	rng := rand.New(rand.NewSource(11))
+	pick := func() [][]string {
+		od := make([][]string, len(fields))
+		for i := range od {
+			n := rng.Intn(3) // 0 = field absent
+			for j := 0; j < n; j++ {
+				od[i] = append(od[i], vals[rng.Intn(len(vals))])
+			}
+		}
+		return od
+	}
+	c := NewCache(0)
+	for i := 0; i < 500; i++ {
+		a, b := pick(), pick()
+		want, err := ODSimilarity(fields, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ODSimilarity(fields, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cached ODSimilarity(%v, %v) = %v, direct = %v", a, b, got, want)
+		}
+		wantSims, err := ODFieldSims(fields, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSims, err := c.ODFieldSims(fields, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotSims, wantSims) {
+			t.Fatalf("cached ODFieldSims(%v, %v) = %v, direct = %v", a, b, gotSims, wantSims)
+		}
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatalf("500 rounds over 7 values produced no hits: %+v", st)
+	}
+}
+
+func TestCacheODSimilarityMismatchError(t *testing.T) {
+	c := NewCache(0)
+	fields := []ODField{{Relevance: 1, Sim: Exact}}
+	if _, err := c.ODSimilarity(fields, [][]string{{"a"}, {"b"}}, [][]string{{"a"}}); err == nil {
+		t.Fatal("want value-count mismatch error")
+	}
+	if _, err := c.ODFieldSims(fields, [][]string{{"a"}, {"b"}}, [][]string{{"a"}}); err == nil {
+		t.Fatal("want value-count mismatch error")
+	}
+}
+
+func TestNilCacheComputesDirectly(t *testing.T) {
+	var c *Cache
+	if got, want := c.Score(0, Exact, "a", "a"), 1.0; got != want {
+		t.Fatalf("nil Score = %v, want %v", got, want)
+	}
+	fields := []ODField{{Relevance: 1, Sim: Exact}}
+	got, err := c.ODSimilarity(fields, [][]string{{"a"}}, [][]string{{"a"}})
+	if err != nil || got != 1 {
+		t.Fatalf("nil ODSimilarity = %v, %v", got, err)
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache counted: %+v", st)
+	}
+	if id := c.InternDesc([]int{1, 2}); id != 0 {
+		t.Fatalf("nil InternDesc = %d", id)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Capacity 64 (4 per shard); stream far more distinct pairs.
+	c := NewCache(64)
+	for i := 0; i < 4096; i++ {
+		c.Score(0, NormalizedEdit, string(rune('a'+i%26))+string(rune('a'+(i/26)%26)), "target")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after overflowing capacity: %+v", st)
+	}
+	// Correctness survives eviction: every lookup still equals direct.
+	for i := 0; i < 100; i++ {
+		a := string(rune('a'+i%26)) + "x"
+		if got, want := c.Score(0, NormalizedEdit, a, "ax"), NormalizedEdit(a, "ax"); got != want {
+			t.Fatalf("post-eviction Score(%q) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestInternDescCanonicalizes(t *testing.T) {
+	c := NewCache(0)
+	a := c.InternDesc([]int{3, 1, 2, 1})
+	b := c.InternDesc([]int{1, 1, 2, 3})
+	if a != b {
+		t.Fatalf("permutations interned differently: %d vs %d", a, b)
+	}
+	if d := c.InternDesc([]int{1, 2, 3}); d == a {
+		t.Fatalf("different multiset shared SetID %d", d)
+	}
+	if e := c.InternDesc(nil); e != 0 {
+		t.Fatalf("empty multiset is SetID %d, want 0", e)
+	}
+	if e := c.InternDesc([]int{}); e != 0 {
+		t.Fatalf("empty slice is SetID %d, want 0", e)
+	}
+	if st := c.Stats(); st.DescSets != 3 { // empty + two distinct
+		t.Fatalf("DescSets = %d, want 3", st.DescSets)
+	}
+	// Interning must not mutate or retain the input.
+	in := []int{9, 7, 8}
+	c.InternDesc(in)
+	if !reflect.DeepEqual(in, []int{9, 7, 8}) {
+		t.Fatalf("InternDesc mutated its input: %v", in)
+	}
+}
+
+func TestOverlapIDsMatchesOverlap(t *testing.T) {
+	c := NewCache(0)
+	rng := rand.New(rand.NewSource(5))
+	lists := make([][]int, 20)
+	ids := make([]SetID, 20)
+	for i := range lists {
+		n := rng.Intn(6)
+		for j := 0; j < n; j++ {
+			lists[i] = append(lists[i], rng.Intn(8))
+		}
+		ids[i] = c.InternDesc(lists[i])
+	}
+	for i := range lists {
+		for j := range lists {
+			want := Overlap(lists[i], lists[j])
+			got := c.OverlapIDs(ids[i], ids[j])
+			if got != want {
+				t.Fatalf("OverlapIDs(%v, %v) = %v, want %v", lists[i], lists[j], got, want)
+			}
+			// And again, from the memo.
+			if got2 := c.OverlapIDs(ids[i], ids[j]); got2 != want {
+				t.Fatalf("memoized OverlapIDs(%v, %v) = %v, want %v", lists[i], lists[j], got2, want)
+			}
+		}
+	}
+	if got := c.OverlapIDs(0, 0); got != 1 {
+		t.Fatalf("empty-vs-empty OverlapIDs = %v, want 1 (vacuous identity)", got)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	// Hammered under -race by `make test`: concurrent Score, intern,
+	// and overlap must be safe and still exact.
+	c := NewCache(128)
+	words := []string{"movie", "movje", "artist", "artst", "track", "trakc", "x", ""}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				a, b := words[rng.Intn(len(words))], words[rng.Intn(len(words))]
+				if got, want := c.Score(rng.Intn(3), NormalizedEdit, a, b), NormalizedEdit(a, b); got != want {
+					t.Errorf("concurrent Score(%q, %q) = %v, want %v", a, b, got, want)
+					return
+				}
+				l1 := []int{rng.Intn(4), rng.Intn(4)}
+				l2 := []int{rng.Intn(4)}
+				if got, want := c.OverlapIDs(c.InternDesc(l1), c.InternDesc(l2)), Overlap(sortedCopy(l1), sortedCopy(l2)); got != want {
+					t.Errorf("concurrent OverlapIDs(%v, %v) = %v, want %v", l1, l2, got, want)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func sortedCopy(in []int) []int {
+	out := append([]int(nil), in...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestDecodePairKeyErrors(t *testing.T) {
+	full := AppendPairKey(nil, 3, "ab", "cd")
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := DecodePairKey(full[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	if _, _, _, err := DecodePairKey(append(append([]byte(nil), full...), 0)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	// Length prefix pointing past the buffer.
+	bad := AppendPairKey(nil, 0, "", "")
+	bad[1] = 200
+	if _, _, _, err := DecodePairKey(bad); err == nil {
+		t.Fatal("oversized length prefix decoded without error")
+	}
+}

@@ -61,7 +61,10 @@ type (
 	// Result is the outcome of a run: cluster sets, GK tables, stats.
 	Result = core.Result
 	// Options tune a run (pair observation, descendant toggles,
-	// custom decision rules).
+	// custom decision rules) and its performance envelope:
+	// Options.PairWorkers parallelizes the window sweep inside each
+	// key pass and Options.SimCache memoizes similarity computations —
+	// both produce results byte-identical to the plain sequential run.
 	Options = core.Options
 	// Stats carries the per-phase timings (KG, SW, TC) of the paper's
 	// scalability experiments.
@@ -104,6 +107,10 @@ const (
 	RuleEither   = config.RuleEither
 	RuleBoth     = config.RuleBoth
 )
+
+// DefaultSimCacheSize is the per-candidate similarity cache capacity
+// used when Options.SimCache is on and Options.SimCacheSize is zero.
+const DefaultSimCacheSize = core.DefaultSimCacheSize
 
 // LoadConfig reads and validates an XML configuration document.
 func LoadConfig(r io.Reader) (*Config, error) {
