@@ -7,9 +7,9 @@ GO       ?= go
 FUZZTIME ?= 10s
 BENCHN   ?= 1000
 
-.PHONY: check vet build test fuzz-short bench bench-overhead bench-check bench-baseline
+.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline
 
-check: vet build test bench-overhead fuzz-short
+check: vet build test smallspill bench-overhead fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,12 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Run the whole suite with every table forced through the external-sort
+# spill path (spill threshold 1): any behavioural difference between the
+# in-memory and spilled engines fails an existing test.
+smallspill:
+	$(GO) test -race -tags=smallspill ./...
 
 # Regenerate the committed BENCH_sxnm.json baseline: a deterministic
 # movies corpus (seed 1, $(BENCHN) objects) run end to end with the
@@ -60,3 +66,5 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzGKEscape$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzParseManifest -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz FuzzPairKey -fuzztime $(FUZZTIME) ./internal/similarity
+	$(GO) test -run '^$$' -fuzz FuzzMergeInvariants -fuzztime $(FUZZTIME) ./internal/extsort
+	$(GO) test -run '^$$' -fuzz FuzzSpillRowCodec -fuzztime $(FUZZTIME) ./internal/core

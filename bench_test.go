@@ -469,6 +469,51 @@ func BenchmarkWindowSweep(b *testing.B) {
 	}
 }
 
+// spillSweepCases is the external-sort matrix shared with the
+// bench-regression guard: spill disabled (must cost the same as the
+// plain sequential sweep — the gate is one nil check per candidate),
+// and two run sizes of the on-disk path. ns/op for the spilled cases
+// includes run-file writes, the k-way merge, and checksum verification,
+// so they bound the I/O tax, not just CPU.
+var spillSweepCases = []struct {
+	name string
+	opts core.Options
+}{
+	{"spill-off", core.Options{}},
+	{"spill-256", core.Options{SpillThresholdRows: 256}},
+	{"spill-32", core.Options{SpillThresholdRows: 32}},
+}
+
+// BenchmarkGKSortSpill measures the memory-bounded GK sort across the
+// corpus × threshold matrix: the 500-movie document (single candidate,
+// three passes) and the 150-disc CD document (four nested candidates).
+func BenchmarkGKSortSpill(b *testing.B) {
+	type corpus struct {
+		name string
+		doc  *xmltree.Document
+		cfg  *config.Config
+	}
+	corpora := []corpus{
+		{"movies500", movieDoc(b), validated(b, config.DataSet1(5))},
+		{"cds150", cdDoc(b), validated(b, config.DataSet2(5))},
+	}
+	for _, co := range corpora {
+		kg, err := core.GenerateKeys(co.doc, co.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range spillSweepCases {
+			b.Run(co.name+"/"+c.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Detect(kg, co.cfg, c.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCancellationOverhead contrasts a plain Run (nil Done
 // channel: every cancellation check short-circuits) against the same
 // run under a cancelable context (checks active, polled every 1024

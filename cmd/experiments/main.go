@@ -69,6 +69,8 @@ func run(args []string) error {
 		metrics = fs.String("metrics", "", "write the sweep's combined counters in Prometheus text format to this file")
 		workers = fs.Int("pair-workers", 0, "window-sweep comparison goroutines per pass (-1 = all cores, 0 = sequential, the paper's timing setup); results are identical")
 		cache   = fs.Bool("sim-cache", false, "memoize similarity computations per candidate (identical results, less CPU)")
+		spill   = fs.Int("spill-rows", 0, "external-sort candidates with more rows than this to disk (0 = always in memory); results are identical")
+		spillD  = fs.String("spill-dir", "", "directory for spill run files (default: a temp dir per run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,10 +85,12 @@ func run(args []string) error {
 		defer cancel()
 	}
 	env := experiments.RunEnv{
-		Ctx:         ctx,
-		Limits:      core.Limits{MaxDepth: *depth, MaxNodes: *nodes, MaxComparisons: *cmps},
-		PairWorkers: *workers,
-		SimCache:    *cache,
+		Ctx:                ctx,
+		Limits:             core.Limits{MaxDepth: *depth, MaxNodes: *nodes, MaxComparisons: *cmps},
+		PairWorkers:        *workers,
+		SimCache:           *cache,
+		SpillThresholdRows: *spill,
+		SpillDir:           *spillD,
 	}
 	if *trace != "" || *metrics != "" {
 		var sinks []obs.Sink

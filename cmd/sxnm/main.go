@@ -28,6 +28,13 @@
 // clusters, statistics, checkpoints, and reports are byte-identical
 // to the sequential, uncached run.
 //
+// Memory: -spill-rows N external-sorts any candidate with more than N
+// GK rows through checksummed run files on disk (in -spill-dir, or a
+// temp dir) instead of sorting in memory, bounding detection memory
+// for documents bigger than RAM. The spill path is answer-preserving
+// too, and with -spill-dir plus -checkpoint, sorted runs are
+// fingerprinted and reused on resume.
+//
 // Observability: -trace FILE streams a JSONL span trace of every
 // phase, -metrics FILE dumps the final counters in Prometheus text
 // format, -report FILE writes a machine-readable run report
@@ -103,6 +110,8 @@ func run(args []string) error {
 		pairWork   = fs.Int("pair-workers", -1, "window-sweep comparison goroutines per pass (-1 = all cores, 0 = sequential); results are identical either way")
 		simCache   = fs.Bool("sim-cache", false, "memoize similarity computations per candidate (identical results; helps on repetitive values and multi-key configs)")
 		simCacheN  = fs.Int("sim-cache-size", 0, "similarity cache capacity per candidate (0 = default)")
+		spillRows  = fs.Int("spill-rows", 0, "external-sort candidates with more rows than this instead of sorting in memory (0 = always in memory); results are identical either way")
+		spillDir   = fs.String("spill-dir", "", "directory for spill run files, reused across resumed runs (default: a temp dir, removed afterwards)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,11 +144,13 @@ func run(args []string) error {
 	}
 	defer o.close()
 	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{
-		Limits:       lim,
-		Observer:     o.ob,
-		PairWorkers:  *pairWork,
-		SimCache:     *simCache,
-		SimCacheSize: *simCacheN,
+		Limits:             lim,
+		Observer:           o.ob,
+		PairWorkers:        *pairWork,
+		SimCache:           *simCache,
+		SimCacheSize:       *simCacheN,
+		SpillThresholdRows: *spillRows,
+		SpillDir:           *spillDir,
 	})
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/extsort"
 	"repro/internal/obs"
 	"repro/internal/runlimit"
 	"repro/internal/similarity"
@@ -86,6 +87,33 @@ type Options struct {
 	// SimCacheSize bounds the value-pair entries held per candidate;
 	// 0 means DefaultSimCacheSize. Ignored unless SimCache is set.
 	SimCacheSize int
+	// SpillThresholdRows bounds detection memory: candidates whose GK
+	// table exceeds this many rows sort each key pass with an external
+	// merge sort — bounded in-memory runs spilled to checksummed files
+	// under SpillDir, k-way merged back — and the sliding window
+	// consumes the merged stream, holding only the window extent plus
+	// merge buffers in RAM. Every observable (clusters, Stats,
+	// checkpoints, PairObserver calls, interrupted partial results) is
+	// byte-identical to the in-memory path; the differential suite in
+	// internal/core proves it. 0 (the zero value) keeps every pass
+	// fully in memory — the paper's behavior, unchanged. When set, the
+	// MaxRows limit degrades from a hard cap to an advisory (the run
+	// spills instead of failing; see Limits.SpillRows).
+	SpillThresholdRows int
+	// SpillDir receives the run files and their manifest. Runs written
+	// there are fingerprinted against the GK table content and reused
+	// by later runs over the same data (e.g. a checkpoint resume) — the
+	// sort and write are skipped, the checksummed files re-verified
+	// while streaming. Empty means a private temp directory, removed
+	// when the run ends.
+	SpillDir string
+	// SpillFS, when non-nil, replaces the real filesystem under the
+	// spill layer — the fault-injection hook for torn-write/short-read
+	// testing. Requires SpillDir to be set when non-nil.
+	SpillFS extsort.FS
+	// spill is the run-level spill state DetectContext derives from the
+	// three fields above; nil when spilling is off.
+	spill *spillState
 	// Limits bounds the run's wall-clock time and resource use; the
 	// zero value is unlimited. On a breach the run stops gracefully,
 	// returning the partial Result (with Result.Incomplete describing
@@ -188,7 +216,7 @@ func Run(doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, erro
 func RunContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, opts Options) (*Result, error) {
 	ctx, stop := runlimit.WithTimeout(ctx, opts.Limits)
 	defer stop()
-	kg, err := GenerateKeysObserved(ctx, doc, cfg, opts.Limits, opts.Observer)
+	kg, err := GenerateKeysObserved(ctx, doc, cfg, opts.KeyGenLimits(), opts.Observer)
 	if err != nil {
 		if isInterruption(err) {
 			return PartialFromKeyGen(kg, err), err
@@ -201,6 +229,20 @@ func RunContext(ctx context.Context, doc *xmltree.Document, cfg *config.Config, 
 		}
 	}
 	return DetectContext(ctx, kg, cfg, opts)
+}
+
+// KeyGenLimits returns opts.Limits adjusted for the spill path: with
+// an explicit spill threshold configured, MaxRows stops being a hard
+// cap during key generation — detection memory is bounded by spilling,
+// so the run carries on past the limit instead of failing. Callers
+// that run key generation themselves (the streaming facade) should
+// pass this instead of Options.Limits.
+func (o Options) KeyGenLimits() Limits {
+	l := o.Limits
+	if o.SpillThresholdRows > 0 {
+		l.SpillRows = true
+	}
+	return l
 }
 
 // Detect executes the duplicate detection phase over previously
@@ -232,6 +274,19 @@ func DetectContext(ctx context.Context, kg *KeyGenResult, cfg *config.Config, op
 	}
 	ob := opts.Observer
 	m := ob.Metrics()
+
+	// The smallspill build tag forces a tiny threshold so the whole
+	// test suite exercises the spill path; an explicit caller choice
+	// always wins. Detection-only: key generation limits are not
+	// retroactively waived by the forced value.
+	if opts.SpillThresholdRows == 0 && forcedSpillThreshold > 0 {
+		opts.SpillThresholdRows = forcedSpillThreshold
+	}
+	if opts.SpillThresholdRows > 0 {
+		st := newSpillState(opts, m)
+		opts.spill = st
+		defer st.cleanup()
+	}
 
 	res := &Result{
 		Clusters: make(map[string]*cluster.ClusterSet, len(cfg.Candidates)),
@@ -479,7 +534,16 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 
 	swStart := time.Now()
 	useDesc := cand.DescendantsEnabled() && !opts.DisableDescendants
-	if useDesc {
+
+	// Memory-bounded path: a table larger than the spill threshold
+	// sorts each pass externally and streams the rows in; descendant
+	// resolution then happens per decoded row instead of across the
+	// resident table (same function, same results).
+	var spiller *candSpiller
+	if st := opts.spill; st != nil && len(t.Rows) > st.threshold {
+		spiller = newCandSpiller(st, t, useDesc, clusters, cache)
+	}
+	if useDesc && spiller == nil {
 		resolveDescClusters(t, clusters)
 		if cache != nil {
 			internDescSets(t, cache)
@@ -614,50 +678,116 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 			return nil
 		})
 
-	order := make([]int, len(t.Rows))
+	// The ring keeps exactly the trailing rows a window can revisit:
+	// the base window, widened to the adaptive cap when adaptive
+	// windows are on, clamped to the table size. For the in-memory
+	// source the ring holds pointers into the resident table; for the
+	// spill source it is the only live copy of the streamed rows — the
+	// memory bound the spill path exists for.
+	keep := w
+	if cand.AdaptiveKeySim > 0 {
+		maxW := cand.AdaptiveMaxWindow
+		if maxW <= 0 {
+			maxW = 3 * cand.Window
+		}
+		if maxW > keep {
+			keep = maxW
+		}
+	}
+	if keep > len(t.Rows) {
+		keep = len(t.Rows)
+	}
+	ring := newRowRing(keep)
+	var order []int
+	if spiller == nil {
+		order = make([]int, len(t.Rows))
+	}
 	for pass := startPass; pass < len(keys); pass++ {
 		curPass = pass
-		for i := range order {
-			order[i] = i
-		}
 		k := pass
-		sort.SliceStable(order, func(a, b int) bool {
-			ra, rb := &t.Rows[order[a]], &t.Rows[order[b]]
-			if ra.Keys[k] != rb.Keys[k] {
-				return ra.Keys[k] < rb.Keys[k]
-			}
-			return ra.EID < rb.EID
-		})
 		passSpan := swSpan.Child(obs.SpanPass,
 			obs.String(obs.AttrCandidate, cand.Name), obs.Int(obs.AttrPass, pass))
-		for i := 1; i < len(order); i++ {
+		// interruptPass funnels every budget seam through the one drain
+		// sequence: pairs enumerated before the interruption precede it
+		// in window order, so the sequential run would have compared
+		// them already — drain them, and let a hard comparison error in
+		// the drain win over the interruption for the same reason. It is
+		// reached before src exists when the spill sort itself is
+		// interrupted, hence the nil checks.
+		var src rowSource
+		interruptPass := func(cause error) (*cluster.ClusterSet, *CandidateStats, error) {
+			if ferr := sw.finish(); ferr != nil {
+				if src != nil {
+					src.close()
+				}
+				return nil, nil, ferr
+			}
+			if src != nil {
+				src.close()
+			}
+			cstats.SlidingWindow = time.Since(swStart)
+			endPass(passSpan, true)
+			swSpan.End()
+			flush(pass)
+			return nil, cstats, &interruptError{cause: cause, phase: PhaseSlidingWindow, pass: pass}
+		}
+		if spiller != nil {
+			// The external sort does real I/O before the first pair is
+			// enumerated; check the budget around it so deadlines and
+			// cancellation interrupt a spilling pass about as fast as an
+			// in-memory one.
+			if bud.active {
+				if err := bud.check(); err != nil {
+					return interruptPass(err)
+				}
+			}
+			s, err := spiller.source(k, swSpan, bud)
+			if err != nil {
+				if isInterruption(err) {
+					return interruptPass(err)
+				}
+				return nil, nil, err
+			}
+			src = s
+		} else {
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return gkRowLess(&t.Rows[order[a]], &t.Rows[order[b]], k)
+			})
+			src = &memSource{t: t, order: order}
+		}
+		i := -1
+		for {
+			row, err := src.next()
+			if err != nil {
+				src.close()
+				return nil, nil, err
+			}
+			if row == nil {
+				break
+			}
+			i++
+			ring.push(i, row)
+			if i == 0 {
+				continue
+			}
 			lo := i - (w - 1)
 			if lo < 0 {
 				lo = 0
 			}
 			if cand.AdaptiveKeySim > 0 {
-				lo = adaptiveLow(t, order, i, lo, k, cand)
+				lo = adaptiveLow(ring, row, i, lo, k, cand)
 			}
 			for j := lo; j < i; j++ {
-				a, b := &t.Rows[order[j]], &t.Rows[order[i]]
+				a, b := ring.at(j), row
 				cstats.WindowPairs++
 				if m != nil && cstats.WindowPairs&0xFFF == 0 {
 					flushObs()
 				}
 				if err := bud.poll(cstats.WindowPairs); err != nil {
-					// Drain pairs enumerated before the interruption: they
-					// precede it in window order, so the sequential run would
-					// have compared them already. A hard comparison error in
-					// the drain wins over the interruption for the same
-					// reason.
-					if ferr := sw.finish(); ferr != nil {
-						return nil, nil, ferr
-					}
-					cstats.SlidingWindow = time.Since(swStart)
-					endPass(passSpan, true)
-					swSpan.End()
-					flush(pass)
-					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
+					return interruptPass(err)
 				}
 				key := packPair(a.EID, b.EID)
 				if _, seen := compared[key]; seen {
@@ -665,19 +795,16 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 				}
 				compared[key] = struct{}{}
 				if err := bud.addComparison(); err != nil {
-					if ferr := sw.finish(); ferr != nil {
-						return nil, nil, ferr
-					}
-					cstats.SlidingWindow = time.Since(swStart)
-					endPass(passSpan, true)
-					swSpan.End()
-					flush(pass)
-					return nil, cstats, &interruptError{cause: err, phase: PhaseSlidingWindow, pass: pass}
+					return interruptPass(err)
 				}
 				if err := sw.add(a, b); err != nil {
+					src.close()
 					return nil, nil, err
 				}
 			}
+		}
+		if err := src.close(); err != nil {
+			return nil, nil, err
 		}
 		// Drain before the pass is accounted: verdicts of buffered pairs
 		// belong to this pass's span, checkpoint, and counters.
@@ -778,14 +905,14 @@ func estWindowPairs(n, w int) int64 {
 // dynamic window sizing the paper's outlook attributes to Lehti &
 // Fankhauser's precise blocking. The extension is capped by
 // AdaptiveMaxWindow (0 means 3x the base window).
-func adaptiveLow(t *GKTable, order []int, i, lo, key int, cand *config.Candidate) int {
+func adaptiveLow(ring *rowRing, cur *GKRow, i, lo, key int, cand *config.Candidate) int {
 	maxW := cand.AdaptiveMaxWindow
 	if maxW <= 0 {
 		maxW = 3 * cand.Window
 	}
-	ki := t.Rows[order[i]].Keys[key]
+	ki := cur.Keys[key]
 	for lo > 0 && i-(lo-1) <= maxW-1 {
-		kj := t.Rows[order[lo-1]].Keys[key]
+		kj := ring.at(lo - 1).Keys[key]
 		if similarity.NormalizedEditRaw(ki, kj) < cand.AdaptiveKeySim {
 			break
 		}
@@ -814,24 +941,31 @@ func ResolveDescendantClusters(t *GKTable, clusters map[string]*cluster.ClusterS
 // candidates — the l_e lists feeding Definition 3.
 func resolveDescClusters(t *GKTable, clusters map[string]*cluster.ClusterSet) {
 	for i := range t.Rows {
-		row := &t.Rows[i]
-		if len(row.Desc) == 0 {
-			continue
+		resolveRowDescClusters(&t.Rows[i], clusters)
+	}
+}
+
+// resolveRowDescClusters is resolveDescClusters for a single row; the
+// spill path calls it as each row is decoded from a run file, so
+// streamed rows carry the same l_e lists as resident ones.
+func resolveRowDescClusters(row *GKRow, clusters map[string]*cluster.ClusterSet) {
+	row.descClusters = nil
+	if len(row.Desc) == 0 {
+		return
+	}
+	row.descClusters = make(map[string][]int, len(row.Desc))
+	for name, eids := range row.Desc {
+		cs, ok := clusters[name]
+		if !ok {
+			continue // descendant candidate was not processed (should not happen bottom-up)
 		}
-		row.descClusters = make(map[string][]int, len(row.Desc))
-		for name, eids := range row.Desc {
-			cs, ok := clusters[name]
-			if !ok {
-				continue // descendant candidate was not processed (should not happen bottom-up)
+		cids := make([]int, 0, len(eids))
+		for _, eid := range eids {
+			if cid, ok := cs.CID(eid); ok {
+				cids = append(cids, cid)
 			}
-			cids := make([]int, 0, len(eids))
-			for _, eid := range eids {
-				if cid, ok := cs.CID(eid); ok {
-					cids = append(cids, cid)
-				}
-			}
-			row.descClusters[name] = cids
 		}
+		row.descClusters[name] = cids
 	}
 }
 
@@ -938,15 +1072,21 @@ func descendantSimilarity(a, b *GKRow) (float64, bool) {
 // resolveDescClusters.
 func internDescSets(t *GKTable, c *similarity.Cache) {
 	for i := range t.Rows {
-		row := &t.Rows[i]
-		row.descSets = nil
-		if row.descClusters == nil {
-			continue
-		}
-		row.descSets = make(map[string]similarity.SetID, len(row.descClusters))
-		for name, list := range row.descClusters {
-			row.descSets[name] = c.InternDesc(list)
-		}
+		internRowDescSets(&t.Rows[i], c)
+	}
+}
+
+// internRowDescSets interns one row's descendant lists. SetIDs are
+// content-keyed in the cache, so the assignment order (table sweep vs
+// spill decode order) never changes a similarity result.
+func internRowDescSets(row *GKRow, c *similarity.Cache) {
+	row.descSets = nil
+	if row.descClusters == nil {
+		return
+	}
+	row.descSets = make(map[string]similarity.SetID, len(row.descClusters))
+	for name, list := range row.descClusters {
+		row.descSets[name] = c.InternDesc(list)
 	}
 }
 

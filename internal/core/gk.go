@@ -169,8 +169,8 @@ func GenerateKeysObserved(ctx context.Context, doc *xmltree.Document, cfg *confi
 		pushed := false
 		if c := candidateOf(n); c != nil {
 			t := tables[c.Name]
-			if lim.MaxRows > 0 && len(t.Rows)+1 > lim.MaxRows {
-				return &LimitError{Limit: "max-rows", Max: lim.MaxRows, Observed: len(t.Rows) + 1}
+			if err := lim.CheckRows(len(t.Rows) + 1); err != nil {
+				return err
 			}
 			row, err := buildRow(n, c)
 			if err != nil {

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/extsort"
+	"repro/internal/obs"
+	"repro/internal/similarity"
+)
+
+// This file is the memory-bounded GK backend: candidates whose tables
+// exceed Options.SpillThresholdRows sort each key pass with an
+// external merge sort (internal/extsort) and stream the merged rows
+// into the sliding window, so the sort working set is bounded by the
+// threshold and the window only ever holds its own extent of decoded
+// rows. The comparator, the enumeration order, and the decoded rows
+// are exactly those of the in-memory path, which is what makes the
+// differential suite's byte-identical claim hold.
+
+// gkRowLess is THE sort order of one key pass — byte-wise comparison
+// of the pass key with ties broken by element ID. EIDs are unique per
+// table, so this is a total order: the in-memory sort, the run-file
+// writer, and the k-way merge all produce the identical permutation.
+func gkRowLess(a, b *GKRow, pass int) bool {
+	if a.Keys[pass] != b.Keys[pass] {
+		return a.Keys[pass] < b.Keys[pass]
+	}
+	return a.EID < b.EID
+}
+
+// rowSource feeds one key pass's sorted rows to the sliding window.
+// next returns nil at the end of the stream; close releases any
+// underlying run-file handles and may be called more than once.
+type rowSource interface {
+	next() (*GKRow, error)
+	close() error
+}
+
+// memSource streams the resident table through a precomputed sort
+// permutation — the in-memory path expressed as a rowSource.
+type memSource struct {
+	t     *GKTable
+	order []int
+	pos   int
+}
+
+func (m *memSource) next() (*GKRow, error) {
+	if m.pos >= len(m.order) {
+		return nil, nil
+	}
+	r := &m.t.Rows[m.order[m.pos]]
+	m.pos++
+	return r, nil
+}
+
+func (m *memSource) close() error { return nil }
+
+// rowRing holds the last `keep` streamed rows indexed by absolute
+// stream position — exactly the extent the window sweep may revisit.
+// Rows referenced by in-flight pair batches stay alive through the
+// batch's own pointers; the ring only bounds what the enumerator can
+// still reach.
+type rowRing struct {
+	buf  []*GKRow
+	mask int
+}
+
+func newRowRing(keep int) *rowRing {
+	n := 1
+	for n < keep {
+		n <<= 1
+	}
+	return &rowRing{buf: make([]*GKRow, n), mask: n - 1}
+}
+
+func (r *rowRing) push(i int, row *GKRow) { r.buf[i&r.mask] = row }
+func (r *rowRing) at(i int) *GKRow        { return r.buf[i&r.mask] }
+
+// errMalformedRow rejects spilled row bytes that do not decode
+// cleanly; it only ever surfaces wrapped in an extsort *CorruptError
+// (the per-record CRC makes genuine corruption vanishingly unlikely to
+// reach the decoder, but defense in depth is cheap).
+var errMalformedRow = errors.New("malformed spilled GK row")
+
+// appendGKRow encodes one GK row into dst. The encoding is canonical
+// and injective over the row's observable fields: everything is
+// length-prefixed, integers are zig-zag varints, and the descendant
+// map is written in strictly increasing name order — equal rows encode
+// to equal bytes and distinct rows to distinct bytes, which is what
+// makes run-file fingerprints trustworthy across processes.
+func appendGKRow(dst []byte, r *GKRow) []byte {
+	dst = binary.AppendVarint(dst, int64(r.EID))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
+	for _, k := range r.Keys {
+		dst = appendSpillString(dst, k)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.OD)))
+	for _, vals := range r.OD {
+		dst = binary.AppendUvarint(dst, uint64(len(vals)))
+		for _, v := range vals {
+			dst = appendSpillString(dst, v)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Desc)))
+	if len(r.Desc) > 0 {
+		names := make([]string, 0, len(r.Desc))
+		for name := range r.Desc {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			dst = appendSpillString(dst, name)
+			eids := r.Desc[name]
+			dst = binary.AppendUvarint(dst, uint64(len(eids)))
+			for _, e := range eids {
+				dst = binary.AppendVarint(dst, int64(e))
+			}
+		}
+	}
+	return dst
+}
+
+func appendSpillString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// spillDec decodes the encoding above with a sticky error; collection
+// counts are bounded by the remaining bytes (every element costs at
+// least one byte) so corrupt counts cannot drive allocations.
+type spillDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *spillDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = errMalformedRow
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *spillDec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = errMalformedRow
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *spillDec) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.b)-d.off) {
+		d.err = errMalformedRow
+		return 0
+	}
+	return int(v)
+}
+
+func (d *spillDec) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// decodeGKRow rebuilds a row from its canonical encoding. Empty
+// collections decode as nil (the canonical in-memory shape for
+// everything detection observes through len), descendant names must be
+// strictly increasing, and every byte must be consumed — so decode is
+// the exact inverse of appendGKRow on encoder-produced bytes and
+// rejects everything else.
+func decodeGKRow(p []byte) (*GKRow, error) {
+	d := &spillDec{b: p}
+	r := &GKRow{EID: int(d.varint())}
+	if n := d.count(); n > 0 {
+		r.Keys = make([]string, n)
+		for i := range r.Keys {
+			r.Keys[i] = d.str()
+		}
+	}
+	if n := d.count(); n > 0 {
+		r.OD = make([][]string, n)
+		for i := range r.OD {
+			if m := d.count(); m > 0 {
+				r.OD[i] = make([]string, m)
+				for j := range r.OD[i] {
+					r.OD[i][j] = d.str()
+				}
+			}
+		}
+	}
+	if n := d.count(); n > 0 {
+		r.Desc = make(map[string][]int, n)
+		prev := ""
+		for i := 0; i < n; i++ {
+			name := d.str()
+			if d.err == nil && i > 0 && name <= prev {
+				d.err = errMalformedRow // non-canonical map order
+			}
+			prev = name
+			var eids []int
+			if m := d.count(); m > 0 {
+				eids = make([]int, m)
+				for j := range eids {
+					eids[j] = int(d.varint())
+				}
+			}
+			if d.err != nil {
+				return nil, d.err
+			}
+			r.Desc[name] = eids
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(p) {
+		return nil, errMalformedRow
+	}
+	return r, nil
+}
+
+// spillManifestName is the per-SpillDir index of reusable run files.
+const spillManifestName = "spill-manifest.json"
+
+// spillEntry records one (candidate, pass) external sort: the table
+// fingerprint the runs were built from and the run files themselves.
+// A later run with a matching fingerprint reuses the files (their
+// checksums and footers are still verified while streaming) instead
+// of re-sorting and re-writing.
+type spillEntry struct {
+	Candidate   string            `json:"candidate"`
+	Pass        int               `json:"pass"`
+	Rows        int               `json:"rows"`
+	Fingerprint string            `json:"fingerprint"`
+	Runs        []extsort.RunFile `json:"runs"`
+}
+
+type spillManifest struct {
+	Version int                    `json:"version"`
+	Entries map[string]*spillEntry `json:"entries"`
+}
+
+// spillState is the run-level spill context shared by all candidates:
+// the directory (a private temp dir unless Options.SpillDir pins one),
+// the filesystem, the manifest, and the obs counters. Parallel
+// candidates share it, so the manifest is mutex-guarded.
+type spillState struct {
+	threshold int
+	fs        extsort.FS
+	m         *obs.Metrics
+
+	mu      sync.Mutex
+	dir     string
+	temp    bool
+	ready   bool
+	initErr error
+	man     spillManifest
+}
+
+func newSpillState(opts Options, m *obs.Metrics) *spillState {
+	fs := opts.SpillFS
+	if fs == nil {
+		fs = extsort.OSFS()
+	}
+	return &spillState{threshold: opts.SpillThresholdRows, fs: fs, m: m, dir: opts.SpillDir}
+}
+
+// ensure lazily creates the spill directory and loads the manifest the
+// first time any candidate actually spills, so runs whose tables all
+// fit under the threshold touch no disk at all.
+func (st *spillState) ensure() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ready || st.initErr != nil {
+		return st.initErr
+	}
+	if st.dir == "" {
+		d, err := os.MkdirTemp("", "sxnm-spill-")
+		if err != nil {
+			st.initErr = fmt.Errorf("create spill dir: %w", err)
+			return st.initErr
+		}
+		st.dir = d
+		st.temp = true
+	}
+	if err := st.fs.MkdirAll(st.dir); err != nil {
+		st.initErr = fmt.Errorf("create spill dir %s: %w", st.dir, err)
+		return st.initErr
+	}
+	st.man = loadSpillManifest(st.fs, st.dir)
+	st.ready = true
+	return nil
+}
+
+// cleanup removes a private temp spill directory; a caller-provided
+// SpillDir is kept so its fingerprinted runs survive for reuse.
+func (st *spillState) cleanup() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.temp {
+		os.RemoveAll(st.dir)
+	}
+}
+
+func (st *spillState) lookup(key string) *spillEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.man.Entries[key]
+}
+
+// record stores an entry and rewrites the manifest. Persisting is
+// best-effort: a failed write only costs reuse on the next run (the
+// load path discards anything that does not parse), never correctness.
+func (st *spillState) record(key string, ent *spillEntry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.man.Entries == nil {
+		st.man.Entries = make(map[string]*spillEntry)
+	}
+	st.man.Version = 1
+	st.man.Entries[key] = ent
+	data, err := json.Marshal(&st.man)
+	if err != nil {
+		return
+	}
+	f, err := st.fs.Create(filepath.Join(st.dir, spillManifestName))
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	_ = werr
+	_ = cerr
+}
+
+func loadSpillManifest(fs extsort.FS, dir string) spillManifest {
+	var man spillManifest
+	f, err := fs.Open(filepath.Join(dir, spillManifestName))
+	if err != nil {
+		return spillManifest{}
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return spillManifest{}
+	}
+	if json.Unmarshal(data, &man) != nil || man.Version != 1 {
+		return spillManifest{}
+	}
+	return man
+}
+
+// candSpiller binds one candidate's table to the run-level spill
+// state: the codec (with its decode-time validation and descendant
+// resolution), the stable file prefix, and the memoized table
+// fingerprint shared by all of the candidate's passes.
+type candSpiller struct {
+	st       *spillState
+	t        *GKTable
+	useDesc  bool
+	clusters map[string]*cluster.ClusterSet
+	cache    *similarity.Cache
+	nKeys    int
+	nOD      int
+	prefix   string
+	fp       string
+}
+
+func newCandSpiller(st *spillState, t *GKTable, useDesc bool, clusters map[string]*cluster.ClusterSet, cache *similarity.Cache) *candSpiller {
+	h := fnv.New64a()
+	io.WriteString(h, t.Candidate.Name)
+	return &candSpiller{
+		st: st, t: t, useDesc: useDesc, clusters: clusters, cache: cache,
+		nKeys:  len(t.Candidate.CompiledKeys()),
+		nOD:    len(t.fields),
+		prefix: fmt.Sprintf("c%016x", h.Sum64()),
+	}
+}
+
+// fingerprint hashes the candidate's encoded rows in table order. The
+// encoding is injective, so a fingerprint match means the run files on
+// disk were built from byte-identical row content — pass order is
+// irrelevant (runs differ per pass only in sort order, and each pass
+// has its own manifest key).
+func (c *candSpiller) fingerprint() string {
+	if c.fp == "" {
+		h := fnv.New64a()
+		var scratch []byte
+		var frame [binary.MaxVarintLen64]byte
+		for i := range c.t.Rows {
+			scratch = appendGKRow(scratch[:0], &c.t.Rows[i])
+			n := binary.PutUvarint(frame[:], uint64(len(scratch)))
+			h.Write(frame[:n])
+			h.Write(scratch)
+		}
+		c.fp = fmt.Sprintf("%016x", h.Sum64())
+	}
+	return c.fp
+}
+
+// decodeRow rebuilds a streamed row and re-derives the detection-time
+// fields — descendant cluster lists and interned sets — exactly as the
+// resident path does, so a spilled row is observationally identical to
+// the table row it was encoded from.
+func (c *candSpiller) decodeRow(p []byte) (*GKRow, error) {
+	r, err := decodeGKRow(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Keys) != c.nKeys || len(r.OD) != c.nOD {
+		return nil, fmt.Errorf("row %d has %d keys and %d OD fields, candidate wants %d and %d",
+			r.EID, len(r.Keys), len(r.OD), c.nKeys, c.nOD)
+	}
+	if c.useDesc {
+		resolveRowDescClusters(r, c.clusters)
+		if c.cache != nil {
+			internRowDescSets(r, c.cache)
+		}
+	}
+	return r, nil
+}
+
+func (c *candSpiller) config(pass int) extsort.Config[*GKRow] {
+	return extsort.Config[*GKRow]{
+		Dir:         c.st.dir,
+		Prefix:      fmt.Sprintf("%s-p%d", c.prefix, pass),
+		MaxInMemory: c.st.threshold,
+		FS:          c.st.fs,
+		Encode:      func(dst []byte, r *GKRow) []byte { return appendGKRow(dst, r) },
+		Decode:      c.decodeRow,
+		Less:        func(a, b *GKRow) bool { return gkRowLess(a, b, pass) },
+	}
+}
+
+// source externally sorts one key pass (or reuses fingerprinted runs
+// from an earlier process) and returns the merged row stream. Spill
+// work is accounted to obs metrics and a spill span only — Stats never
+// sees it, keeping spilled and in-memory Stats byte-identical.
+func (c *candSpiller) source(pass int, parent *obs.Span, bud *budget) (rowSource, error) {
+	wrap := func(err error) error {
+		return fmt.Errorf("core: candidate %q: spill pass %d: %w", c.t.Candidate.Name, pass, err)
+	}
+	start := time.Now()
+	if err := c.st.ensure(); err != nil {
+		return nil, wrap(err)
+	}
+	cfg := c.config(pass)
+	key := fmt.Sprintf("%s/p%d", c.prefix, pass)
+	fp := c.fingerprint()
+
+	var it *extsort.Iterator[*GKRow]
+	var runs []extsort.RunFile
+	reused := false
+	if ent := c.st.lookup(key); ent != nil && ent.Fingerprint == fp && ent.Rows == len(c.t.Rows) {
+		// Open-time failures (missing or stale files) fall back to a
+		// fresh sort; corruption discovered while streaming, after this
+		// point, is a hard typed error like any other read.
+		if m, err := extsort.MergeRuns(cfg, ent.Runs); err == nil {
+			it, runs, reused = m, ent.Runs, true
+		}
+	}
+	if it == nil {
+		srt, err := extsort.New(cfg)
+		if err != nil {
+			return nil, wrap(err)
+		}
+		for i := range c.t.Rows {
+			// The sort spills to disk as it goes; poll so deadlines and
+			// cancellation interrupt it at the usual cadence. The cause
+			// is returned bare — the caller turns it into the same
+			// graceful interruption as a budget breach in the pair loop.
+			if bud != nil {
+				if err := bud.poll(i + 1); err != nil {
+					return nil, err
+				}
+			}
+			if err := srt.Add(&c.t.Rows[i]); err != nil {
+				return nil, wrap(err)
+			}
+		}
+		it, runs, err = srt.Merge()
+		if err != nil {
+			return nil, wrap(err)
+		}
+		c.st.record(key, &spillEntry{
+			Candidate: c.t.Candidate.Name, Pass: pass, Rows: len(c.t.Rows),
+			Fingerprint: fp, Runs: runs,
+		})
+	}
+	var bytes int64
+	for _, r := range runs {
+		bytes += r.Bytes
+	}
+	if m := c.st.m; m != nil {
+		if reused {
+			m.SpillRunsReused.Add(int64(len(runs)))
+		} else {
+			m.SpillRuns.Add(int64(len(runs)))
+			m.SpillBytesWritten.Add(bytes)
+		}
+		m.SpillWallNanos.Add(int64(time.Since(start)))
+	}
+	if sp := parent.Child(obs.SpanSpill,
+		obs.String(obs.AttrCandidate, c.t.Candidate.Name),
+		obs.Int(obs.AttrPass, pass),
+		obs.Int(obs.AttrSpillRuns, len(runs)),
+		obs.Int64(obs.AttrSpillBytes, bytes),
+		obs.Bool(obs.AttrSpillReused, reused)); sp != nil {
+		sp.End()
+	}
+	return &spillSource{c: c, it: it}, nil
+}
+
+// spillSource adapts the merge iterator to rowSource, wrapping errors
+// with the candidate and flushing read-byte counts on close.
+type spillSource struct {
+	c      *candSpiller
+	it     *extsort.Iterator[*GKRow]
+	closed bool
+}
+
+func (s *spillSource) next() (*GKRow, error) {
+	r, ok, err := s.it.Next()
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate %q: spill: %w", s.c.t.Candidate.Name, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	return r, nil
+}
+
+func (s *spillSource) close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if m := s.c.st.m; m != nil {
+		m.SpillBytesRead.Add(s.it.BytesRead())
+	}
+	return s.it.Close()
+}

@@ -1,0 +1,9 @@
+//go:build !smallspill
+
+package core
+
+// forcedSpillThreshold is 0 in normal builds: spilling happens only
+// when Options.SpillThresholdRows asks for it. The smallspill build
+// tag (see spill_small.go) forces a tiny threshold instead, running
+// every test in the tree through the external-sort path.
+const forcedSpillThreshold = 0

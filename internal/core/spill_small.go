@@ -1,0 +1,10 @@
+//go:build smallspill
+
+package core
+
+// forcedSpillThreshold under the smallspill tag makes every candidate
+// with more than one row take the external-sort spill path, so the
+// entire existing test suite — engine, integration, differential —
+// doubles as a spill equivalence suite: `go test -tags=smallspill ./...`
+// (the CI smallspill leg) must stay as green as the untagged run.
+const forcedSpillThreshold = 1

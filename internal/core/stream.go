@@ -198,10 +198,8 @@ func GenerateKeysStreamObserved(ctx context.Context, r io.Reader, cfg *config.Co
 					pendingDesc = pendingDesc[:len(pendingDesc)-1]
 
 					tbl := tables[inst.cand.Name]
-					if lim.MaxRows > 0 && len(tbl.Rows)+1 > lim.MaxRows {
-						return partial(&runlimit.LimitError{
-							Limit: "max-rows", Max: lim.MaxRows, Observed: len(tbl.Rows) + 1,
-						})
+					if err := lim.CheckRows(len(tbl.Rows) + 1); err != nil {
+						return partial(err)
 					}
 					row, err := buildRow(root, inst.cand)
 					if err != nil {

@@ -26,12 +26,17 @@ import (
 // answer-preserving (identical clusters and counters), so reproduced
 // accuracy figures are unaffected — only the timing columns of the
 // scalability experiments change meaning (wall clock vs. single-core).
+// SpillThresholdRows and SpillDir bound detection memory by
+// external-sorting oversized candidates to disk; the spill path is
+// answer-preserving too.
 type RunEnv struct {
-	Ctx         context.Context
-	Limits      core.Limits
-	Observer    *obs.Observer
-	PairWorkers int
-	SimCache    bool
+	Ctx                context.Context
+	Limits             core.Limits
+	Observer           *obs.Observer
+	PairWorkers        int
+	SimCache           bool
+	SpillThresholdRows int
+	SpillDir           string
 }
 
 func (e RunEnv) context() context.Context {
@@ -48,5 +53,7 @@ func (e RunEnv) Run(doc *xmltree.Document, cfg *config.Config, opts core.Options
 	opts.Observer = e.Observer
 	opts.PairWorkers = e.PairWorkers
 	opts.SimCache = e.SimCache
+	opts.SpillThresholdRows = e.SpillThresholdRows
+	opts.SpillDir = e.SpillDir
 	return core.RunContext(e.context(), doc, cfg, opts)
 }

@@ -1,0 +1,131 @@
+// Package faultfs wraps an extsort.FS with deterministic fault
+// injection for the spill layer's crash-safety tests. A step counter
+// advances on every counted operation (writes in FailWrite mode, reads
+// in TruncateRead mode); when it reaches the armed step the fault
+// fires and stays latched for the rest of the run. Sweeping the armed
+// step across the range reported by Steps() exercises a failure at
+// every I/O boundary of a run — the harness asserts each such run
+// either errors with a typed cause or produces byte-identical output,
+// never a silently wrong answer.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/extsort"
+)
+
+// ErrInjected is the typed cause of every fault this package fires.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Mode selects which operation class the fault targets.
+type Mode int
+
+const (
+	// FailWrite makes the armed write (and everything after it) write
+	// only the first half of its buffer and return ErrInjected — a torn
+	// write followed by persistent failure.
+	FailWrite Mode = iota
+	// TruncateRead makes the armed read return at most half the
+	// requested bytes and every later read report io.EOF — a silently
+	// truncated file, the short-read case run-file checksums and
+	// footers must catch. No error is surfaced by the FS itself; if
+	// the reader misses the truncation, it gets wrong bytes.
+	TruncateRead
+)
+
+// FS decorates an inner extsort.FS with one armed fault. armAt <= 0
+// never fires. Safe for concurrent use.
+type FS struct {
+	inner extsort.FS
+	mode  Mode
+	armAt int64
+	steps atomic.Int64
+	fired atomic.Bool
+}
+
+// New arms a fault of the given mode at the armAt'th counted
+// operation (1-based).
+func New(inner extsort.FS, mode Mode, armAt int64) *FS {
+	return &FS{inner: inner, mode: mode, armAt: armAt}
+}
+
+// Steps reports how many operations of the armed class ran; a clean
+// pass with armAt=0 sizes an exhaustive fault sweep.
+func (f *FS) Steps() int64 { return f.steps.Load() }
+
+// Fired reports whether the armed fault triggered.
+func (f *FS) Fired() bool { return f.fired.Load() }
+
+func (f *FS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+func (f *FS) Remove(name string) error  { return f.inner.Remove(name) }
+
+func (f *FS) Create(name string) (io.WriteCloser, error) {
+	w, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, w: w}, nil
+}
+
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	r, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, r: r}, nil
+}
+
+type file struct {
+	fs *FS
+	w  io.WriteCloser
+	r  io.ReadCloser
+}
+
+func (fl *file) Write(p []byte) (int, error) {
+	f := fl.fs
+	if f.mode == FailWrite {
+		// Steps are counted even unarmed so a clean armAt=0 run sizes an
+		// exhaustive sweep; the fault itself fires only when armed.
+		if f.armAt > 0 && f.fired.Load() {
+			return 0, ErrInjected
+		}
+		if step := f.steps.Add(1); f.armAt > 0 && step >= f.armAt {
+			f.fired.Store(true)
+			n, _ := fl.w.Write(p[:len(p)/2])
+			return n, ErrInjected
+		}
+	}
+	return fl.w.Write(p)
+}
+
+func (fl *file) Read(p []byte) (int, error) {
+	f := fl.fs
+	if f.mode == TruncateRead {
+		if f.armAt > 0 && f.fired.Load() {
+			return 0, io.EOF
+		}
+		if step := f.steps.Add(1); f.armAt > 0 && step >= f.armAt {
+			f.fired.Store(true)
+			half := len(p) / 2
+			if half == 0 {
+				return 0, io.EOF
+			}
+			n, err := fl.r.Read(p[:half])
+			if err != nil {
+				return n, io.EOF
+			}
+			return n, nil
+		}
+	}
+	return fl.r.Read(p)
+}
+
+func (fl *file) Close() error {
+	if fl.w != nil {
+		return fl.w.Close()
+	}
+	return fl.r.Close()
+}

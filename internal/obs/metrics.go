@@ -52,6 +52,17 @@ type Metrics struct {
 	CheckpointWrites atomic.Int64
 	CheckpointBytes  atomic.Int64
 
+	// External-sort spill path (Options.SpillThresholdRows). Runs count
+	// sorted run files written; reused counts sorts satisfied from the
+	// on-disk manifest without re-sorting; bytes cover the run-file
+	// payloads in each direction; wall time is the cumulative sort+spill
+	// duration (merge streaming is accounted to the sliding window).
+	SpillRuns         atomic.Int64
+	SpillRunsReused   atomic.Int64
+	SpillBytesWritten atomic.Int64
+	SpillBytesRead    atomic.Int64
+	SpillWallNanos    atomic.Int64
+
 	// Resume provenance.
 	ResumedCandidates atomic.Int64 // candidates adopted from a checkpoint
 	ResumedPairs      atomic.Int64 // duplicate pairs seeded from a checkpoint
@@ -129,6 +140,11 @@ type Snapshot struct {
 	ExpectedWindowPairs int64   `json:"expected_window_pairs"`
 	CheckpointWrites    int64   `json:"checkpoint_writes"`
 	CheckpointBytes     int64   `json:"checkpoint_bytes"`
+	SpillRuns           int64   `json:"spill_runs"`
+	SpillRunsReused     int64   `json:"spill_runs_reused"`
+	SpillBytesWritten   int64   `json:"spill_bytes_written"`
+	SpillBytesRead      int64   `json:"spill_bytes_read"`
+	SpillWallSeconds    float64 `json:"spill_wall_seconds"`
 	ResumedCandidates   int64   `json:"resumed_candidates"`
 	ResumedPairs        int64   `json:"resumed_pairs"`
 	ElapsedSeconds      float64 `json:"elapsed_seconds"`
@@ -162,6 +178,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		ExpectedWindowPairs: m.ExpectedWindowPairs.Load(),
 		CheckpointWrites:    m.CheckpointWrites.Load(),
 		CheckpointBytes:     m.CheckpointBytes.Load(),
+		SpillRuns:           m.SpillRuns.Load(),
+		SpillRunsReused:     m.SpillRunsReused.Load(),
+		SpillBytesWritten:   m.SpillBytesWritten.Load(),
+		SpillBytesRead:      m.SpillBytesRead.Load(),
+		SpillWallSeconds:    time.Duration(m.SpillWallNanos.Load()).Seconds(),
 		ResumedCandidates:   m.ResumedCandidates.Load(),
 		ResumedPairs:        m.ResumedPairs.Load(),
 		ElapsedSeconds:      m.Elapsed().Seconds(),
@@ -206,6 +227,11 @@ var promRows = []promRow{
 	{"sxnm_expected_window_pairs", "gauge", "Window pair slots expected at detection start.", func(s *Snapshot) float64 { return float64(s.ExpectedWindowPairs) }},
 	{"sxnm_checkpoint_writes_total", "counter", "Durable checkpoint section writes.", func(s *Snapshot) float64 { return float64(s.CheckpointWrites) }},
 	{"sxnm_checkpoint_bytes_total", "counter", "Bytes written to the checkpoint directory.", func(s *Snapshot) float64 { return float64(s.CheckpointBytes) }},
+	{"sxnm_spill_runs_total", "counter", "Sorted run files written by the external-sort spill path.", func(s *Snapshot) float64 { return float64(s.SpillRuns) }},
+	{"sxnm_spill_runs_reused_total", "counter", "Spill sorts satisfied from the on-disk run manifest.", func(s *Snapshot) float64 { return float64(s.SpillRunsReused) }},
+	{"sxnm_spill_bytes_written_total", "counter", "Run-file payload bytes written by the spill path.", func(s *Snapshot) float64 { return float64(s.SpillBytesWritten) }},
+	{"sxnm_spill_bytes_read_total", "counter", "Run-file payload bytes streamed back during merges.", func(s *Snapshot) float64 { return float64(s.SpillBytesRead) }},
+	{"sxnm_spill_wall_seconds", "counter", "Cumulative wall time spent sorting and spilling runs.", func(s *Snapshot) float64 { return s.SpillWallSeconds }},
 	{"sxnm_resumed_candidates_total", "counter", "Candidates adopted from a checkpoint instead of re-detected.", func(s *Snapshot) float64 { return float64(s.ResumedCandidates) }},
 	{"sxnm_resumed_pairs_total", "counter", "Duplicate pairs seeded from a checkpoint.", func(s *Snapshot) float64 { return float64(s.ResumedPairs) }},
 	{"sxnm_comparisons_per_second", "gauge", "Comparison throughput since detection start.", func(s *Snapshot) float64 { return s.ComparisonsPerSec }},

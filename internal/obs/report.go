@@ -41,6 +41,11 @@ const (
 	AttrSimCacheHits      = "sim_cache_hits"
 	AttrSimCacheMisses    = "sim_cache_misses"
 	AttrSimCacheEvictions = "sim_cache_evictions"
+
+	// External-sort spill attributes, set on SpanSpill spans.
+	AttrSpillRuns   = "spill_runs"
+	AttrSpillBytes  = "spill_bytes"
+	AttrSpillReused = "spill_reused"
 )
 
 // ReportSchema identifies the report.json layout version.
@@ -100,6 +105,16 @@ type ResumeReport struct {
 	NextPass map[string]int `json:"next_pass,omitempty"`
 }
 
+// SpillReport summarizes the external-sort spill path's disk I/O;
+// present only when a run actually spilled (or reused spilled runs).
+type SpillReport struct {
+	Runs         int64   `json:"runs"`
+	RunsReused   int64   `json:"runs_reused"`
+	BytesWritten int64   `json:"bytes_written"`
+	BytesRead    int64   `json:"bytes_read"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
 // InterruptReport records a run cut short.
 type InterruptReport struct {
 	Phase string `json:"phase"`
@@ -146,6 +161,7 @@ type Report struct {
 
 	Resume      *ResumeReport     `json:"resume,omitempty"`
 	Checkpoint  *CheckpointReport `json:"checkpoint,omitempty"`
+	Spill       *SpillReport      `json:"spill,omitempty"`
 	Interrupted *InterruptReport  `json:"interrupted,omitempty"`
 
 	Candidates []CandidateReport `json:"candidates"`
@@ -269,6 +285,15 @@ func (c *Collector) Report(m *Metrics) *Report {
 	if c.checkpoint.Writes > 0 {
 		cp := c.checkpoint
 		rep.Checkpoint = &cp
+	}
+	if s := &rep.Metrics; s.SpillRuns+s.SpillRunsReused+s.SpillBytesWritten+s.SpillBytesRead > 0 {
+		rep.Spill = &SpillReport{
+			Runs:         s.SpillRuns,
+			RunsReused:   s.SpillRunsReused,
+			BytesWritten: s.SpillBytesWritten,
+			BytesRead:    s.SpillBytesRead,
+			WallSeconds:  s.SpillWallSeconds,
+		}
 	}
 	for _, name := range c.order {
 		cr := *c.candidates[name]

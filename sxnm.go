@@ -276,7 +276,7 @@ func (d *Detector) RunStream(r io.Reader) (*Result, error) {
 func (d *Detector) RunStreamContext(ctx context.Context, r io.Reader) (*Result, error) {
 	ctx, stop := runlimit.WithTimeout(ctx, d.opts.Limits)
 	defer stop()
-	kg, err := core.GenerateKeysStreamObserved(ctx, r, d.cfg, d.opts.Limits, d.opts.Observer)
+	kg, err := core.GenerateKeysStreamObserved(ctx, r, d.cfg, d.opts.KeyGenLimits(), d.opts.Observer)
 	if err != nil {
 		if runlimit.IsInterruption(err) {
 			return core.PartialFromKeyGen(kg, err), err
