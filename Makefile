@@ -7,7 +7,7 @@ GO       ?= go
 FUZZTIME ?= 10s
 BENCHN   ?= 1000
 
-.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline
+.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke
 
 check: vet build test smallspill bench-overhead fuzz-short
 
@@ -68,3 +68,10 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzPairKey -fuzztime $(FUZZTIME) ./internal/similarity
 	$(GO) test -run '^$$' -fuzz FuzzMergeInvariants -fuzztime $(FUZZTIME) ./internal/extsort
 	$(GO) test -run '^$$' -fuzz FuzzSpillRowCodec -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzJobConfigDecode -fuzztime $(FUZZTIME) ./internal/server
+
+# The daemon lifecycle end to end: start sxnmd in-process, submit over
+# HTTP, SIGTERM it mid-run, assert a clean drain, restart over the same
+# spool, and assert the job resumes and finishes.
+daemon-smoke:
+	$(GO) test -race -run 'TestDaemonSmoke' -count=1 -v ./cmd/sxnmd

@@ -21,6 +21,16 @@ type (
 	CheckpointCorruptError = checkpoint.CorruptError
 )
 
+// CheckpointFS abstracts the filesystem checkpoints live on; pass a
+// custom implementation to RunCheckpointedFSContext to intercept
+// checkpoint I/O (fault-injection harnesses do). OSCheckpointFS is the
+// real one.
+type CheckpointFS = checkpoint.FS
+
+// OSCheckpointFS returns the real filesystem for
+// RunCheckpointedFSContext.
+func OSCheckpointFS() CheckpointFS { return checkpoint.OSFS() }
+
 // Typed checkpoint conditions; match with errors.Is.
 var (
 	// ErrNoCheckpoint reports that the checkpoint directory holds no
@@ -56,16 +66,24 @@ func (d *Detector) RunCheckpointed(doc *Document, dir string) (*Result, error) {
 // partial Result and the typed cause, so a later identical call picks
 // up where it stopped.
 func (d *Detector) RunCheckpointedContext(ctx context.Context, doc *Document, dir string) (*Result, error) {
+	return d.RunCheckpointedFSContext(ctx, doc, checkpoint.OSFS(), dir)
+}
+
+// RunCheckpointedFSContext is RunCheckpointedContext with checkpoint
+// I/O routed through fsys instead of the real filesystem — the seam
+// fault-injection harnesses (and the daemon's kill-the-run-at-every-
+// step tests) use to fail or truncate individual checkpoint writes.
+func (d *Detector) RunCheckpointedFSContext(ctx context.Context, doc *Document, fsys CheckpointFS, dir string) (*Result, error) {
 	cfgFP, docFP, err := d.fingerprints(doc)
 	if err != nil {
 		return nil, err
 	}
-	cp, st, err := checkpoint.Load(checkpoint.OSFS(), dir, d.cfg, cfgFP, docFP)
+	cp, st, err := checkpoint.Load(fsys, dir, d.cfg, cfgFP, docFP)
 	switch {
 	case err == nil:
 		return d.continueFrom(ctx, doc, cp, st)
 	case errors.Is(err, ErrNoCheckpoint), errors.Is(err, ErrCheckpointCorrupt):
-		cp, err = checkpoint.Create(checkpoint.OSFS(), dir, cfgFP, docFP)
+		cp, err = checkpoint.Create(fsys, dir, cfgFP, docFP)
 		if err != nil {
 			return nil, fmt.Errorf("sxnm: %w", err)
 		}

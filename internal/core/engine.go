@@ -87,6 +87,16 @@ type Options struct {
 	// SimCacheSize bounds the value-pair entries held per candidate;
 	// 0 means DefaultSimCacheSize. Ignored unless SimCache is set.
 	SimCacheSize int
+	// SimCacheFor, when non-nil and SimCache is set, supplies the memo
+	// cache for a candidate instead of constructing a fresh one — the
+	// hook long-lived services use to share a warm cache across runs of
+	// the same configuration. The caller must only ever hand back a
+	// cache previously used for the same (configuration, candidate)
+	// pair: value-pair entries are keyed by OD field index, so caches
+	// must never cross configurations. Similarity functions are pure,
+	// so a warm cache changes CPU time and the obs counters only, never
+	// results. Returning nil falls back to a fresh per-run cache.
+	SimCacheFor func(candidate string) *similarity.Cache
 	// SpillThresholdRows bounds detection memory: candidates whose GK
 	// table exceeds this many rows sort each key pass with an external
 	// merge sort — bounded in-memory runs spilled to checksummed files
@@ -529,8 +539,16 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	// changes; only the obs cache counters do.
 	var cache *similarity.Cache
 	if opts.SimCache {
-		cache = similarity.NewCache(opts.SimCacheSize)
+		if opts.SimCacheFor != nil {
+			cache = opts.SimCacheFor(cand.Name)
+		}
+		if cache == nil {
+			cache = similarity.NewCache(opts.SimCacheSize)
+		}
 	}
+	// A provider-supplied cache arrives warm: baseline its counters so
+	// this run's metrics and spans report deltas, not history.
+	baseCache := cache.Stats()
 
 	swStart := time.Now()
 	useDesc := cand.DescendantsEnabled() && !opts.DisableDescendants
@@ -582,7 +600,7 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	var odCalls, descCalls int
 	var flushed CandidateStats
 	var flushedDups, flushedOD, flushedDesc int
-	var flushedCache similarity.CacheStats
+	flushedCache := baseCache
 	flushObs := func() {
 		if m == nil {
 			return
@@ -872,9 +890,9 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	if cache != nil {
 		st := cache.Stats()
 		candSpan.SetAttr(
-			obs.Int64(obs.AttrSimCacheHits, st.Hits),
-			obs.Int64(obs.AttrSimCacheMisses, st.Misses),
-			obs.Int64(obs.AttrSimCacheEvictions, st.Evictions))
+			obs.Int64(obs.AttrSimCacheHits, st.Hits-baseCache.Hits),
+			obs.Int64(obs.AttrSimCacheMisses, st.Misses-baseCache.Misses),
+			obs.Int64(obs.AttrSimCacheEvictions, st.Evictions-baseCache.Evictions))
 	}
 	return cs, cstats, nil
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -316,8 +317,42 @@ func (st *spillState) ensure() error {
 		return st.initErr
 	}
 	st.man = loadSpillManifest(st.fs, st.dir)
+	st.sweepOrphans()
 	st.ready = true
 	return nil
+}
+
+// sweepOrphans removes run files in the spill directory that no
+// manifest entry references — the leftovers of a process that was
+// killed mid-sort, before its runs were recorded for reuse. Runs only
+// when the filesystem can list directories (the real one can); called
+// once per run, before this process writes any file, so it can never
+// race with live sorts. Best-effort: a failed removal costs disk, not
+// correctness.
+func (st *spillState) sweepOrphans() {
+	ls, ok := st.fs.(extsort.DirLister)
+	if !ok {
+		return
+	}
+	names, err := ls.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	referenced := make(map[string]struct{})
+	for _, ent := range st.man.Entries {
+		for _, rf := range ent.Runs {
+			referenced[rf.Name] = struct{}{}
+		}
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".run") {
+			continue
+		}
+		if _, ok := referenced[name]; ok {
+			continue
+		}
+		_ = st.fs.Remove(filepath.Join(st.dir, name))
+	}
 }
 
 // cleanup removes a private temp spill directory; a caller-provided
@@ -497,17 +532,23 @@ func (c *candSpiller) source(pass int, parent *obs.Span, bud *budget) (rowSource
 			// cancellation interrupt it at the usual cadence. The cause
 			// is returned bare — the caller turns it into the same
 			// graceful interruption as a budget breach in the pair loop.
+			// Either way the abandoned sort's partial run files are
+			// removed: they were never recorded in the manifest, so
+			// nothing could ever reuse them.
 			if bud != nil {
 				if err := bud.poll(i + 1); err != nil {
+					srt.Discard()
 					return nil, err
 				}
 			}
 			if err := srt.Add(&c.t.Rows[i]); err != nil {
+				srt.Discard()
 				return nil, wrap(err)
 			}
 		}
 		it, runs, err = srt.Merge()
 		if err != nil {
+			srt.Discard()
 			return nil, wrap(err)
 		}
 		c.st.record(key, &spillEntry{

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+	"repro/internal/extsort"
+)
+
+// Satellite invariant: an interrupted spilled run must not leak run
+// files. Run files are only kept when the manifest references them
+// (pinned SpillDir reuse); everything else — partial sorts abandoned
+// by a budget breach or cancellation, leftovers of a killed process —
+// must be gone after the run (Sorter.Discard on the abandon paths)
+// or after the next run over the directory (ensure-time orphan sweep).
+
+// orphanRuns returns the .run files in dir that no manifest entry
+// references — the definition of a leak.
+func orphanRuns(t *testing.T, dir string) []string {
+	t.Helper()
+	referenced := make(map[string]struct{})
+	if data, err := os.ReadFile(filepath.Join(dir, spillManifestName)); err == nil {
+		var man spillManifest
+		if err := json.Unmarshal(data, &man); err != nil {
+			t.Fatalf("manifest does not parse: %v", err)
+		}
+		for _, ent := range man.Entries {
+			for _, rf := range ent.Runs {
+				referenced[rf.Name] = struct{}{}
+			}
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var orphans []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".run") {
+			if _, ok := referenced[name]; !ok {
+				orphans = append(orphans, name)
+			}
+		}
+	}
+	return orphans
+}
+
+func spillLeakFixture(t *testing.T) (*KeyGenResult, *config.Config) {
+	t.Helper()
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustValidate(t, config.DataSet1(5))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kg, cfg
+}
+
+// failAfterFS is an extsort.FS whose nth Create fails — the
+// deterministic stand-in for a sort abandoned mid-way (I/O fault,
+// budget poll, cancellation: all three take the same abandon path)
+// with some run files already on disk.
+type failAfterFS struct {
+	extsort.FS
+	failAt  int
+	created int
+}
+
+var errInjectedCreate = errors.New("injected create failure")
+
+func (f *failAfterFS) Create(name string) (io.WriteCloser, error) {
+	f.created++
+	if f.created >= f.failAt && strings.HasSuffix(name, ".run") {
+		return nil, errInjectedCreate
+	}
+	return f.FS.Create(name)
+}
+
+// A sort abandoned after writing some of its run files must discard
+// them: they were never recorded in the manifest, so leaving them
+// behind would leak disk on every interrupted job.
+func TestSpillNoLeakOnAbandonedSort(t *testing.T) {
+	kg, cfg := spillLeakFixture(t)
+	dir := t.TempDir()
+	fs := &failAfterFS{FS: extsort.OSFS(), failAt: 4}
+	_, err := DetectContext(context.Background(), kg, cfg, Options{
+		SpillThresholdRows: 1,
+		SpillDir:           dir,
+		SpillFS:            fs,
+	})
+	if !errors.Is(err, errInjectedCreate) {
+		t.Fatalf("err = %v, want the injected create failure", err)
+	}
+	if fs.created < 4 {
+		t.Fatalf("fixture too small: only %d creates before the injected failure", fs.created)
+	}
+	if orphans := orphanRuns(t, dir); len(orphans) > 0 {
+		t.Errorf("abandoned sort leaked %d run file(s): %v", len(orphans), orphans)
+	}
+}
+
+// A run interrupted by its comparison budget mid-stream — after some
+// sorts completed and were recorded — keeps exactly the recorded runs
+// (they are the resume currency) and nothing else.
+func TestSpillNoLeakOnBudgetInterrupt(t *testing.T) {
+	kg, cfg := spillLeakFixture(t)
+	dir := t.TempDir()
+	res, err := DetectContext(context.Background(), kg, cfg, Options{
+		SpillThresholdRows: 1,
+		SpillDir:           dir,
+		Limits:             Limits{MaxComparisons: 200},
+	})
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("err = %v, want ErrLimitExceeded", err)
+	}
+	if res == nil || res.Incomplete == nil {
+		t.Fatal("interrupted run returned no partial result")
+	}
+	if orphans := orphanRuns(t, dir); len(orphans) > 0 {
+		t.Errorf("budget-interrupted run leaked %d run file(s): %v", len(orphans), orphans)
+	}
+}
+
+// Leftovers of a process killed mid-sort — run files present on disk
+// but absent from the manifest — are swept when the next run touches
+// the directory. Non-run files are never touched.
+func TestSpillSweepsCrashOrphans(t *testing.T) {
+	kg, cfg := spillLeakFixture(t)
+	dir := t.TempDir()
+	stray := filepath.Join(dir, "deadbeef-0007.run")
+	if err := os.WriteFile(stray, []byte("SXNMRUN1 partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bystander := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(bystander, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectContext(context.Background(), kg, cfg, Options{
+		SpillThresholdRows: 1,
+		SpillDir:           dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("orphaned run file survived the sweep (stat err = %v)", err)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Errorf("sweep touched a non-run file: %v", err)
+	}
+	if orphans := orphanRuns(t, dir); len(orphans) > 0 {
+		t.Errorf("completed run left %d orphan(s): %v", len(orphans), orphans)
+	}
+}

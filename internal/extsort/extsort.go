@@ -48,8 +48,30 @@ func (osFS) Create(name string) (io.WriteCloser, error) { return os.Create(name)
 func (osFS) Open(name string) (io.ReadCloser, error)    { return os.Open(name) }
 func (osFS) Remove(name string) error                   { return os.Remove(name) }
 
+// ReadDir lists the file names in dir; see DirLister.
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
 // OSFS returns the real filesystem.
 func OSFS() FS { return osFS{} }
+
+// DirLister is the optional FS extension that lists a directory's
+// files; the spill layer uses it to sweep orphaned run files left by a
+// crashed process. An FS without it simply skips the sweep.
+type DirLister interface {
+	ReadDir(dir string) ([]string, error)
+}
 
 // ErrCorrupt matches (via errors.Is) every way a run file can be bad:
 // missing or wrong magic, torn or bit-flipped records, truncation,
@@ -255,6 +277,28 @@ func (s *Sorter[T]) Merge() (*Iterator[T], []RunFile, error) {
 
 // Stats returns the spill counters accumulated so far.
 func (s *Sorter[T]) Stats() Stats { return s.stats }
+
+// Discard removes every run file the Sorter has written and drops the
+// buffered tail, releasing the sort's disk footprint. Call it when a
+// sort is abandoned before its runs were handed to a caller — an
+// interrupted or failed Add/Merge — so a canceled run leaves no
+// orphaned files behind. Safe after a sticky error and idempotent;
+// the Sorter must not be used afterwards. Returns the first removal
+// error, if any (the remaining files are still attempted).
+func (s *Sorter[T]) Discard() error {
+	var first error
+	for _, rf := range s.runs {
+		if err := s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, rf.Name)); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.runs = nil
+	s.buf = nil
+	if s.err == nil {
+		s.err = errors.New("extsort: sorter discarded")
+	}
+	return first
+}
 
 // MergeRuns opens previously written run files and k-way merges them —
 // the reuse path for fingerprinted runs surviving from an earlier

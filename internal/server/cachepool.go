@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/similarity"
+)
+
+// cachePool shares similarity memo caches across jobs. A cache's
+// value-pair entries are keyed by OD field *index*, so a cache is only
+// valid for runs of the same configuration — the pool therefore keys
+// by (config fingerprint, candidate name) and a job only ever receives
+// caches minted for its own config. Within that key, sharing across
+// jobs is safe and deterministic: every similarity Func is pure, so a
+// warm cache changes CPU time and hit counters, never results.
+//
+// Two bounds keep a long-lived daemon from accumulating state:
+//   - an LRU over (config, candidate) entries, for config churn;
+//   - per-cache rotation once the descendant-set intern table (the
+//     one unbounded layer inside a Cache) exceeds maxDescSets — the
+//     entry is replaced by a fresh cache, trading warmth for memory.
+type cachePool struct {
+	mu          sync.Mutex
+	maxEntries  int
+	maxDescSets int64
+	cacheSize   int
+	lru         *list.List // of *poolEntry, front = most recent
+	byKey       map[poolKey]*list.Element
+}
+
+type poolKey struct {
+	configFP  string
+	candidate string
+}
+
+type poolEntry struct {
+	key   poolKey
+	cache *similarity.Cache
+}
+
+func newCachePool(maxEntries, cacheSize int, maxDescSets int64) *cachePool {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	if maxDescSets <= 0 {
+		maxDescSets = 1 << 20
+	}
+	return &cachePool{
+		maxEntries:  maxEntries,
+		maxDescSets: maxDescSets,
+		cacheSize:   cacheSize,
+		lru:         list.New(),
+		byKey:       make(map[poolKey]*list.Element),
+	}
+}
+
+// providerFor returns the Options.SimCacheFor hook for one job: a
+// function handing each candidate the pooled cache for (configFP,
+// candidate). Concurrent jobs with the same config share cache
+// instances; similarity.Cache is concurrency-safe.
+func (p *cachePool) providerFor(configFP string) func(candidate string) *similarity.Cache {
+	return func(candidate string) *similarity.Cache {
+		return p.get(poolKey{configFP: configFP, candidate: candidate})
+	}
+}
+
+func (p *cachePool) get(key poolKey) *similarity.Cache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		ent := el.Value.(*poolEntry)
+		if ent.cache.Stats().DescSets > p.maxDescSets {
+			ent.cache = similarity.NewCache(p.cacheSize)
+		}
+		p.lru.MoveToFront(el)
+		return ent.cache
+	}
+	ent := &poolEntry{key: key, cache: similarity.NewCache(p.cacheSize)}
+	p.byKey[key] = p.lru.PushFront(ent)
+	for p.lru.Len() > p.maxEntries {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.byKey, oldest.Value.(*poolEntry).key)
+	}
+	return ent.cache
+}
+
+// len reports the live entry count (tests).
+func (p *cachePool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

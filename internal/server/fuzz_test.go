@@ -1,0 +1,60 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	sxnm "repro"
+)
+
+// FuzzJobConfigDecode throws arbitrary bytes at the admission path —
+// JSON decode, request validation, and config compilation — and
+// requires the daemon's contract: never panic, and reject with a typed
+// 4xx (every rejection carries a stable code and a 400-range status).
+func FuzzJobConfigDecode(f *testing.F) {
+	f.Add(`{"config_xml":"` + jsonEscape(testConfigXML) + `","document_xml":"<a/>"}`)
+	f.Add(`{"config_xml":"<sxnm-config/>","document_xml":"<a/>"}`)
+	f.Add(`{}`)
+	f.Add(`{"tenant":"../../etc","config_xml":"x","document_xml":"y"}`)
+	f.Add(`{"config_xml":"x","document_xml":"y","limits":{"timeout_ms":-1}}`)
+	f.Add(`{"config_xml":"x","document_xml":"y"}{"config_xml":"x","document_xml":"y"}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"config_xml":"<sxnm-config window=\"0\"><candidate name=\"m\" xpath=\"//m\"/></sxnm-config>","document_xml":"<a/>"}`)
+	f.Add("\x00\xff\xfe")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, apiErr := DecodeJobRequest(strings.NewReader(body))
+		if apiErr != nil {
+			if req != nil {
+				t.Fatal("rejected request returned non-nil")
+			}
+			if apiErr.Status < 400 || apiErr.Status >= 500 {
+				t.Fatalf("decode rejection status %d, want 4xx (code %s)", apiErr.Status, apiErr.Code)
+			}
+			if apiErr.Code == "" {
+				t.Fatal("decode rejection without a code")
+			}
+			return
+		}
+		if cfg, cerr := req.CompileConfig(); cerr != nil {
+			if cfg != nil {
+				t.Fatal("rejected config returned non-nil")
+			}
+			if cerr.Status < 400 || cerr.Status >= 500 || cerr.Code == "" {
+				t.Fatalf("config rejection %d/%q, want typed 4xx", cerr.Status, cerr.Code)
+			}
+		}
+		ceiling := sxnm.Limits{Timeout: time.Second, MaxDepth: 64, MaxNodes: 1 << 16, MaxComparisons: 1 << 16}
+		if _, lerr := effectiveLimits(req.Limits, sxnm.Limits{}, ceiling); lerr != nil {
+			if lerr.Status < 400 || lerr.Status >= 500 || lerr.Code == "" {
+				t.Fatalf("limits rejection %d/%q, want typed 4xx", lerr.Status, lerr.Code)
+			}
+		}
+	})
+}
+
+func jsonEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\t", `\t`)
+	return r.Replace(s)
+}

@@ -1,0 +1,390 @@
+// Package server is the sxnmd daemon core: a bounded job queue with
+// admission control in front of a worker pool running the SXNM engine,
+// built so that losing the process never loses work. Every admitted
+// job is spooled to disk before it is acknowledged; running jobs
+// checkpoint through the engine's crash-safe checkpoint machinery; a
+// drain (SIGTERM) interrupts in-flight jobs after their next
+// checkpoint and leaves both them and the queue on disk, where the
+// next daemon generation picks them up and finishes byte-identically.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	sxnm "repro"
+)
+
+// Config tunes a Server. The zero value is usable except for
+// SpoolDir, which is required.
+type Config struct {
+	// SpoolDir is the daemon's durable root; see the spool layout in
+	// spool.go. Required.
+	SpoolDir string
+
+	// QueueCap bounds the number of queued-but-not-running jobs; a
+	// submission beyond it is rejected 429 with Retry-After. Default 64.
+	QueueCap int
+	// Workers is the number of concurrent job executors. Default 2.
+	Workers int
+	// PerTenantJobs caps one tenant's queued+running jobs. Default 4.
+	PerTenantJobs int
+	// MaxBodyBytes bounds the POST /v1/jobs body. Default 8 MiB.
+	MaxBodyBytes int64
+
+	// DefaultLimits apply to jobs that do not set their own; MaxLimits
+	// is the per-job budget ceiling enforced at admission (zero fields
+	// are unbounded dimensions).
+	DefaultLimits sxnm.Limits
+	MaxLimits     sxnm.Limits
+
+	// MaxAttempts bounds how often one job is tried before a transient
+	// fault becomes permanent. Default 3. Typed corrupt/config faults
+	// and budget breaches never retry.
+	MaxAttempts int
+	// RetryBaseDelay seeds the exponential backoff between attempts
+	// (doubled per retry, ±50% jitter, capped at RetryMaxDelay).
+	// Defaults 100ms / 5s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
+	// Engine carries the base run options applied to every job
+	// (Parallel, PairWorkers, SimCache, SpillThresholdRows, ...).
+	// Observer, SpillDir, and SimCacheFor are per-job and overwritten.
+	Engine sxnm.Options
+
+	// CacheEntries / CacheMaxDescSets bound the shared similarity cache
+	// pool (see cachePool). Zero means defaults.
+	CacheEntries     int
+	CacheMaxDescSets int64
+
+	// CheckpointFS, when set, routes all checkpoint I/O through it —
+	// the fault-injection seam of the kill harness. Nil means the real
+	// filesystem.
+	CheckpointFS sxnm.CheckpointFS
+
+	// Runner, when set, replaces the engine invocation itself (tests
+	// inject faults and probes here). The default runs
+	// det.RunCheckpointedFSContext over the job's spooled checkpoint
+	// directory.
+	Runner func(ctx context.Context, det *sxnm.Detector, doc *sxnm.Document, fsys sxnm.CheckpointFS, ckptDir string) (*sxnm.Result, error)
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.QueueCap <= 0 {
+		out.QueueCap = 64
+	}
+	if out.Workers <= 0 {
+		out.Workers = 2
+	}
+	if out.PerTenantJobs <= 0 {
+		out.PerTenantJobs = 4
+	}
+	if out.MaxBodyBytes <= 0 {
+		out.MaxBodyBytes = 8 << 20
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if out.RetryBaseDelay <= 0 {
+		out.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if out.RetryMaxDelay <= 0 {
+		out.RetryMaxDelay = 5 * time.Second
+	}
+	if out.CheckpointFS == nil {
+		out.CheckpointFS = sxnm.OSCheckpointFS()
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Server is one daemon generation: it recovers the spool left by the
+// previous generation at construction, serves the job API, and on
+// Drain parks all unfinished work back into the spool.
+type Server struct {
+	cfg   Config
+	spool *spool
+	pool  *cachePool
+	Met   Metrics
+	agg   engineAgg
+
+	drainCtx    context.Context
+	cancelDrain context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	tenants  map[string]int // queued+running jobs per tenant
+	queue    chan *job
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server over cfg.SpoolDir, re-enqueues every unfinished
+// spooled job (oldest first), reloads finished outcomes for
+// queryability, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.SpoolDir == "" {
+		return nil, fmt.Errorf("server: Config.SpoolDir is required")
+	}
+	c := cfg.withDefaults()
+	sp, err := newSpool(c.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     c,
+		spool:   sp,
+		pool:    newCachePool(c.CacheEntries, c.Engine.SimCacheSize, c.CacheMaxDescSets),
+		jobs:    make(map[string]*job),
+		tenants: make(map[string]int),
+	}
+	s.drainCtx, s.cancelDrain = context.WithCancel(context.Background())
+
+	recovered, err := s.recover()
+	if err != nil {
+		return nil, err
+	}
+	// The queue channel must hold every recovered job plus a full
+	// admission window; admission enforces QueueCap itself, so the
+	// extra channel capacity is slack, not policy.
+	s.queue = make(chan *job, c.QueueCap+len(recovered))
+	for _, j := range recovered {
+		s.enqueueLocked(j)
+	}
+
+	for i := 0; i < c.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// recover replays the spool: finished jobs come back as queryable
+// terminal records, unfinished ones are revalidated and readied for
+// the queue (returned oldest first). A previously admitted job whose
+// request no longer validates is finished as failed rather than
+// crash-looping the daemon.
+func (s *Server) recover() ([]*job, error) {
+	recs, err := s.spool.scan()
+	if err != nil {
+		return nil, err
+	}
+	var pending []*job
+	for _, rec := range recs {
+		out, err := s.spool.loadOutcome(rec.ID)
+		if err != nil {
+			s.cfg.Logf("spool: job %s: unreadable outcome: %v", rec.ID, err)
+			continue
+		}
+		j := s.newJob(rec.ID, rec.Request, rec.Submitted)
+		if out != nil {
+			j.state = out.State
+			j.attempts = out.Attempts
+			j.finished = out.FinishedAt
+			j.result = out
+			if out.Error != nil {
+				j.errCode, j.errMsg = out.Error.Code, out.Error.Message
+			}
+			if out.Stats != nil {
+				j.lastSnap = *out.Stats
+			}
+			s.jobs[j.id] = j
+			continue
+		}
+		if apiErr := rec.Request.validate(); apiErr == nil {
+			_, apiErr = rec.Request.CompileConfig()
+			if apiErr == nil {
+				j.limits, apiErr = effectiveLimits(rec.Request.Limits, s.cfg.DefaultLimits, s.cfg.MaxLimits)
+			}
+			if apiErr != nil {
+				s.finishJob(j, StateFailed, apiErr, nil)
+				continue
+			}
+		} else {
+			s.finishJob(j, StateFailed, apiErr, nil)
+			continue
+		}
+		j.resumed = true
+		pending = append(pending, j)
+	}
+	if n := len(pending); n > 0 {
+		s.cfg.Logf("spool: resuming %d unfinished job(s)", n)
+	}
+	s.Met.JobsResumed.Add(int64(len(pending)))
+	return pending, nil
+}
+
+func (s *Server) newJob(id string, req *JobRequest, submitted time.Time) *job {
+	col := sxnm.NewCollector()
+	return &job{
+		id:        id,
+		req:       req,
+		submitted: submitted,
+		ob:        sxnm.NewObserver(col),
+		col:       col,
+		state:     StateQueued,
+	}
+}
+
+// Submit admits one validated request: config compiled, limits checked
+// against the budget ceiling, tenant and queue capacity enforced, the
+// job spooled durably, then enqueued. Every rejection is a typed
+// *apiError; Retry-After accompanies the capacity ones.
+func (s *Server) Submit(req *JobRequest) (*job, *apiError) {
+	if _, apiErr := req.CompileConfig(); apiErr != nil {
+		return nil, apiErr
+	}
+	limits, apiErr := effectiveLimits(req.Limits, s.cfg.DefaultLimits, s.cfg.MaxLimits)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, &apiError{Status: http.StatusServiceUnavailable, Code: "draining",
+			Message: "daemon is draining; submit to its successor", RetryAfter: 10 * time.Second}
+	}
+	if int(s.Met.QueueDepth.Load()) >= s.cfg.QueueCap {
+		s.Met.RejectsFull.Add(1)
+		s.mu.Unlock()
+		return nil, &apiError{Status: http.StatusTooManyRequests, Code: "queue-full",
+			Message: fmt.Sprintf("job queue is at capacity (%d)", s.cfg.QueueCap), RetryAfter: 5 * time.Second}
+	}
+	if s.tenants[req.Tenant] >= s.cfg.PerTenantJobs {
+		s.Met.RejectsTenant.Add(1)
+		s.mu.Unlock()
+		return nil, &apiError{Status: http.StatusTooManyRequests, Code: "tenant-busy",
+			Message: fmt.Sprintf("tenant %q already has %d active job(s)", req.Tenant, s.cfg.PerTenantJobs),
+			RetryAfter: 5 * time.Second}
+	}
+
+	j := s.newJob(newJobID(), req, time.Now().UTC())
+	j.limits = limits
+	if err := s.spool.admit(j); err != nil {
+		s.mu.Unlock()
+		s.cfg.Logf("spool: admitting %s: %v", j.id, err)
+		return nil, &apiError{Status: http.StatusInternalServerError, Code: "spool-error",
+			Message: "persisting the job failed; nothing was admitted"}
+	}
+	s.enqueueLocked(j)
+	s.Met.JobsAccepted.Add(1)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// enqueueLocked registers j and places it on the queue. Callers hold
+// s.mu, except New, which runs before any concurrency exists.
+func (s *Server) enqueueLocked(j *job) {
+	s.jobs[j.id] = j
+	s.tenants[j.req.Tenant]++
+	j.counted = true
+	s.Met.QueueDepth.Add(1)
+	s.queue <- j
+}
+
+// Job returns the in-memory record for id, or nil.
+func (s *Server) Job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Cancel flags the job; queued jobs finish as canceled immediately,
+// running ones are interrupted at their next cooperative poll and
+// finish as canceled with partial stats. Returns the job, whether the
+// call changed anything, or nil if the id is unknown.
+func (s *Server) Cancel(id string) (*job, bool) {
+	j := s.Job(id)
+	if j == nil {
+		return nil, false
+	}
+	st := j.requestCancel()
+	if st.Terminal() {
+		return j, false
+	}
+	if st == StateQueued {
+		// Finalize now; the worker that eventually pulls the job from
+		// the channel skips terminal jobs. The spool keeps the record
+		// with a canceled outcome.
+		s.finishJob(j, StateCanceled, &apiError{Code: "canceled", Message: "canceled before running"}, nil)
+	}
+	s.Met.JobsCanceled.Add(1)
+	return j, true
+}
+
+// Draining reports whether Drain has begun (readiness turns false).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully stops this generation: admission closes, running
+// jobs are interrupted (their progress checkpoints durably and they
+// return to queued on disk), queued jobs simply stay spooled, and the
+// worker pool exits. After Drain returns, the spool is a complete
+// to-do list for the next generation. ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.Met.Draining.Store(1)
+	s.mu.Unlock()
+
+	s.cancelDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// aggregateSnapshot sums the engine counters of finished jobs and all
+// currently live observers.
+func (s *Server) aggregateSnapshot() sxnm.MetricsSnapshot {
+	s.mu.Lock()
+	live := make([]sxnm.MetricsSnapshot, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		running := j.state == StateRunning
+		j.mu.Unlock()
+		if running {
+			live = append(live, j.ob.Metrics().Snapshot())
+		}
+	}
+	s.mu.Unlock()
+	return s.agg.total(live...)
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// time-derived id rather than refusing service.
+		return fmt.Sprintf("j-t%x", time.Now().UnixNano())
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// The spool is the daemon's durable state: one directory per job
+// holding the submission itself, the run's checkpoint and spill
+// state, and — once the job stops — its outcome and run report.
+//
+//	<spool>/<job-id>/
+//	    job.json      the submission (written atomically at admission)
+//	    checkpoint/   crash-safe engine checkpoint (RunCheckpointed)
+//	    spill/        external-sort run files, pinned to the checkpoint
+//	    outcome.json  terminal state + clusters + stats (absent ⇒ not finished)
+//	    report.json   per-candidate per-pass run report (all stop paths)
+//	    metrics.prom  final engine counters, Prometheus text format
+//
+// The invariant a restart relies on: a job directory with job.json
+// but no outcome.json is unfinished work and is re-enqueued; its
+// checkpoint directory carries whatever progress the previous
+// process made, so the resumed run continues instead of restarting.
+
+const (
+	spoolJobFile     = "job.json"
+	spoolOutcomeFile = "outcome.json"
+	spoolReportFile  = "report.json"
+	spoolMetricsFile = "metrics.prom"
+	spoolCkptDir     = "checkpoint"
+	spoolSpillDir    = "spill"
+)
+
+// spooledJob is the on-disk form of one admitted submission.
+type spooledJob struct {
+	ID        string      `json:"id"`
+	Submitted time.Time   `json:"submitted"`
+	Request   *JobRequest `json:"request"`
+}
+
+type spool struct {
+	root string
+}
+
+func newSpool(root string) (*spool, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating spool: %w", err)
+	}
+	return &spool{root: root}, nil
+}
+
+func (s *spool) jobDir(id string) string      { return filepath.Join(s.root, id) }
+func (s *spool) checkpointDir(id string) string { return filepath.Join(s.root, id, spoolCkptDir) }
+func (s *spool) spillDir(id string) string    { return filepath.Join(s.root, id, spoolSpillDir) }
+
+// admit persists a fresh submission. The job.json write is atomic
+// (tmp + rename), so a crash mid-admission leaves either a complete
+// record or a directory without job.json, which recovery skips.
+func (s *spool) admit(j *job) error {
+	dir := s.jobDir(j.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: spooling job %s: %w", j.id, err)
+	}
+	rec := spooledJob{ID: j.id, Submitted: j.submitted, Request: j.req}
+	return writeJSONAtomic(filepath.Join(dir, spoolJobFile), rec)
+}
+
+// finish records a terminal outcome. Jobs requeued by a drain never
+// reach here — the absence of outcome.json is what marks them
+// resumable.
+func (s *spool) finish(id string, out *Outcome) error {
+	return writeJSONAtomic(filepath.Join(s.jobDir(id), spoolOutcomeFile), out)
+}
+
+// remove deletes a job's spool directory (cancel of a queued job, or
+// administrative cleanup).
+func (s *spool) remove(id string) error {
+	return os.RemoveAll(s.jobDir(id))
+}
+
+// loadOutcome returns the terminal record, or nil if the job never
+// finished (the resumable case).
+func (s *spool) loadOutcome(id string) (*Outcome, error) {
+	raw, err := os.ReadFile(filepath.Join(s.jobDir(id), spoolOutcomeFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out Outcome
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("server: corrupt outcome for job %s: %w", id, err)
+	}
+	return &out, nil
+}
+
+// scan reads every spooled job, oldest submission first. Entries
+// without a readable job.json (crash mid-admission, stray files) are
+// skipped rather than failing startup.
+func (s *spool) scan() ([]*spooledJob, error) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("server: scanning spool: %w", err)
+	}
+	var jobs []*spooledJob
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(s.root, ent.Name(), spoolJobFile))
+		if err != nil {
+			continue
+		}
+		var rec spooledJob
+		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID != ent.Name() || rec.Request == nil {
+			continue
+		}
+		jobs = append(jobs, &rec)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if !jobs[i].Submitted.Equal(jobs[k].Submitted) {
+			return jobs[i].Submitted.Before(jobs[k].Submitted)
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	return jobs, nil
+}
+
+// writeJSONAtomic writes v as indented JSON via a temp file and
+// rename, so readers never observe a torn document.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	return writeFileAtomic(path, data)
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("server: writing %s: %w", filepath.Base(path), err)
+	}
+	_, werr := tmp.Write(data)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: writing %s: %w", filepath.Base(path), werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: writing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

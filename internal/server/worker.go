@@ -1,0 +1,355 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"time"
+
+	sxnm "repro"
+	"repro/internal/extsort"
+	"repro/internal/obs"
+	"repro/internal/runlimit"
+)
+
+// Fault taxonomy. Every attempt ends in exactly one class:
+//
+//	success      → done
+//	interruption → canceled (submitter asked), requeued (daemon is
+//	               draining; progress is checkpointed, the spool keeps
+//	               the job), or failed (the job burned its own budget)
+//	permanent    → failed immediately: invalid config/document, a
+//	               checkpoint for a different input, corrupt spill
+//	               state, or a contained panic — retrying cannot help
+//	transient    → retried with exponential backoff and jitter up to
+//	               MaxAttempts; the checkpoint written by the failed
+//	               attempt makes each retry incremental, not a redo
+//
+// permanentError wraps faults detected by the worker itself (parse
+// failures, panics) so classification stays a single errors.As test.
+type permanentError struct {
+	code string
+	err  error
+}
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func classifyPermanent(err error) (string, bool) {
+	var pe *permanentError
+	switch {
+	case errors.As(err, &pe):
+		return pe.code, true
+	case errors.Is(err, sxnm.ErrCheckpointMismatch):
+		return "checkpoint-mismatch", true
+	case errors.Is(err, extsort.ErrCorrupt):
+		return "corrupt-state", true
+	}
+	var panicErr *sxnm.PanicError
+	if errors.As(err, &panicErr) {
+		return "panic", true
+	}
+	return "", false
+}
+
+func budgetCode(err error) string {
+	var le *sxnm.LimitError
+	switch {
+	case errors.Is(err, sxnm.ErrDeadlineExceeded):
+		return "deadline-exceeded"
+	case errors.As(err, &le), errors.Is(err, sxnm.ErrLimitExceeded):
+		return "limit-exceeded"
+	default:
+		return "interrupted"
+	}
+}
+
+func (s *Server) worker(i int) {
+	defer s.wg.Done()
+	for {
+		// Drain has priority over the queue: a select with both
+		// channels ready picks randomly, and pulling a queued job after
+		// the drain started would run it against a dead context. Queued
+		// jobs must stay parked in the spool for the next generation.
+		select {
+		case <-s.drainCtx.Done():
+			return
+		default:
+		}
+		select {
+		case <-s.drainCtx.Done():
+			return
+		case j := <-s.queue:
+			s.Met.QueueDepth.Add(-1)
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job to a terminal state or back into the spool.
+func (s *Server) runJob(j *job) {
+	if s.drainCtx.Err() != nil {
+		// Drain won the race for this queue slot: don't start an
+		// attempt that is born interrupted. The job stays queued, its
+		// spool entry has no outcome, and the next generation resumes
+		// it — exactly as if it had never been dequeued.
+		return
+	}
+	ctx, cancel := context.WithCancel(s.drainCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state.Terminal() { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	alreadyCancelled := j.cancelled
+	j.mu.Unlock()
+	if alreadyCancelled {
+		s.finishJob(j, StateCanceled, &apiError{Code: "canceled", Message: "canceled before running"}, nil)
+		return
+	}
+	s.Met.RunningJobs.Add(1)
+	defer s.Met.RunningJobs.Add(-1)
+
+	for attempt := 1; ; attempt++ {
+		j.mu.Lock()
+		j.attempts++
+		total := j.attempts
+		j.mu.Unlock()
+
+		res, err := s.runAttempt(ctx, j)
+		switch {
+		case err == nil:
+			s.finishJob(j, StateDone, nil, res)
+			return
+
+		case runlimit.IsInterruption(err):
+			if j.isCancelled() {
+				s.finishJob(j, StateCanceled, &apiError{Code: "canceled", Message: err.Error()}, nil)
+				return
+			}
+			if s.drainCtx.Err() != nil {
+				s.requeueJob(j)
+				return
+			}
+			s.finishJob(j, StateFailed, &apiError{Code: budgetCode(err), Message: err.Error()}, nil)
+			return
+
+		default:
+			if code, ok := classifyPermanent(err); ok {
+				s.finishJob(j, StateFailed, &apiError{Code: code, Message: err.Error()}, nil)
+				return
+			}
+			if attempt >= s.cfg.MaxAttempts {
+				s.finishJob(j, StateFailed, &apiError{Code: "transient-exhausted",
+					Message: fmt.Sprintf("gave up after %d attempt(s): %v", total, err)}, nil)
+				return
+			}
+			s.Met.Retries.Add(1)
+			s.cfg.Logf("job %s: attempt %d failed transiently, retrying: %v", j.id, attempt, err)
+			if !s.sleepBackoff(ctx, attempt) {
+				if j.isCancelled() {
+					s.finishJob(j, StateCanceled, &apiError{Code: "canceled", Message: "canceled during retry backoff"}, nil)
+				} else {
+					s.requeueJob(j)
+				}
+				return
+			}
+		}
+	}
+}
+
+// runAttempt executes one engine run over the job's spooled checkpoint
+// directory, with panic containment: a panic anywhere in the engine is
+// recovered into a permanent fault on this job, never a daemon crash.
+func (s *Server) runAttempt(ctx context.Context, j *job) (res *sxnm.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.Met.PanicsContained.Add(1)
+			err = &permanentError{code: "panic", err: fmt.Errorf("contained worker panic: %v", r)}
+		}
+	}()
+
+	cfg, lerr := sxnm.LoadConfig(strings.NewReader(j.req.ConfigXML))
+	if lerr != nil {
+		return nil, &permanentError{code: "invalid-config", err: lerr}
+	}
+	opts := s.cfg.Engine
+	opts.Observer = j.ob
+	opts.Limits = j.limits
+	if opts.SpillThresholdRows > 0 {
+		opts.SpillDir = s.spool.spillDir(j.id)
+	}
+	if opts.SimCache {
+		if fp, ferr := sxnm.ConfigFingerprint(cfg); ferr == nil {
+			opts.SimCacheFor = s.pool.providerFor(fp)
+		}
+	}
+	det, derr := sxnm.NewWithOptions(cfg, opts)
+	if derr != nil {
+		return nil, &permanentError{code: "invalid-config", err: derr}
+	}
+	doc, perr := sxnm.ParseXMLWithLimits(strings.NewReader(j.req.DocumentXML), j.limits)
+	if perr != nil {
+		if runlimit.IsInterruption(perr) {
+			return nil, perr // parse-time depth/node budget breach
+		}
+		return nil, &permanentError{code: "invalid-document", err: perr}
+	}
+	runner := s.cfg.Runner
+	if runner == nil {
+		runner = defaultRunner
+	}
+	return runner(ctx, det, doc, s.cfg.CheckpointFS, s.spool.checkpointDir(j.id))
+}
+
+func defaultRunner(ctx context.Context, det *sxnm.Detector, doc *sxnm.Document, fsys sxnm.CheckpointFS, ckptDir string) (*sxnm.Result, error) {
+	return det.RunCheckpointedFSContext(ctx, doc, fsys, ckptDir)
+}
+
+// sleepBackoff waits base·2^(attempt-1) with ±50% jitter, capped at
+// RetryMaxDelay. Returns false when the wait was interrupted by drain
+// or cancel.
+func (s *Server) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := s.cfg.RetryBaseDelay << (attempt - 1)
+	if d > s.cfg.RetryMaxDelay || d <= 0 {
+		d = s.cfg.RetryMaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // [d/2, 3d/2)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// finishJob records a terminal state: outcome.json (durable terminal
+// marker), report.json and metrics.prom (satellite observability —
+// written on every stop path, not just success), the engine-counter
+// aggregate, and the tenant slot release. The durable records are
+// written BEFORE the in-memory state flips terminal, so anyone who
+// observes a terminal job finds its spool complete; the finalized
+// flag makes racing finishes (cancel-of-queued vs. worker pickup)
+// exactly-once.
+func (s *Server) finishJob(j *job, state JobState, apiErr *apiError, res *sxnm.Result) {
+	snap := j.ob.Metrics().Snapshot()
+	out := &Outcome{
+		State:      state,
+		FinishedAt: time.Now().UTC(),
+	}
+	if snap != (obs.Snapshot{}) {
+		out.Stats = &snap
+	}
+	if apiErr != nil {
+		out.Error = &apiErrorJSON{Code: apiErr.Code, Message: apiErr.Message}
+	}
+	if state == StateDone && res != nil {
+		out.Summary = summaryOf(res)
+		out.Clusters = clustersOf(res)
+	}
+
+	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	out.Attempts = j.attempts
+	j.mu.Unlock()
+
+	if err := s.spool.finish(j.id, out); err != nil {
+		s.cfg.Logf("job %s: writing outcome: %v", j.id, err)
+	}
+	s.writeReports(j, snap)
+	s.agg.add(snap)
+
+	j.mu.Lock()
+	j.state = state
+	j.finished = out.FinishedAt
+	if apiErr != nil {
+		j.errCode, j.errMsg = apiErr.Code, apiErr.Message
+	}
+	j.lastSnap = snap
+	j.result = out
+	j.cancel = nil
+	j.mu.Unlock()
+	s.releaseTenant(j)
+	switch state {
+	case StateDone:
+		s.Met.JobsDone.Add(1)
+	case StateFailed:
+		s.Met.JobsFailed.Add(1)
+	}
+
+	s.mu.Lock()
+	if _, ok := s.jobs[j.id]; !ok {
+		s.jobs[j.id] = j // recovery-path finishes register here
+	}
+	s.mu.Unlock()
+}
+
+// requeueJob parks an interrupted in-flight job back in the spool
+// during a drain. No outcome.json is written — its absence is the
+// resumable marker — but the run report and metrics of the partial
+// attempt are (satellite: outputs on drain, not just completion).
+func (s *Server) requeueJob(j *job) {
+	snap := j.ob.Metrics().Snapshot()
+	j.mu.Lock()
+	j.state = StateQueued
+	j.lastSnap = snap
+	j.cancel = nil
+	j.mu.Unlock()
+	s.writeReports(j, snap)
+	s.agg.add(snap)
+	s.Met.JobsRequeued.Add(1)
+	s.cfg.Logf("job %s: checkpointed and requeued by drain", j.id)
+}
+
+// releaseTenant frees the job's admission-control slot exactly once.
+func (s *Server) releaseTenant(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.mu.Lock()
+	counted := j.counted
+	j.counted = false
+	j.mu.Unlock()
+	if counted {
+		if n := s.tenants[j.req.Tenant]; n <= 1 {
+			delete(s.tenants, j.req.Tenant)
+		} else {
+			s.tenants[j.req.Tenant] = n - 1
+		}
+	}
+}
+
+// writeReports persists the job's run report and final engine counters
+// next to its spooled state, atomically.
+func (s *Server) writeReports(j *job, snap obs.Snapshot) {
+	dir := s.spool.jobDir(j.id)
+	rep := j.col.Report(j.ob.Metrics())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err == nil {
+		if err := writeFileAtomic(filepath.Join(dir, spoolReportFile), buf.Bytes()); err != nil {
+			s.cfg.Logf("job %s: writing report: %v", j.id, err)
+		}
+	} else {
+		s.cfg.Logf("job %s: rendering report: %v", j.id, err)
+	}
+	buf.Reset()
+	if err := snap.WritePrometheus(&buf); err == nil {
+		if err := writeFileAtomic(filepath.Join(dir, spoolMetricsFile), buf.Bytes()); err != nil {
+			s.cfg.Logf("job %s: writing metrics: %v", j.id, err)
+		}
+	}
+}
