@@ -7,7 +7,7 @@ GO       ?= go
 FUZZTIME ?= 10s
 BENCHN   ?= 1000
 
-.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke
+.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke daemon-multi
 
 check: vet build test smallspill bench-overhead fuzz-short
 
@@ -69,9 +69,19 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzMergeInvariants -fuzztime $(FUZZTIME) ./internal/extsort
 	$(GO) test -run '^$$' -fuzz FuzzSpillRowCodec -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzJobConfigDecode -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzLeaseDecode -fuzztime $(FUZZTIME) ./internal/server
 
 # The daemon lifecycle end to end: start sxnmd in-process, submit over
 # HTTP, SIGTERM it mid-run, assert a clean drain, restart over the same
 # spool, and assert the job resumes and finishes.
 daemon-smoke:
 	$(GO) test -race -run 'TestDaemonSmoke' -count=1 -v ./cmd/sxnmd
+
+# The multi-daemon differential, exhaustive: two daemons share a spool;
+# daemon A is killed at EVERY durable I/O step (admission, lease claim,
+# heartbeat, checkpoint, outcome) and also live-stalled mid-run; daemon
+# B must take its jobs over and finish byte-identically to an
+# uninterrupted run, while the fenced zombie writes nothing.
+daemon-multi:
+	DAEMON_MULTI_EXHAUSTIVE=1 $(GO) test -race -count=1 -v \
+		-run 'TestTwoDaemonTakeoverDifferential|TestTakeoverKilledAtEveryStep' ./internal/server

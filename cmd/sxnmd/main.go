@@ -27,10 +27,22 @@
 //     the daemon keeps serving.
 //   - Graceful drain: SIGTERM (or SIGINT) stops admission (/readyz
 //     turns 503), interrupts in-flight jobs after their next durable
-//     checkpoint, and exits once everything is parked in the spool.
-//     The next sxnmd over the same -spool resumes queued and
-//     in-flight jobs alike, completing them byte-identically to an
-//     uninterrupted run.
+//     checkpoint, releases their leases, and exits once everything is
+//     parked in the spool. The next sxnmd over the same -spool resumes
+//     queued and in-flight jobs alike, completing them byte-identically
+//     to an uninterrupted run.
+//   - Shared spool: several sxnmd processes may point at one -spool.
+//     Per-job lease files (-lease-ttl, -spool-owner) arbitrate
+//     ownership; a daemon that dies without draining loses its jobs to
+//     the survivors one TTL later, and they resume from its last
+//     checkpoint. A stale owner that comes back fences itself off the
+//     spool instead of double-writing.
+//   - Spool lifecycle: terminal jobs are garbage-collected after
+//     -gc-ttl; corrupt spool entries are moved into .quarantine/ with a
+//     typed reason instead of crashing the daemon; -min-free-bytes (or
+//     a live ENOSPC) closes admission with 507 + Retry-After until
+//     space returns; -tenant-rps adds a per-tenant submission rate
+//     limit on top of the concurrency caps.
 //
 // Exit codes: 0 = clean drain, 1 = startup or serve error.
 package main
@@ -76,6 +88,13 @@ func run(args []string, ready chan<- string) error {
 		retryMax   = fs.Duration("retry-max", 5*time.Second, "retry backoff ceiling")
 		drainWait  = fs.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs to checkpoint on shutdown")
 
+		spoolOwner  = fs.String("spool-owner", "", "this daemon's lease owner id (default host-pid-random; pin it to reclaim your own leases instantly after a restart)")
+		leaseTTL    = fs.Duration("lease-ttl", 15*time.Second, "lease lifetime beyond the last heartbeat; a daemon silent this long loses its jobs to takeover")
+		gcTTL       = fs.Duration("gc-ttl", 0, "remove terminal jobs from the spool this long after they finish (0 = keep forever)")
+		tenantRPS   = fs.Float64("tenant-rps", 0, "per-tenant submission rate limit in jobs/second (0 = unlimited)")
+		tenantBurst = fs.Int("tenant-burst", 0, "per-tenant submission burst size (0 = max(1, ceil(tenant-rps)))")
+		minFree     = fs.Int64("min-free-bytes", 0, "reject submissions 507 while the spool filesystem has less free space than this (0 = ENOSPC detection only)")
+
 		defTimeout = fs.Duration("default-timeout", 0, "default per-job wall-clock budget (0 = unlimited)")
 		maxTimeout = fs.Duration("max-timeout", 0, "per-job wall-clock ceiling jobs may not exceed (0 = unbounded)")
 		maxDepth   = fs.Int("max-depth", 0, "per-job document depth ceiling (0 = unbounded)")
@@ -97,6 +116,12 @@ func run(args []string, ready chan<- string) error {
 	logger := log.New(os.Stderr, "sxnmd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
 		SpoolDir:       *spoolDir,
+		OwnerID:        *spoolOwner,
+		LeaseTTL:       *leaseTTL,
+		GCTTL:          *gcTTL,
+		TenantRPS:      *tenantRPS,
+		TenantBurst:    *tenantBurst,
+		MinFreeBytes:   *minFree,
 		QueueCap:       *queueCap,
 		Workers:        *workers,
 		PerTenantJobs:  *tenantJobs,

@@ -2,7 +2,7 @@
 // layer: it wraps a real checkpoint.FS and simulates a process crash
 // at any chosen I/O step. Each mutating operation — directory
 // creation, temp-file creation, every write, fsync, close, rename,
-// directory sync, and removal — counts as one step; when the
+// hard link, directory sync, and removal — counts as one step; when the
 // configured step is reached the operation fails with ErrCrash and
 // every subsequent operation fails too, exactly as if the process had
 // died there. Optionally the crashing step, when it is a write, first
@@ -111,6 +111,20 @@ func (f *FS) Remove(name string) error {
 		return ErrCrash
 	}
 	return f.inner.Remove(name)
+}
+
+func (f *FS) RemoveAll(path string) error {
+	if dead, _ := f.begin(); dead {
+		return ErrCrash
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FS) Link(oldname, newname string) error {
+	if dead, _ := f.begin(); dead {
+		return ErrCrash
+	}
+	return f.inner.Link(oldname, newname)
 }
 
 func (f *FS) SyncDir(dir string) error {

@@ -23,6 +23,13 @@ type FS interface {
 	// Remove deletes a file (used only for best-effort cleanup of
 	// superseded sections; a crash here is harmless).
 	Remove(name string) error
+	// RemoveAll deletes a whole directory tree (spool garbage
+	// collection and quarantine cleanup).
+	RemoveAll(path string) error
+	// Link creates newname as a hard link to oldname, failing if
+	// newname already exists — the exclusive-create primitive the
+	// spool's lease protocol uses for mutual exclusion.
+	Link(oldname, newname string) error
 	// SyncDir flushes the directory entry metadata so a completed
 	// rename survives power loss.
 	SyncDir(dir string) error
@@ -56,6 +63,10 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) Link(oldname, newname string) error { return os.Link(oldname, newname) }
 
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(filepath.Clean(dir))

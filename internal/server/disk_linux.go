@@ -1,0 +1,15 @@
+//go:build linux
+
+package server
+
+import "syscall"
+
+// osFreeBytes reports the free bytes available to unprivileged
+// writers on the filesystem holding dir.
+func osFreeBytes(dir string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return st.Bavail * uint64(st.Bsize), nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package server
+
+import "errors"
+
+// osFreeBytes is unavailable off Linux; the threshold check is
+// skipped and disk pressure is detected from ENOSPC + write probes
+// alone.
+func osFreeBytes(dir string) (uint64, error) {
+	return 0, errors.New("server: free-space probe unsupported on this platform")
+}

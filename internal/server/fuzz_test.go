@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -57,4 +58,47 @@ func FuzzJobConfigDecode(f *testing.F) {
 func jsonEscape(s string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\t", `\t`)
 	return r.Replace(s)
+}
+
+// FuzzLeaseDecode throws arbitrary bytes at the lease codec — the file
+// every daemon sharing a spool trusts for mutual exclusion. Contract:
+// never panic; anything that is not a complete well-formed record is
+// the typed errLeaseCorrupt (which takeover treats as expired); and an
+// accepted record survives an encode/decode round trip unchanged, so
+// two daemons can never read the same lease bytes differently.
+func FuzzLeaseDecode(f *testing.F) {
+	f.Add([]byte(`{"job":"j-1","owner":"host-1-ab","epoch":1,"heartbeat":"2026-08-08T00:00:00Z"}`))
+	f.Add([]byte(`{"job":"j-1","owner":"a","epoch":3,"heartbeat":"2026-08-08T00:00:00Z","released":true}`))
+	f.Add(encodeLease(&leaseRecord{Job: "j", Owner: "o", Epoch: 9, Heartbeat: time.Date(2026, 8, 8, 1, 2, 3, 0, time.UTC)}))
+	f.Add([]byte(`{"job":"j","owner":"a","ep`)) // torn write
+	f.Add([]byte(`{"job":"j","owner":"","epoch":1,"heartbeat":"2026-08-08T00:00:00Z"}`))
+	f.Add([]byte(`{"job":"j","owner":"a","epoch":0,"heartbeat":"2026-08-08T00:00:00Z"}`))
+	f.Add([]byte(`{"job":"j","owner":"a","epoch":1}`))
+	f.Add([]byte(`{}{}`))
+	f.Add([]byte(nil))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rec, err := decodeLease(raw)
+		if err != nil {
+			if rec != nil {
+				t.Fatal("rejected lease returned non-nil")
+			}
+			if !errors.Is(err, errLeaseCorrupt) {
+				t.Fatalf("lease rejection %v is not errLeaseCorrupt", err)
+			}
+			return
+		}
+		if rec.Owner == "" || len(rec.Owner) > 256 || rec.Epoch < 1 || rec.Heartbeat.IsZero() {
+			t.Fatalf("decode accepted an invalid record: %+v", rec)
+		}
+		back, err := decodeLease(encodeLease(rec))
+		if err != nil {
+			t.Fatalf("re-encoded lease does not decode: %v", err)
+		}
+		if back.Job != rec.Job || back.Owner != rec.Owner || back.Epoch != rec.Epoch ||
+			!back.Heartbeat.Equal(rec.Heartbeat) || back.Released != rec.Released {
+			t.Fatalf("lease round trip drifted: %+v vs %+v", rec, back)
+		}
+	})
 }

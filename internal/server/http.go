@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"time"
 
@@ -167,15 +168,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeAPIError(w http.ResponseWriter, e *apiError) {
 	if e.RetryAfter > 0 {
-		secs := int(e.RetryAfter / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(e.RetryAfter)))
 	}
 	status := e.Status
 	if status == 0 {
 		status = http.StatusInternalServerError
 	}
 	writeJSON(w, status, map[string]any{"error": apiErrorJSON{Code: e.Code, Message: e.Message}})
+}
+
+// retryAfterSeconds converts a backpressure hint to whole seconds with
+// bounded jitter (up to +25%, at least +0..1s): a fleet of clients
+// rejected in the same instant must not all come back in the same
+// instant. The result is always ≥ 1 and ≤ ceil(1.25·d)+1 seconds.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs + rand.Intn(secs/4+2)
 }

@@ -225,6 +225,8 @@ type job struct {
 	finished  time.Time
 	errCode   string
 	errMsg    string
+	epoch     int64 // lease fencing token (0 ⇒ constructed without a lease)
+	fenced    bool  // lease lost to a takeover; no spool writes allowed
 	resumed   bool // re-enqueued from the spool by a restart
 	cancelled bool // DELETE received
 	counted   bool // holds a tenant-accounting slot (set at enqueue)

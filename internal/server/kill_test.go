@@ -72,7 +72,7 @@ func TestDaemonKilledAtEveryStep(t *testing.T) {
 	for _, torn := range []bool{false, true} {
 		for n := 1; n <= steps; n++ {
 			spoolDir := t.TempDir()
-			sp, err := newSpool(spoolDir)
+			sp, err := newSpool(spoolDir, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -150,7 +150,7 @@ func TestRestartChecksCheckpointIdentity(t *testing.T) {
 	}
 
 	spoolDir := t.TempDir()
-	sp, err := newSpool(spoolDir)
+	sp, err := newSpool(spoolDir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Lease protocol. The spool is shared state: N daemons may point at
+// the same directory, and each unfinished job must have at most one
+// owner at a time or two engines would race over one checkpoint
+// directory. Ownership is a per-job lease file,
+//
+//	<spool>/<job-id>/lease.json
+//	    {"job":"j-…","owner":"host-1234-ab12","epoch":3,
+//	     "heartbeat":"2026-08-08T…Z","released":false}
+//
+// with three moving parts:
+//
+//   - Acquisition is exclusive-create via hard link: the contender
+//     writes a unique temp file and links it to lease.json. link(2)
+//     fails if the target exists, so exactly one contender wins even
+//     across processes and NFS-style shared mounts.
+//   - Renewal is the owner's heartbeat: re-read the lease, verify
+//     (owner, epoch) still match, rewrite with a fresh timestamp via
+//     the atomic tmp+rename. A lease whose heartbeat is older than
+//     the TTL is dead capital: any daemon's reaper may take it over.
+//   - Takeover bumps the epoch — the fencing token. The reaper
+//     renames the stale lease aside (rename is atomic, so exactly one
+//     reaper wins), confirms the renamed file is still the stale
+//     lease it observed, then claims with epoch+1. A stale owner that
+//     wakes up later re-reads the lease before every durable
+//     mutation, sees an (owner, epoch) it does not hold, and fences
+//     itself off: it abandons the job without writing.
+//
+// The safety argument is the standard lease one: a verify-then-write
+// still races a concurrent takeover in the instant between the two,
+// so correctness additionally assumes owners heartbeat at TTL/3 and
+// reapers only move after a full TTL of silence — an owner would have
+// to stall for ⅔·TTL between its own verify and write to lose the
+// race. Crash-consistency of the lease file itself needs no such
+// assumption: a torn lease decodes as corrupt, and a corrupt lease is
+// treated exactly like an expired one (takeover, epoch restarts at 1;
+// the ownership change alone fences the previous holder).
+
+const spoolLeaseFile = "lease.json"
+
+// leaseRecord is the on-disk lease.
+type leaseRecord struct {
+	Job       string    `json:"job"`
+	Owner     string    `json:"owner"`
+	Epoch     int64     `json:"epoch"`
+	Heartbeat time.Time `json:"heartbeat"`
+	Released  bool      `json:"released,omitempty"`
+}
+
+// Expired reports whether the lease's owner has been silent for
+// longer than ttl as of now.
+func (l *leaseRecord) Expired(now time.Time, ttl time.Duration) bool {
+	return now.Sub(l.Heartbeat) > ttl
+}
+
+// Typed lease outcomes. errLeaseHeld is the benign "someone else owns
+// it" result a reaper skips past; errLeaseFenced means OUR claimed
+// (owner, epoch) no longer matches the file — the caller must abandon
+// the job without mutating the spool.
+var (
+	errLeaseHeld    = errors.New("server: lease held by another owner")
+	errLeaseFenced  = errors.New("server: lease fenced (owner or epoch superseded)")
+	errLeaseCorrupt = errors.New("server: corrupt lease record")
+)
+
+// encodeLease renders the canonical lease bytes.
+func encodeLease(rec *leaseRecord) []byte {
+	data, _ := json.Marshal(rec) // no unmarshalable fields; cannot fail
+	return append(data, '\n')
+}
+
+// decodeLease parses and validates one lease file. Anything that is
+// not a complete, well-formed record — torn writes included — is a
+// typed errLeaseCorrupt, which takeover treats like an expired lease.
+func decodeLease(raw []byte) (*leaseRecord, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var rec leaseRecord
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%w: %v", errLeaseCorrupt, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data", errLeaseCorrupt)
+	}
+	if rec.Owner == "" || len(rec.Owner) > 256 {
+		return nil, fmt.Errorf("%w: missing or oversized owner", errLeaseCorrupt)
+	}
+	if rec.Epoch < 1 {
+		return nil, fmt.Errorf("%w: epoch %d < 1", errLeaseCorrupt, rec.Epoch)
+	}
+	if rec.Heartbeat.IsZero() {
+		return nil, fmt.Errorf("%w: zero heartbeat", errLeaseCorrupt)
+	}
+	return &rec, nil
+}
+
+func (s *spool) leasePath(id string) string {
+	return filepath.Join(s.jobDir(id), spoolLeaseFile)
+}
+
+// loadLease reads a job's lease: (nil, nil) when no lease exists,
+// errLeaseCorrupt when one exists but does not decode.
+func (s *spool) loadLease(id string) (*leaseRecord, error) {
+	raw, err := os.ReadFile(s.leasePath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeLease(raw)
+}
+
+// writeLeaseTemp persists the encoded lease to a unique temp file in
+// the job directory and returns its path.
+func (s *spool) writeLeaseTemp(id string, rec *leaseRecord) (string, error) {
+	tmp, err := s.fsys.CreateTemp(s.jobDir(id), spoolLeaseFile+".tmp*")
+	if err != nil {
+		return "", err
+	}
+	_, werr := tmp.Write(encodeLease(rec))
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.fsys.Remove(tmp.Name())
+		return "", werr
+	}
+	return tmp.Name(), nil
+}
+
+// claimLease acquires an UNLEASED job exclusively: temp write + hard
+// link. errLeaseHeld when a racer got there first.
+func (s *spool) claimLease(id, owner string, epoch int64, now time.Time) error {
+	tmp, err := s.writeLeaseTemp(id, &leaseRecord{Job: id, Owner: owner, Epoch: epoch, Heartbeat: now})
+	if err != nil {
+		return fmt.Errorf("server: claiming lease for %s: %w", id, err)
+	}
+	defer s.fsys.Remove(tmp)
+	if err := s.fsys.Link(tmp, s.leasePath(id)); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return errLeaseHeld
+		}
+		return fmt.Errorf("server: claiming lease for %s: %w", id, err)
+	}
+	return s.fsys.SyncDir(s.jobDir(id))
+}
+
+// renewLease is the owner-only heartbeat (and, with released set, the
+// clean hand-off a drain performs): verify we still hold the lease,
+// then atomically rewrite it with a fresh timestamp. errLeaseFenced
+// when ownership moved — the caller must stop touching this job.
+func (s *spool) renewLease(id, owner string, epoch int64, now time.Time, released bool) error {
+	cur, err := s.loadLease(id)
+	if err != nil || cur == nil || cur.Owner != owner || cur.Epoch != epoch {
+		return errLeaseFenced
+	}
+	tmp, err := s.writeLeaseTemp(id, &leaseRecord{Job: id, Owner: owner, Epoch: epoch, Heartbeat: now, Released: released})
+	if err != nil {
+		return fmt.Errorf("server: renewing lease for %s: %w", id, err)
+	}
+	if err := s.fsys.Rename(tmp, s.leasePath(id)); err != nil {
+		s.fsys.Remove(tmp)
+		return fmt.Errorf("server: renewing lease for %s: %w", id, err)
+	}
+	return s.fsys.SyncDir(s.jobDir(id))
+}
+
+// verifyLease checks that (owner, epoch) still hold the job. Called
+// before every durable mutation; errLeaseFenced means a takeover
+// happened and this daemon must not write.
+func (s *spool) verifyLease(id, owner string, epoch int64) error {
+	cur, err := s.loadLease(id)
+	if err != nil || cur == nil || cur.Owner != owner || cur.Epoch != epoch {
+		return errLeaseFenced
+	}
+	return nil
+}
+
+// removeLease drops the lease of a job that reached a terminal state;
+// terminal jobs are identified by outcome.json, never by lease.
+func (s *spool) removeLease(id string) {
+	s.fsys.Remove(s.leasePath(id))
+}
+
+// takeoverLease claims a job whose lease is absent, released,
+// expired, or corrupt, and returns the new epoch. errLeaseHeld means
+// the lease is live (or a racing reaper won) — skip and rescan later.
+//
+// A non-expired lease held by the SAME owner id is also claimable: a
+// restarted daemon with a pinned -spool-owner is the only legitimate
+// holder of its own id, so waiting out its previous incarnation's TTL
+// would be dead time (the epoch still bumps, fencing the ghost).
+func (s *spool) takeoverLease(id, owner string, now time.Time, ttl time.Duration) (int64, error) {
+	cur, err := s.loadLease(id)
+	corrupt := err != nil && errors.Is(err, errLeaseCorrupt)
+	if err != nil && !corrupt {
+		return 0, err
+	}
+	if cur == nil && !corrupt {
+		// Never leased (a pre-lease spool, or a crash between admission
+		// and claim): fresh claim at epoch 1.
+		if err := s.claimLease(id, owner, 1, now); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	if !corrupt && !cur.Released && !cur.Expired(now, ttl) && cur.Owner != owner {
+		return 0, errLeaseHeld
+	}
+
+	// Move the stale lease aside. Rename is atomic, so of all racing
+	// reapers exactly one owns the .reap file; the rest get ENOENT.
+	reap := s.leasePath(id) + ".reap-" + randSuffix()
+	if err := s.fsys.Rename(s.leasePath(id), reap); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, errLeaseHeld
+		}
+		return 0, err
+	}
+	// Confirm we reaped the lease we observed, not one a faster reaper
+	// installed between our read and our rename. A decodable reap that
+	// differs from what we saw is someone else's fresh lease: put it
+	// back (exclusive link — if yet another claim landed in the gap,
+	// the displaced owner fences itself at its next verify) and yield.
+	// An undecodable reap stays claimable either way.
+	if raw, rerr := os.ReadFile(reap); rerr == nil {
+		if got, derr := decodeLease(raw); derr == nil {
+			stillOurs := !corrupt && cur != nil && got.Owner == cur.Owner && got.Epoch == cur.Epoch
+			if !stillOurs {
+				s.fsys.Link(reap, s.leasePath(id))
+				s.fsys.Remove(reap)
+				return 0, errLeaseHeld
+			}
+		}
+	}
+	epoch := int64(1)
+	if !corrupt && cur != nil {
+		epoch = cur.Epoch + 1
+	}
+	if err := s.claimLease(id, owner, epoch, now); err != nil {
+		s.fsys.Remove(reap)
+		return 0, err
+	}
+	s.fsys.Remove(reap)
+	return epoch, nil
+}
+
+// sweepLeaseDebris removes leftover .reap-/.tmp lease files a crashed
+// takeover or renewal left in a job directory, once they are older
+// than the TTL (so an in-flight takeover is never swept).
+func (s *spool) sweepLeaseDebris(id string, now time.Time, ttl time.Duration) {
+	ents, err := os.ReadDir(s.jobDir(id))
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, spoolLeaseFile+".") {
+			continue
+		}
+		if info, err := ent.Info(); err == nil && now.Sub(info.ModTime()) > ttl {
+			s.fsys.Remove(filepath.Join(s.jobDir(id), name))
+		}
+	}
+}
+
+func randSuffix() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/checkpoint/faultfs"
+)
+
+// Unit coverage for the lease protocol — the primitive the multi-daemon
+// differential (daemon_multi_test.go) composes. Every property proven
+// here is one the takeover harness relies on.
+
+func leaseSpool(t *testing.T) *spool {
+	t.Helper()
+	sp, err := newSpool(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func mkJobDir(t *testing.T, sp *spool, id string) {
+	t.Helper()
+	if err := sp.fsys.MkdirAll(sp.jobDir(id)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseCodec(t *testing.T) {
+	now := time.Now().UTC().Truncate(time.Second)
+	rec := &leaseRecord{Job: "j-1", Owner: "a-1", Epoch: 3, Heartbeat: now, Released: true}
+	got, err := decodeLease(encodeLease(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Job != rec.Job || got.Owner != rec.Owner || got.Epoch != rec.Epoch ||
+		!got.Heartbeat.Equal(rec.Heartbeat) || !got.Released {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+
+	full := encodeLease(rec)
+	bad := [][]byte{
+		nil,
+		[]byte("{"),
+		full[:len(full)/2], // torn write
+		append(append([]byte{}, full...), []byte(`{"job":"x"}`)...), // trailing data
+		[]byte(`{"job":"j","owner":"","epoch":1,"heartbeat":"2026-01-01T00:00:00Z"}`),
+		[]byte(`{"job":"j","owner":"a","epoch":0,"heartbeat":"2026-01-01T00:00:00Z"}`),
+		[]byte(`{"job":"j","owner":"a","epoch":1}`), // zero heartbeat
+		[]byte(`{"job":"j","owner":"a","epoch":1,"heartbeat":"2026-01-01T00:00:00Z","extra":1}`),
+	}
+	for i, raw := range bad {
+		if _, err := decodeLease(raw); !errors.Is(err, errLeaseCorrupt) {
+			t.Errorf("case %d: decodeLease(%q) = %v, want errLeaseCorrupt", i, raw, err)
+		}
+	}
+}
+
+func TestLeaseClaimIsExclusive(t *testing.T) {
+	sp := leaseSpool(t)
+	mkJobDir(t, sp, "j-1")
+	now := time.Now().UTC()
+	if err := sp.claimLease("j-1", "a", 1, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.claimLease("j-1", "b", 1, now); !errors.Is(err, errLeaseHeld) {
+		t.Fatalf("second claim = %v, want errLeaseHeld", err)
+	}
+	lease, err := sp.loadLease("j-1")
+	if err != nil || lease == nil || lease.Owner != "a" || lease.Epoch != 1 {
+		t.Fatalf("lease after racing claims: %+v, %v", lease, err)
+	}
+}
+
+func TestLeaseRenewVerifyAndFence(t *testing.T) {
+	sp := leaseSpool(t)
+	mkJobDir(t, sp, "j-1")
+	t0 := time.Now().UTC().Add(-time.Minute)
+	if err := sp.claimLease("j-1", "a", 1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.verifyLease("j-1", "a", 1); err != nil {
+		t.Fatalf("owner fails its own verify: %v", err)
+	}
+	t1 := time.Now().UTC()
+	if err := sp.renewLease("j-1", "a", 1, t1, false); err != nil {
+		t.Fatal(err)
+	}
+	lease, _ := sp.loadLease("j-1")
+	if lease == nil || !lease.Heartbeat.Equal(t1) {
+		t.Fatalf("renewal did not refresh the heartbeat: %+v", lease)
+	}
+	// Anyone whose (owner, epoch) does not match is fenced.
+	if err := sp.renewLease("j-1", "b", 1, t1, false); !errors.Is(err, errLeaseFenced) {
+		t.Fatalf("foreign renew = %v, want errLeaseFenced", err)
+	}
+	if err := sp.renewLease("j-1", "a", 2, t1, false); !errors.Is(err, errLeaseFenced) {
+		t.Fatalf("wrong-epoch renew = %v, want errLeaseFenced", err)
+	}
+	if err := sp.verifyLease("j-1", "b", 1); !errors.Is(err, errLeaseFenced) {
+		t.Fatalf("foreign verify = %v, want errLeaseFenced", err)
+	}
+}
+
+func TestLeaseTakeover(t *testing.T) {
+	ttl := time.Minute
+	now := time.Now().UTC()
+
+	t.Run("absent lease claims epoch 1", func(t *testing.T) {
+		sp := leaseSpool(t)
+		mkJobDir(t, sp, "j-1")
+		epoch, err := sp.takeoverLease("j-1", "b", now, ttl)
+		if err != nil || epoch != 1 {
+			t.Fatalf("takeover = (%d, %v), want (1, nil)", epoch, err)
+		}
+	})
+
+	t.Run("live foreign lease is held", func(t *testing.T) {
+		sp := leaseSpool(t)
+		mkJobDir(t, sp, "j-1")
+		if err := sp.claimLease("j-1", "a", 1, now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sp.takeoverLease("j-1", "b", now, ttl); !errors.Is(err, errLeaseHeld) {
+			t.Fatalf("takeover of a live lease = %v, want errLeaseHeld", err)
+		}
+	})
+
+	t.Run("expired lease bumps the epoch", func(t *testing.T) {
+		sp := leaseSpool(t)
+		mkJobDir(t, sp, "j-1")
+		if err := sp.claimLease("j-1", "a", 4, now.Add(-2*ttl)); err != nil {
+			t.Fatal(err)
+		}
+		epoch, err := sp.takeoverLease("j-1", "b", now, ttl)
+		if err != nil || epoch != 5 {
+			t.Fatalf("takeover = (%d, %v), want (5, nil)", epoch, err)
+		}
+		// The displaced owner is fenced by the ownership change alone.
+		if err := sp.verifyLease("j-1", "a", 4); !errors.Is(err, errLeaseFenced) {
+			t.Fatalf("old owner verify = %v, want errLeaseFenced", err)
+		}
+	})
+
+	t.Run("released lease is claimable before expiry", func(t *testing.T) {
+		sp := leaseSpool(t)
+		mkJobDir(t, sp, "j-1")
+		if err := sp.claimLease("j-1", "a", 2, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.renewLease("j-1", "a", 2, now, true); err != nil {
+			t.Fatal(err)
+		}
+		epoch, err := sp.takeoverLease("j-1", "b", now, ttl)
+		if err != nil || epoch != 3 {
+			t.Fatalf("takeover of released lease = (%d, %v), want (3, nil)", epoch, err)
+		}
+	})
+
+	t.Run("corrupt lease restarts at epoch 1", func(t *testing.T) {
+		sp := leaseSpool(t)
+		mkJobDir(t, sp, "j-1")
+		if err := os.WriteFile(sp.leasePath("j-1"), []byte(`{"job":"j-1","ow`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		epoch, err := sp.takeoverLease("j-1", "b", now, ttl)
+		if err != nil || epoch != 1 {
+			t.Fatalf("takeover of corrupt lease = (%d, %v), want (1, nil)", epoch, err)
+		}
+	})
+
+	t.Run("same owner reclaims its own live lease", func(t *testing.T) {
+		sp := leaseSpool(t)
+		mkJobDir(t, sp, "j-1")
+		if err := sp.claimLease("j-1", "a", 1, now); err != nil {
+			t.Fatal(err)
+		}
+		epoch, err := sp.takeoverLease("j-1", "a", now, ttl)
+		if err != nil || epoch != 2 {
+			t.Fatalf("pinned-owner restart takeover = (%d, %v), want (2, nil)", epoch, err)
+		}
+	})
+}
+
+func TestSweepLeaseDebris(t *testing.T) {
+	sp := leaseSpool(t)
+	mkJobDir(t, sp, "j-1")
+	old := filepath.Join(sp.jobDir("j-1"), spoolLeaseFile+".reap-deadbeef")
+	if err := os.WriteFile(old, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(old, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(sp.jobDir("j-1"), spoolLeaseFile+".tmp123")
+	if err := os.WriteFile(fresh, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp.sweepLeaseDebris("j-1", time.Now(), time.Minute)
+	if _, err := os.Stat(old); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stale reap debris survived the sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh debris (possible in-flight takeover) was swept")
+	}
+}
+
+// Satellite 1: writeFileAtomic must fsync the PARENT directory after
+// the rename — and a crash (even a torn one) at that final sync must
+// still leave a fully readable record, because the rename preceded it.
+func TestWriteFileAtomicSyncsParentDirAfterRename(t *testing.T) {
+	payload := bytes.Repeat([]byte("spool-record\n"), 64)
+
+	// Learn the step sequence of one atomic write.
+	counter := faultfs.New(checkpoint.OSFS())
+	sp, err := newSpool(t.TempDir(), counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := counter.Steps()
+	if err := sp.writeFileAtomic(filepath.Join(sp.root, "rec.json"), payload); err != nil {
+		t.Fatal(err)
+	}
+	steps := counter.Steps() - before
+	// CreateTemp, Write, Sync, Close, Rename, SyncDir — the dir sync
+	// existing (and being last) is exactly the regression under test.
+	if steps != 6 {
+		t.Fatalf("writeFileAtomic performs %d steps, want 6 (is the post-rename SyncDir missing?)", steps)
+	}
+
+	for _, torn := range []bool{false, true} {
+		for n := 1; n <= steps; n++ {
+			fsys := faultfs.New(checkpoint.OSFS())
+			sp, err := newSpool(t.TempDir(), fsys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(sp.root, "rec.json")
+			fsys.CrashAt(fsys.Steps()+n, torn)
+			werr := sp.writeFileAtomic(path, payload)
+			raw, rerr := os.ReadFile(path)
+			switch {
+			case errors.Is(rerr, os.ErrNotExist):
+				// Crash before the rename: no record, no torn bytes. The
+				// write must have reported the failure.
+				if werr == nil {
+					t.Errorf("crash at %d (torn=%v): write claimed success but left no record", n, torn)
+				}
+			case rerr != nil:
+				t.Errorf("crash at %d (torn=%v): reading record: %v", n, torn, rerr)
+			default:
+				// Record present ⇒ it is the complete payload, never a tear.
+				if !bytes.Equal(raw, payload) {
+					t.Errorf("crash at %d (torn=%v): torn record (%d bytes)", n, torn, len(raw))
+				}
+			}
+		}
+	}
+
+	// The specific satellite case, called out: crash exactly at the
+	// post-rename directory sync — the record is already complete.
+	fsys := faultfs.New(checkpoint.OSFS())
+	sp2, err := newSpool(t.TempDir(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sp2.root, "rec.json")
+	fsys.CrashAt(fsys.Steps()+steps, true)
+	if err := sp2.writeFileAtomic(path, payload); err == nil {
+		t.Fatal("crash at the final SyncDir was not reported")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(raw, payload) {
+		t.Fatalf("record not fully readable after a crash at the post-rename dir sync: %v", err)
+	}
+}

@@ -23,11 +23,20 @@ type Metrics struct {
 	Retries       atomic.Int64 // job attempts restarted after a transient fault
 	RejectsFull   atomic.Int64 // submissions rejected because the queue was full
 	RejectsTenant atomic.Int64 // submissions rejected by the per-tenant cap
+	RejectsRate   atomic.Int64 // submissions rejected by the per-tenant token bucket
+	RejectsDisk   atomic.Int64 // submissions rejected 507 by the disk-pressure gate
 	PanicsContained atomic.Int64
 
-	QueueDepth  atomic.Int64 // gauge: jobs waiting for a worker
-	RunningJobs atomic.Int64 // gauge: jobs currently executing
-	Draining    atomic.Int64 // gauge: 1 while the daemon drains
+	LeasesAcquired  atomic.Int64 // fresh epoch-1 lease claims (admission + adoption)
+	LeaseTakeovers  atomic.Int64 // expired/released/corrupt leases taken over (epoch bumped)
+	LeasesFenced    atomic.Int64 // local jobs abandoned after losing their lease
+	JobsQuarantined atomic.Int64 // corrupt spool entries moved into .quarantine/
+	JobsGCed        atomic.Int64 // terminal spool entries removed after GCTTL
+
+	QueueDepth   atomic.Int64 // gauge: jobs waiting for a worker
+	RunningJobs  atomic.Int64 // gauge: jobs currently executing
+	Draining     atomic.Int64 // gauge: 1 while the daemon drains
+	DiskPressure atomic.Int64 // gauge: 1 while admission is closed for disk space
 }
 
 type srvRow struct {
@@ -47,10 +56,18 @@ var srvRows = []srvRow{
 	{"sxnmd_retries_total", "counter", "Job attempts restarted after a transient fault.", func(m *Metrics) float64 { return float64(m.Retries.Load()) }},
 	{"sxnmd_admission_rejects_full_total", "counter", "Submissions rejected because the job queue was full.", func(m *Metrics) float64 { return float64(m.RejectsFull.Load()) }},
 	{"sxnmd_admission_rejects_tenant_total", "counter", "Submissions rejected by the per-tenant concurrency cap.", func(m *Metrics) float64 { return float64(m.RejectsTenant.Load()) }},
+	{"sxnmd_admission_rejects_rate_total", "counter", "Submissions rejected by the per-tenant token-bucket rate limit.", func(m *Metrics) float64 { return float64(m.RejectsRate.Load()) }},
+	{"sxnmd_admission_rejects_disk_total", "counter", "Submissions rejected 507 by the disk-pressure gate.", func(m *Metrics) float64 { return float64(m.RejectsDisk.Load()) }},
 	{"sxnmd_panics_contained_total", "counter", "Worker panics recovered without taking the daemon down.", func(m *Metrics) float64 { return float64(m.PanicsContained.Load()) }},
+	{"sxnmd_leases_acquired_total", "counter", "Fresh epoch-1 job leases claimed by this daemon.", func(m *Metrics) float64 { return float64(m.LeasesAcquired.Load()) }},
+	{"sxnmd_lease_takeovers_total", "counter", "Expired, released, or corrupt leases taken over from other owners.", func(m *Metrics) float64 { return float64(m.LeaseTakeovers.Load()) }},
+	{"sxnmd_leases_fenced_total", "counter", "Local jobs abandoned after their lease was taken over.", func(m *Metrics) float64 { return float64(m.LeasesFenced.Load()) }},
+	{"sxnmd_jobs_quarantined_total", "counter", "Corrupt spool entries moved into quarantine.", func(m *Metrics) float64 { return float64(m.JobsQuarantined.Load()) }},
+	{"sxnmd_jobs_gced_total", "counter", "Terminal spool entries garbage-collected after their TTL.", func(m *Metrics) float64 { return float64(m.JobsGCed.Load()) }},
 	{"sxnmd_queue_depth", "gauge", "Jobs waiting for a worker.", func(m *Metrics) float64 { return float64(m.QueueDepth.Load()) }},
 	{"sxnmd_running_jobs", "gauge", "Jobs currently executing.", func(m *Metrics) float64 { return float64(m.RunningJobs.Load()) }},
 	{"sxnmd_draining", "gauge", "1 while the daemon is draining, 0 otherwise.", func(m *Metrics) float64 { return float64(m.Draining.Load()) }},
+	{"sxnmd_disk_pressure", "gauge", "1 while admission is closed because the spool disk is full.", func(m *Metrics) float64 { return float64(m.DiskPressure.Load()) }},
 }
 
 // engineRow maps one aggregated obs.Snapshot counter onto a

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-tenant token bucket, complementing the
+// concurrent-slot caps: PerTenantJobs bounds how much of the daemon a
+// tenant can OCCUPY, the bucket bounds how fast it can SUBMIT. Each
+// tenant accrues rps tokens per second up to burst; an admission
+// spends one token or is rejected 429 with the exact wait until the
+// next token (plus the response-layer jitter, so a rejected fleet
+// does not come back in lockstep).
+type rateLimiter struct {
+	mu      sync.Mutex
+	rps     float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rps float64, burst int, now func() time.Time) *rateLimiter {
+	if rps <= 0 {
+		return nil // disabled
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rps)) // at least one full token
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{rps: rps, burst: b, now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow spends one token for tenant. When the bucket is dry it
+// reports the wait until the next token becomes available.
+func (l *rateLimiter) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rps
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// prune drops buckets that refilled completely and sat idle — a
+// long-lived daemon must not accumulate a bucket per tenant name it
+// has ever seen. Called from the reaper loop.
+func (l *rateLimiter) prune(idle time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	for tenant, b := range l.buckets {
+		full := b.tokens+now.Sub(b.last).Seconds()*l.rps >= l.burst
+		if full && now.Sub(b.last) > idle {
+			delete(l.buckets, tenant)
+		}
+	}
+}
+
+// len reports the live bucket count (tests).
+func (l *rateLimiter) len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -8,32 +8,47 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"repro/internal/checkpoint"
 )
 
-// The spool is the daemon's durable state: one directory per job
+// The spool is the daemons' durable state: one directory per job
 // holding the submission itself, the run's checkpoint and spill
-// state, and — once the job stops — its outcome and run report.
+// state, the job's ownership lease, and — once the job stops — its
+// outcome and run report.
 //
 //	<spool>/<job-id>/
 //	    job.json      the submission (written atomically at admission)
+//	    lease.json    ownership: owner id + epoch + heartbeat (lease.go)
 //	    checkpoint/   crash-safe engine checkpoint (RunCheckpointed)
 //	    spill/        external-sort run files, pinned to the checkpoint
 //	    outcome.json  terminal state + clusters + stats (absent ⇒ not finished)
 //	    report.json   per-candidate per-pass run report (all stop paths)
 //	    metrics.prom  final engine counters, Prometheus text format
+//	<spool>/.quarantine/<job-id>-<nanos>/
+//	    …             a corrupt entry, moved aside; quarantine.json says why
 //
-// The invariant a restart relies on: a job directory with job.json
-// but no outcome.json is unfinished work and is re-enqueued; its
-// checkpoint directory carries whatever progress the previous
-// process made, so the resumed run continues instead of restarting.
+// The invariant recovery relies on: a job directory with job.json but
+// no outcome.json is unfinished work; whichever daemon holds (or
+// legitimately takes over) its lease resumes it from its checkpoint.
+// Multiple daemons may share one spool — every claim goes through the
+// lease protocol in lease.go, never through directory ownership.
+//
+// All spool writes flow through the checkpoint.FS seam, so the fault
+// harness can crash a daemon at any spool I/O step exactly as it does
+// for checkpoint I/O. Reads stay plain os reads, mirroring the
+// checkpoint layer: recovery always happens over whatever bytes
+// actually reached the disk.
 
 const (
-	spoolJobFile     = "job.json"
-	spoolOutcomeFile = "outcome.json"
-	spoolReportFile  = "report.json"
-	spoolMetricsFile = "metrics.prom"
-	spoolCkptDir     = "checkpoint"
-	spoolSpillDir    = "spill"
+	spoolJobFile       = "job.json"
+	spoolOutcomeFile   = "outcome.json"
+	spoolReportFile    = "report.json"
+	spoolMetricsFile   = "metrics.prom"
+	spoolCkptDir       = "checkpoint"
+	spoolSpillDir      = "spill"
+	spoolQuarantineDir = ".quarantine"
+	quarantineFile     = "quarantine.json"
 )
 
 // spooledJob is the on-disk form of one admitted submission.
@@ -45,46 +60,76 @@ type spooledJob struct {
 
 type spool struct {
 	root string
+	fsys checkpoint.FS
 }
 
-func newSpool(root string) (*spool, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+func newSpool(root string, fsys checkpoint.FS) (*spool, error) {
+	if fsys == nil {
+		fsys = checkpoint.OSFS()
+	}
+	if err := fsys.MkdirAll(root); err != nil {
 		return nil, fmt.Errorf("server: creating spool: %w", err)
 	}
-	return &spool{root: root}, nil
+	return &spool{root: root, fsys: fsys}, nil
 }
 
-func (s *spool) jobDir(id string) string      { return filepath.Join(s.root, id) }
+func (s *spool) jobDir(id string) string        { return filepath.Join(s.root, id) }
 func (s *spool) checkpointDir(id string) string { return filepath.Join(s.root, id, spoolCkptDir) }
-func (s *spool) spillDir(id string) string    { return filepath.Join(s.root, id, spoolSpillDir) }
+func (s *spool) spillDir(id string) string      { return filepath.Join(s.root, id, spoolSpillDir) }
 
 // admit persists a fresh submission. The job.json write is atomic
-// (tmp + rename), so a crash mid-admission leaves either a complete
-// record or a directory without job.json, which recovery skips.
+// (tmp + rename + dir fsync), so a crash mid-admission leaves either
+// a complete record or a directory without job.json, which the sweep
+// eventually clears.
 func (s *spool) admit(j *job) error {
 	dir := s.jobDir(j.id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(dir); err != nil {
 		return fmt.Errorf("server: spooling job %s: %w", j.id, err)
 	}
 	rec := spooledJob{ID: j.id, Submitted: j.submitted, Request: j.req}
-	return writeJSONAtomic(filepath.Join(dir, spoolJobFile), rec)
+	return s.writeJSONAtomic(filepath.Join(dir, spoolJobFile), rec)
 }
 
 // finish records a terminal outcome. Jobs requeued by a drain never
 // reach here — the absence of outcome.json is what marks them
 // resumable.
 func (s *spool) finish(id string, out *Outcome) error {
-	return writeJSONAtomic(filepath.Join(s.jobDir(id), spoolOutcomeFile), out)
+	return s.writeJSONAtomic(filepath.Join(s.jobDir(id), spoolOutcomeFile), out)
 }
 
-// remove deletes a job's spool directory (cancel of a queued job, or
+// remove deletes a job's spool directory (TTL garbage collection, or
 // administrative cleanup).
 func (s *spool) remove(id string) error {
-	return os.RemoveAll(s.jobDir(id))
+	return s.fsys.RemoveAll(s.jobDir(id))
+}
+
+// quarantine moves a corrupt job directory into .quarantine/ and
+// records the typed reason inside it. The move is a rename, so the
+// bad entry disappears from the scan atomically; corruption costs the
+// operator one directory to inspect, never a daemon crash.
+func (s *spool) quarantine(id, reason string, now time.Time) error {
+	qroot := filepath.Join(s.root, spoolQuarantineDir)
+	if err := s.fsys.MkdirAll(qroot); err != nil {
+		return fmt.Errorf("server: quarantining %s: %w", id, err)
+	}
+	dst := filepath.Join(qroot, fmt.Sprintf("%s-%d", id, now.UnixNano()))
+	if err := s.fsys.Rename(s.jobDir(id), dst); err != nil {
+		return fmt.Errorf("server: quarantining %s: %w", id, err)
+	}
+	s.fsys.SyncDir(s.root)
+	// Best-effort: the move already isolated the entry; a crash before
+	// the reason file leaves an unexplained-but-contained directory.
+	s.writeJSONAtomic(filepath.Join(dst, quarantineFile), map[string]any{
+		"job":            id,
+		"reason":         reason,
+		"quarantined_at": now,
+	})
+	return nil
 }
 
 // loadOutcome returns the terminal record, or nil if the job never
-// finished (the resumable case).
+// finished (the resumable case). An unreadable outcome is a typed
+// corruption error — the sweep quarantines those.
 func (s *spool) loadOutcome(id string) (*Outcome, error) {
 	raw, err := os.ReadFile(filepath.Join(s.jobDir(id), spoolOutcomeFile))
 	if errors.Is(err, os.ErrNotExist) {
@@ -100,52 +145,120 @@ func (s *spool) loadOutcome(id string) (*Outcome, error) {
 	return &out, nil
 }
 
-// scan reads every spooled job, oldest submission first. Entries
-// without a readable job.json (crash mid-admission, stray files) are
-// skipped rather than failing startup.
-func (s *spool) scan() ([]*spooledJob, error) {
+// spoolEntry is one directory the scan classified.
+type spoolEntry struct {
+	id  string
+	rec *spooledJob // nil ⇒ corrupt
+	err error       // why rec is nil
+}
+
+// scan reads every spooled job, oldest submission first. Directories
+// whose job.json exists but does not decode (or names a different
+// job) come back as corrupt entries for the sweep to quarantine;
+// directories with NO job.json at all (crash mid-admission) are
+// skipped here and aged out by the sweep.
+func (s *spool) scan() ([]spoolEntry, error) {
 	ents, err := os.ReadDir(s.root)
 	if err != nil {
 		return nil, fmt.Errorf("server: scanning spool: %w", err)
 	}
-	var jobs []*spooledJob
+	var out []spoolEntry
 	for _, ent := range ents {
-		if !ent.IsDir() {
+		if !ent.IsDir() || ent.Name()[0] == '.' {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(s.root, ent.Name(), spoolJobFile))
+		id := ent.Name()
+		raw, err := os.ReadFile(filepath.Join(s.root, id, spoolJobFile))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
 		if err != nil {
+			out = append(out, spoolEntry{id: id, err: fmt.Errorf("reading job.json: %w", err)})
 			continue
 		}
 		var rec spooledJob
-		if err := json.Unmarshal(raw, &rec); err != nil || rec.ID != ent.Name() || rec.Request == nil {
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			out = append(out, spoolEntry{id: id, err: fmt.Errorf("decoding job.json: %w", err)})
 			continue
 		}
-		jobs = append(jobs, &rec)
-	}
-	sort.Slice(jobs, func(i, k int) bool {
-		if !jobs[i].Submitted.Equal(jobs[k].Submitted) {
-			return jobs[i].Submitted.Before(jobs[k].Submitted)
+		if rec.ID != id || rec.Request == nil {
+			out = append(out, spoolEntry{id: id, err: fmt.Errorf("job.json names %q, directory is %q", rec.ID, id)})
+			continue
 		}
-		return jobs[i].ID < jobs[k].ID
+		out = append(out, spoolEntry{id: id, rec: &rec})
+	}
+	sort.Slice(out, func(i, k int) bool {
+		ri, rk := out[i].rec, out[k].rec
+		switch {
+		case ri == nil || rk == nil:
+			return out[i].id < out[k].id
+		case !ri.Submitted.Equal(rk.Submitted):
+			return ri.Submitted.Before(rk.Submitted)
+		default:
+			return out[i].id < out[k].id
+		}
 	})
-	return jobs, nil
+	return out, nil
+}
+
+// sweepAdmissionDebris removes job directories that never got a
+// job.json (a crash between MkdirAll and the admission write) once
+// they are older than ttl. scan skips these, so without this pass
+// they would accumulate forever.
+func (s *spool) sweepAdmissionDebris(now time.Time, ttl time.Duration) {
+	ents, err := os.ReadDir(s.root)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() || ent.Name()[0] == '.' {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.root, ent.Name(), spoolJobFile)); !errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if info, err := ent.Info(); err == nil && now.Sub(info.ModTime()) > ttl {
+			s.fsys.RemoveAll(filepath.Join(s.root, ent.Name()))
+		}
+	}
+}
+
+// probeWrite checks whether the spool can still take a small durable
+// write — the recovery probe that clears the disk-pressure gate.
+func (s *spool) probeWrite() error {
+	tmp, err := s.fsys.CreateTemp(s.root, ".probe*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(make([]byte, 4096))
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	s.fsys.Remove(tmp.Name())
+	return werr
 }
 
 // writeJSONAtomic writes v as indented JSON via a temp file and
 // rename, so readers never observe a torn document.
-func writeJSONAtomic(path string, v any) error {
+func (s *spool) writeJSONAtomic(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("server: encoding %s: %w", filepath.Base(path), err)
 	}
 	data = append(data, '\n')
-	return writeFileAtomic(path, data)
+	return s.writeFileAtomic(path, data)
 }
 
-func writeFileAtomic(path string, data []byte) error {
+// writeFileAtomic runs the temp-write/fsync/rename/dir-fsync
+// sequence: after the rename, the PARENT directory is synced so the
+// new directory entry itself survives power loss — the same contract
+// the checkpoint layer keeps for its section files.
+func (s *spool) writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := s.fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("server: writing %s: %w", filepath.Base(path), err)
 	}
@@ -157,12 +270,15 @@ func writeFileAtomic(path string, data []byte) error {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		s.fsys.Remove(tmp.Name())
 		return fmt.Errorf("server: writing %s: %w", filepath.Base(path), werr)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fsys.Rename(tmp.Name(), path); err != nil {
+		s.fsys.Remove(tmp.Name())
 		return fmt.Errorf("server: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := s.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("server: syncing %s: %w", dir, err)
 	}
 	return nil
 }

@@ -107,6 +107,11 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 		return
 	}
+	if j.fenced { // lost the lease while still queued
+		j.mu.Unlock()
+		s.finishFenced(j)
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now().UTC()
 	j.cancel = cancel
@@ -120,6 +125,10 @@ func (s *Server) runJob(j *job) {
 	defer s.Met.RunningJobs.Add(-1)
 
 	for attempt := 1; ; attempt++ {
+		if !s.stillOwns(j) {
+			s.finishFenced(j)
+			return
+		}
 		j.mu.Lock()
 		j.attempts++
 		total := j.attempts
@@ -234,6 +243,50 @@ func (s *Server) sleepBackoff(ctx context.Context, attempt int) bool {
 	}
 }
 
+// stillOwns re-checks the job's lease on disk before work that is
+// about to mutate the spool. A definite mismatch means a reaper took
+// the job over — this daemon must fence itself. Jobs constructed
+// without a lease (epoch 0: direct test harness use) always pass.
+func (s *Server) stillOwns(j *job) bool {
+	j.mu.Lock()
+	epoch, fenced := j.epoch, j.fenced
+	j.mu.Unlock()
+	if fenced {
+		return false
+	}
+	if epoch == 0 {
+		return true
+	}
+	return s.spool.verifyLease(j.id, s.owner, epoch) == nil
+}
+
+// finishFenced finalizes a job this daemon lost to a lease takeover:
+// local state only — the new owner's spool records are the truth, so
+// NOTHING is written to disk here. The tenant slot is released and the
+// job reads as failed("lease-fenced") from this (stale) daemon.
+func (s *Server) finishFenced(j *job) {
+	j.mu.Lock()
+	if j.finalized {
+		j.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	j.fenced = true
+	j.state = StateFailed
+	j.errCode = "lease-fenced"
+	j.errMsg = "job taken over by another daemon; this daemon's attempt was abandoned without writes"
+	j.finished = time.Now().UTC()
+	cancel := j.cancel
+	j.cancel = nil
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.releaseTenant(j)
+	s.Met.LeasesFenced.Add(1)
+	s.cfg.Logf("job %s: fenced; abandoned without spool writes", j.id)
+}
+
 // finishJob records a terminal state: outcome.json (durable terminal
 // marker), report.json and metrics.prom (satellite observability —
 // written on every stop path, not just success), the engine-counter
@@ -241,8 +294,13 @@ func (s *Server) sleepBackoff(ctx context.Context, attempt int) bool {
 // written BEFORE the in-memory state flips terminal, so anyone who
 // observes a terminal job finds its spool complete; the finalized
 // flag makes racing finishes (cancel-of-queued vs. worker pickup)
-// exactly-once.
+// exactly-once. The job's lease is re-verified first and removed
+// after the outcome lands — a fenced job takes the no-write path.
 func (s *Server) finishJob(j *job, state JobState, apiErr *apiError, res *sxnm.Result) {
+	if !s.stillOwns(j) {
+		s.finishFenced(j)
+		return
+	}
 	snap := j.ob.Metrics().Snapshot()
 	out := &Outcome{
 		State:      state,
@@ -270,6 +328,10 @@ func (s *Server) finishJob(j *job, state JobState, apiErr *apiError, res *sxnm.R
 
 	if err := s.spool.finish(j.id, out); err != nil {
 		s.cfg.Logf("job %s: writing outcome: %v", j.id, err)
+	} else {
+		// Terminal jobs are identified by outcome.json; the lease has
+		// done its work and would only confuse later reapers.
+		s.spool.removeLease(j.id)
 	}
 	s.writeReports(j, snap)
 	s.agg.add(snap)
@@ -303,15 +365,27 @@ func (s *Server) finishJob(j *job, state JobState, apiErr *apiError, res *sxnm.R
 // during a drain. No outcome.json is written — its absence is the
 // resumable marker — but the run report and metrics of the partial
 // attempt are (satellite: outputs on drain, not just completion).
+// The lease is released so a surviving daemon adopts the job
+// immediately instead of waiting out the TTL.
 func (s *Server) requeueJob(j *job) {
+	if !s.stillOwns(j) {
+		s.finishFenced(j)
+		return
+	}
 	snap := j.ob.Metrics().Snapshot()
 	j.mu.Lock()
 	j.state = StateQueued
 	j.lastSnap = snap
 	j.cancel = nil
+	epoch := j.epoch
 	j.mu.Unlock()
 	s.writeReports(j, snap)
 	s.agg.add(snap)
+	if epoch > 0 {
+		if err := s.spool.renewLease(j.id, s.owner, epoch, time.Now().UTC(), true); err != nil && !errors.Is(err, errLeaseFenced) {
+			s.cfg.Logf("job %s: releasing lease on requeue: %v", j.id, err)
+		}
+	}
 	s.Met.JobsRequeued.Add(1)
 	s.cfg.Logf("job %s: checkpointed and requeued by drain", j.id)
 }
@@ -340,7 +414,7 @@ func (s *Server) writeReports(j *job, snap obs.Snapshot) {
 	rep := j.col.Report(j.ob.Metrics())
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err == nil {
-		if err := writeFileAtomic(filepath.Join(dir, spoolReportFile), buf.Bytes()); err != nil {
+		if err := s.spool.writeFileAtomic(filepath.Join(dir, spoolReportFile), buf.Bytes()); err != nil {
 			s.cfg.Logf("job %s: writing report: %v", j.id, err)
 		}
 	} else {
@@ -348,7 +422,7 @@ func (s *Server) writeReports(j *job, snap obs.Snapshot) {
 	}
 	buf.Reset()
 	if err := snap.WritePrometheus(&buf); err == nil {
-		if err := writeFileAtomic(filepath.Join(dir, spoolMetricsFile), buf.Bytes()); err != nil {
+		if err := s.spool.writeFileAtomic(filepath.Join(dir, spoolMetricsFile), buf.Bytes()); err != nil {
 			s.cfg.Logf("job %s: writing metrics: %v", j.id, err)
 		}
 	}
