@@ -7,7 +7,7 @@ GO       ?= go
 FUZZTIME ?= 10s
 BENCHN   ?= 1000
 
-.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke daemon-multi
+.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke daemon-multi daemon-obs
 
 check: vet build test smallspill bench-overhead fuzz-short
 
@@ -30,12 +30,17 @@ smallspill:
 # movies corpus (seed 1, $(BENCHN) objects) run end to end with the
 # observer attached; the run report IS the baseline. Compare a fresh
 # report against the committed file to spot perf or accuracy drift.
+# The report is written to a scratch path and MERGED into the baseline
+# so the committed bench_ns_per_op map (owned by bench-baseline)
+# survives the refresh.
 bench:
 	mkdir -p /tmp/sxnm-bench
 	$(GO) run ./cmd/xmlgen -kind movies -n $(BENCHN) -seed 1 \
 		-out /tmp/sxnm-bench/movies.xml -config-out /tmp/sxnm-bench/config.xml
 	$(GO) run ./cmd/sxnm -config /tmp/sxnm-bench/config.xml \
-		-input /tmp/sxnm-bench/movies.xml -stats -report BENCH_sxnm.json
+		-input /tmp/sxnm-bench/movies.xml -stats -report /tmp/sxnm-bench/report.json
+	SXNM_BENCH_MERGE=/tmp/sxnm-bench/report.json \
+		$(GO) test -run 'TestBenchGuard$$' -count=1 .
 
 # Guard the window-sweep hot path against perf regressions: re-measure
 # the windowSweepCases benches and fail on >15% ns/op drift from the
@@ -76,6 +81,16 @@ fuzz-short:
 # spool, and assert the job resumes and finishes.
 daemon-smoke:
 	$(GO) test -race -run 'TestDaemonSmoke' -count=1 -v ./cmd/sxnmd
+
+# The observability surface under the race detector: per-job event
+# journal (roundtrip, torn-tail repair, retention, kill-at-every-step),
+# SSE replay/tail/resume, the /v1/fleet lease view, latency histogram
+# semantics, and the Prometheus exposition linter over both exporters.
+daemon-obs:
+	$(GO) test -race -count=1 -v \
+		-run 'TestJournal|TestReadJournal|TestEvent|TestFleet|TestDaemonMetricsLint' ./internal/server
+	$(GO) test -race -count=1 -v \
+		-run 'TestHist|TestPhase|TestSampleHeap|TestLint|TestRotating' ./internal/obs
 
 # The multi-daemon differential, exhaustive: two daemons share a spool;
 # daemon A is killed at EVERY durable I/O step (admission, lease claim,

@@ -36,7 +36,8 @@
 // fingerprinted and reused on resume.
 //
 // Observability: -trace FILE streams a JSONL span trace of every
-// phase, -metrics FILE dumps the final counters in Prometheus text
+// phase (-trace-max-bytes/-trace-keep add size-capped rotation for
+// long runs), -metrics FILE dumps the final counters in Prometheus text
 // format, -report FILE writes a machine-readable run report
 // (report.json) with per-candidate per-pass statistics, -progress
 // prints a live progress line with ETA to stderr (redrawn in place on
@@ -103,6 +104,8 @@ func run(args []string) error {
 		maxNodes   = fs.Int("max-nodes", 0, "reject documents with more than this many nodes (0 = unlimited)")
 		maxCmp     = fs.Int("max-comparisons", 0, "stop after this many window comparisons (0 = unlimited)")
 		tracePath  = fs.String("trace", "", "stream a JSONL span trace of every phase to this file (\"-\" = stderr)")
+		traceMax   = fs.Int64("trace-max-bytes", 0, "rotate the -trace file when it would exceed this size (0 = never rotate)")
+		traceKeep  = fs.Int("trace-keep", 3, "rotated -trace segments to keep (file.1 … file.N; 0 = discard on rotate)")
 		metricsOut = fs.String("metrics", "", "write the final counters in Prometheus text format to this file (\"-\" = stdout)")
 		reportOut  = fs.String("report", "", "write a machine-readable run report (JSON) to this file (\"-\" = stdout)")
 		progress   = fs.Bool("progress", false, "print live progress with ETA to stderr")
@@ -132,12 +135,14 @@ func run(args []string) error {
 		return err
 	}
 	o, err := setupObservability(obsFlags{
-		trace:    *tracePath,
-		metrics:  *metricsOut,
-		report:   *reportOut,
-		progress: *progress,
-		pprof:    *pprofAddr,
-		input:    firstNonEmpty(*inputPath, *gkIn),
+		trace:         *tracePath,
+		traceMaxBytes: *traceMax,
+		traceKeep:     *traceKeep,
+		metrics:       *metricsOut,
+		report:        *reportOut,
+		progress:      *progress,
+		pprof:         *pprofAddr,
+		input:         firstNonEmpty(*inputPath, *gkIn),
 	})
 	if err != nil {
 		return err
@@ -286,12 +291,14 @@ func run(args []string) error {
 
 // obsFlags carries the observability flag values into setupObservability.
 type obsFlags struct {
-	trace    string
-	metrics  string
-	report   string
-	progress bool
-	pprof    string
-	input    string
+	trace         string
+	traceMaxBytes int64
+	traceKeep     int
+	metrics       string
+	report        string
+	progress      bool
+	pprof         string
+	input         string
 }
 
 // observability owns the run's observer and its output destinations.
@@ -301,6 +308,7 @@ type observability struct {
 	ob       *sxnm.Observer
 	col      *sxnm.Collector
 	traceOut *sxnm.TraceJSONL
+	traceRot *sxnm.RotatingTraceJSONL
 	traceC   io.Closer
 	prog     *sxnm.Progress
 	metrics  string
@@ -318,7 +326,17 @@ func setupObservability(f obsFlags) (*observability, error) {
 		return o, nil
 	}
 	var sinks []sxnm.TraceSink
-	if f.trace != "" {
+	switch {
+	case f.trace != "" && f.trace != "-" && f.traceMaxBytes > 0:
+		// Size-capped rotation: the trace file is bounded at roughly
+		// traceMaxBytes·(traceKeep+1) no matter how long the run is.
+		rot, err := sxnm.NewRotatingTraceJSONL(f.trace, f.traceMaxBytes, f.traceKeep)
+		if err != nil {
+			return nil, err
+		}
+		o.traceRot = rot
+		sinks = append(sinks, rot)
+	case f.trace != "":
 		w := io.Writer(os.Stderr)
 		if f.trace != "-" {
 			file, err := os.Create(f.trace)
@@ -376,6 +394,11 @@ func (o *observability) finish(cfg *sxnm.Config, doc *sxnm.Document) error {
 			return fmt.Errorf("-trace: %w", err)
 		}
 	}
+	if o.traceRot != nil {
+		if err := o.traceRot.Flush(); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
 	if o.metrics != "" {
 		if err := writeTo(o.metrics, func(w io.Writer) error {
 			return o.ob.Metrics().WritePrometheus(w)
@@ -415,6 +438,10 @@ func (o *observability) close() {
 	if o.traceC != nil {
 		o.traceC.Close()
 		o.traceC = nil
+	}
+	if o.traceRot != nil {
+		o.traceRot.Close()
+		o.traceRot = nil
 	}
 }
 

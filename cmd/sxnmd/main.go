@@ -43,6 +43,14 @@
 //     a live ENOSPC) closes admission with 507 + Retry-After until
 //     space returns; -tenant-rps adds a per-tenant submission rate
 //     limit on top of the concurrency caps.
+//   - Observability: each job's spool directory carries a durable,
+//     checksummed event journal (journal.jsonl) recording its full
+//     lifecycle — across daemons and takeovers. GET
+//     /v1/jobs/{id}/events streams it as SSE (replay then live tail),
+//     GET /v1/fleet reports which owners hold which leases, and
+//     /metrics adds queue-wait, attempt, end-to-end, and engine-phase
+//     latency histograms. -journal=false turns the journal off;
+//     -journal-max-bytes caps its growth.
 //
 // Exit codes: 0 = clean drain, 1 = startup or serve error.
 package main
@@ -101,6 +109,9 @@ func run(args []string, ready chan<- string) error {
 		maxNodes   = fs.Int("max-nodes", 0, "per-job document node ceiling (0 = unbounded)")
 		maxCmp     = fs.Int("max-comparisons", 0, "per-job window-comparison ceiling (0 = unbounded)")
 
+		journal      = fs.Bool("journal", true, "write a durable per-job event journal (journal.jsonl) into the spool")
+		journalBytes = fs.Int64("journal-max-bytes", 1<<20, "per-job journal size soft cap; past it checkpoint-progress events are dropped (negative = unbounded)")
+
 		pairWork  = fs.Int("pair-workers", -1, "window-sweep goroutines per job (-1 = all cores, 0 = sequential)")
 		simCache  = fs.Bool("sim-cache", true, "share similarity memo caches across jobs of the same config")
 		simSize   = fs.Int("sim-cache-size", 0, "similarity cache capacity per candidate (0 = default)")
@@ -115,21 +126,23 @@ func run(args []string, ready chan<- string) error {
 
 	logger := log.New(os.Stderr, "sxnmd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
-		SpoolDir:       *spoolDir,
-		OwnerID:        *spoolOwner,
-		LeaseTTL:       *leaseTTL,
-		GCTTL:          *gcTTL,
-		TenantRPS:      *tenantRPS,
-		TenantBurst:    *tenantBurst,
-		MinFreeBytes:   *minFree,
-		QueueCap:       *queueCap,
-		Workers:        *workers,
-		PerTenantJobs:  *tenantJobs,
-		MaxBodyBytes:   *maxBody,
-		MaxAttempts:    *attempts,
-		RetryBaseDelay: *retryBase,
-		RetryMaxDelay:  *retryMax,
-		DefaultLimits:  sxnm.Limits{Timeout: *defTimeout},
+		SpoolDir:        *spoolDir,
+		OwnerID:         *spoolOwner,
+		LeaseTTL:        *leaseTTL,
+		GCTTL:           *gcTTL,
+		TenantRPS:       *tenantRPS,
+		TenantBurst:     *tenantBurst,
+		MinFreeBytes:    *minFree,
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		PerTenantJobs:   *tenantJobs,
+		MaxBodyBytes:    *maxBody,
+		MaxAttempts:     *attempts,
+		RetryBaseDelay:  *retryBase,
+		RetryMaxDelay:   *retryMax,
+		DisableJournal:  !*journal,
+		JournalMaxBytes: *journalBytes,
+		DefaultLimits:   sxnm.Limits{Timeout: *defTimeout},
 		MaxLimits: sxnm.Limits{
 			Timeout:        *maxTimeout,
 			MaxDepth:       *maxDepth,

@@ -127,6 +127,17 @@ func (f *FS) Link(oldname, newname string) error {
 	return f.inner.Link(oldname, newname)
 }
 
+func (f *FS) OpenAppend(name string) (checkpoint.File, error) {
+	if dead, _ := f.begin(); dead {
+		return nil, ErrCrash
+	}
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
 func (f *FS) SyncDir(dir string) error {
 	if dead, _ := f.begin(); dead {
 		return ErrCrash

@@ -30,6 +30,10 @@ type FS interface {
 	// newname already exists — the exclusive-create primitive the
 	// spool's lease protocol uses for mutual exclusion.
 	Link(oldname, newname string) error
+	// OpenAppend opens name for appending, creating it if absent —
+	// the journal primitive: callers append one record, sync, and
+	// close, so a crash can tear at most the final record.
+	OpenAppend(name string) (File, error)
 	// SyncDir flushes the directory entry metadata so a completed
 	// rename survives power loss.
 	SyncDir(dir string) error
@@ -67,6 +71,14 @@ func (osFS) Remove(name string) error { return os.Remove(name) }
 func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
 
 func (osFS) Link(oldname, newname string) error { return os.Link(oldname, newname) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
 
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(filepath.Clean(dir))

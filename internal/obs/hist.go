@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed log-bucket latency histogram in the same
+// zero-dependency, atomics-only style as Metrics: Observe is a couple
+// of atomic adds, safe from any goroutine, and a zero Histogram is
+// ready to use. Buckets double from 1µs; everything past ~76h lands
+// in the +Inf bucket. The fixed layout keeps Prometheus exposition
+// stable across daemons, which is what makes the per-phase families
+// aggregable fleet-wide.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// histBuckets is the bucket count including the final +Inf bucket.
+// Bucket i (i < histBuckets-1) holds observations ≤ 1µs·2^i.
+const histBuckets = 40
+
+// histBucketNS returns the inclusive upper bound of bucket i in
+// nanoseconds, or math.MaxInt64 for the +Inf bucket.
+func histBucketNS(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1000) << uint(i)
+}
+
+// histBucketOf maps a duration in nanoseconds to its bucket index.
+func histBucketOf(ns int64) int {
+	if ns <= 1000 {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns-1) / 1000)
+	if idx > histBuckets-1 {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histBucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		max := h.maxNS.Load()
+		if ns <= max || h.maxNS.CompareAndSwap(max, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear
+// interpolation inside the owning bucket; observations in the +Inf
+// bucket are capped at the recorded maximum. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < rank {
+			cum += n
+			continue
+		}
+		max := h.maxNS.Load()
+		if i == histBuckets-1 {
+			return time.Duration(max)
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = histBucketNS(i - 1)
+		}
+		hi := histBucketNS(i)
+		if hi > max {
+			hi = max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(n)
+		return time.Duration(float64(lo) + frac*float64(hi-lo))
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// LatencySummary is the report-friendly digest of a Histogram.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Summary computes count, mean, p50/p90/p99, and max in milliseconds.
+func (h *Histogram) Summary() LatencySummary {
+	if h == nil || h.count.Load() == 0 {
+		return LatencySummary{}
+	}
+	s := LatencySummary{
+		Count: h.count.Load(),
+		P50MS: ms(h.Quantile(0.50)),
+		P90MS: ms(h.Quantile(0.90)),
+		P99MS: ms(h.Quantile(0.99)),
+		MaxMS: ms(time.Duration(h.maxNS.Load())),
+	}
+	s.MeanMS = ms(time.Duration(h.sumNS.Load() / s.Count))
+	return s
+}
+
+// WritePrometheus renders the histogram as one Prometheus histogram
+// family (cumulative _bucket series with le in seconds, then _sum and
+// _count). name must be a valid metric name, conventionally ending in
+// _seconds.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) error {
+	if err := writeHistHeader(w, name, help); err != nil {
+		return err
+	}
+	return h.writePromSeries(w, name, "")
+}
+
+// writePromSeries emits the _bucket/_sum/_count samples with the given
+// extra label (e.g. `phase="pass"`), without the HELP/TYPE header, so
+// several label sets can share one family.
+func (h *Histogram) writePromSeries(w io.Writer, name, label string) error {
+	var cum int64
+	var sum float64
+	var count int64
+	if h != nil {
+		count = h.count.Load()
+		sum = time.Duration(h.sumNS.Load()).Seconds()
+	}
+	for i := 0; i < histBuckets; i++ {
+		if h != nil {
+			cum += h.counts[i].Load()
+		}
+		le := "+Inf"
+		if i < histBuckets-1 {
+			le = strconv.FormatFloat(time.Duration(histBucketNS(i)).Seconds(), 'g', -1, 64)
+		}
+		sep := ""
+		if label != "" {
+			sep = label + ","
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, le, cum); err != nil {
+			return err
+		}
+	}
+	lbl := ""
+	if label != "" {
+		lbl = "{" + label + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %v\n%s_count%s %d\n", name, lbl, sum, name, lbl, count)
+	return err
+}
+
+func writeHistHeader(w io.Writer, name, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	return err
+}
+
+// PhaseHistograms is a Sink that folds every completed span's duration
+// into a per-phase Histogram keyed by the span name (parse, key_gen,
+// pass, candidate, …). Attach it to an Observer to get engine phase
+// latency distributions for free; a daemon shares one instance across
+// jobs to aggregate fleet-visible phase latencies.
+type PhaseHistograms struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// NewPhaseHistograms returns an empty phase-latency set.
+func NewPhaseHistograms() *PhaseHistograms {
+	return &PhaseHistograms{m: make(map[string]*Histogram)}
+}
+
+// Emit implements Sink: span records feed their phase's histogram,
+// point events are ignored.
+func (p *PhaseHistograms) Emit(r Record) {
+	if p == nil || r.Kind != "span" {
+		return
+	}
+	p.Hist(r.Name).Observe(r.Dur)
+}
+
+// Hist returns the named phase's histogram, creating it on first use.
+func (p *PhaseHistograms) Hist(phase string) *Histogram {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.m[phase]
+	if h == nil {
+		h = &Histogram{}
+		p.m[phase] = h
+	}
+	return h
+}
+
+// Phases returns the recorded phase names, sorted.
+func (p *PhaseHistograms) Phases() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.m))
+	for k := range p.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summaries digests every phase for report.json.
+func (p *PhaseHistograms) Summaries() map[string]LatencySummary {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]LatencySummary)
+	for _, phase := range p.Phases() {
+		out[phase] = p.Hist(phase).Summary()
+	}
+	return out
+}
+
+// WritePrometheus renders every phase as one labeled Prometheus
+// histogram family: name_bucket{phase="...",le="..."} etc.
+func (p *PhaseHistograms) WritePrometheus(w io.Writer, name, help string) error {
+	if err := writeHistHeader(w, name, help); err != nil {
+		return err
+	}
+	if p == nil {
+		return nil
+	}
+	for _, phase := range p.Phases() {
+		if err := p.Hist(phase).writePromSeries(w, name, fmt.Sprintf("phase=%q", phase)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

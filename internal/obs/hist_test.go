@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistBucketLayout(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{1000, 0}, // exactly 1µs stays in bucket 0
+		{1001, 1}, // first value past 1µs
+		{2000, 1}, // 2µs boundary inclusive
+		{2001, 2},
+		{4000, 2},
+		{int64(time.Millisecond), 10},
+		{int64(time.Second), 20},
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucketOf(c.ns); got != c.want {
+			t.Errorf("histBucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Bucket bounds must be strictly ascending up to +Inf.
+	for i := 1; i < histBuckets-1; i++ {
+		if histBucketNS(i) <= histBucketNS(i-1) {
+			t.Fatalf("bucket bound %d not ascending", i)
+		}
+	}
+	if histBucketNS(histBuckets-1) != math.MaxInt64 {
+		t.Fatalf("last bucket is not +Inf")
+	}
+	// Every boundary value must land in the bucket whose bound it is.
+	for i := 0; i < histBuckets-1; i++ {
+		if got := histBucketOf(histBucketNS(i)); got != i {
+			t.Errorf("bound of bucket %d maps to bucket %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantilesAndSummary(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zero")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	// Log buckets are coarse: allow a factor-of-two window around the
+	// exact quantile, which is what the interpolation guarantees.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("Quantile(%.2f) = %v, want within 2x of %v", c.q, got, c.want)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 1000 || s.MaxMS != 1000 {
+		t.Errorf("summary count/max = %d/%.0f, want 1000/1000", s.Count, s.MaxMS)
+	}
+	if s.MeanMS < 400 || s.MeanMS > 600 {
+		t.Errorf("mean %.1fms implausible for a uniform 1..1000ms load", s.MeanMS)
+	}
+	if !(s.P50MS <= s.P90MS && s.P90MS <= s.P99MS && s.P99MS <= s.MaxMS) {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramNilAndNegativeSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should be inert")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatal("nil summary should be zero")
+	}
+	var real Histogram
+	real.Observe(-time.Second)
+	if real.Count() != 1 {
+		t.Fatal("negative observation should count as zero, not be dropped")
+	}
+}
+
+func TestHistogramInfBucketCappedAtMax(t *testing.T) {
+	var h Histogram
+	huge := time.Duration(math.MaxInt64 / 2)
+	h.Observe(huge)
+	if got := h.Quantile(0.99); got != huge {
+		t.Fatalf("+Inf-bucket quantile = %v, want the recorded max %v", got, huge)
+	}
+}
+
+func TestHistogramPrometheusLints(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := h.WritePrometheus(&buf, "x_seconds", "test histogram"); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("exposition does not lint: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `x_seconds_bucket{le="+Inf"} 100`) {
+		t.Errorf("missing +Inf bucket with full count:\n%s", buf.String())
+	}
+}
+
+func TestPhaseHistograms(t *testing.T) {
+	p := NewPhaseHistograms()
+	p.Emit(Record{Kind: "span", Name: "pass", Dur: 10 * time.Millisecond})
+	p.Emit(Record{Kind: "span", Name: "pass", Dur: 20 * time.Millisecond})
+	p.Emit(Record{Kind: "span", Name: "parse", Dur: time.Millisecond})
+	p.Emit(Record{Kind: "event", Name: "ignored"})
+	if got := p.Phases(); len(got) != 2 || got[0] != "parse" || got[1] != "pass" {
+		t.Fatalf("phases = %v", got)
+	}
+	if n := p.Hist("pass").Count(); n != 2 {
+		t.Fatalf("pass count = %d, want 2", n)
+	}
+	sums := p.Summaries()
+	if sums["parse"].Count != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	var buf bytes.Buffer
+	if err := p.WritePrometheus(&buf, "phase_seconds", "per-phase"); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("phase exposition does not lint: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{`phase="pass"`, `phase="parse"`, "phase_seconds_count{phase=\"pass\"} 2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+	// A nil PhaseHistograms is inert and still renders an empty family.
+	var nilP *PhaseHistograms
+	nilP.Emit(Record{Kind: "span", Name: "x"})
+	if nilP.Phases() != nil || nilP.Summaries() != nil {
+		t.Fatal("nil PhaseHistograms should report nothing")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+// TestSampleHeapPlausible pins the satellite fix: with several MB
+// demonstrably live, SampleHeap must record a same-order value, never
+// a degenerate one (the bug this guards against recorded 1 byte).
+func TestSampleHeapPlausible(t *testing.T) {
+	ballast := make([][]byte, 8)
+	for i := range ballast {
+		ballast[i] = make([]byte, 1<<20)
+		ballast[i][0] = byte(i)
+	}
+	var m Metrics
+	m.SampleHeap()
+	got := m.HeapInUse.Load()
+	if got < 1<<20 {
+		t.Fatalf("HeapInUse = %d bytes with ≥8MiB live; heap sampling is broken", got)
+	}
+	if m.PeakHeap.Load() < got {
+		t.Fatalf("PeakHeap %d < HeapInUse %d", m.PeakHeap.Load(), got)
+	}
+	runtime.KeepAlive(ballast)
+}

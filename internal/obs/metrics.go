@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"runtime"
 	"runtime/metrics"
 	"sync"
 	"sync/atomic"
@@ -90,23 +91,40 @@ func (m *Metrics) Elapsed() time.Duration {
 
 // SampleHeap reads the live heap size from runtime/metrics (far
 // cheaper than runtime.ReadMemStats — no stop-the-world) and updates
-// the HeapInUse gauge and PeakHeap high-water mark.
+// the HeapInUse gauge and PeakHeap high-water mark. If the
+// runtime/metrics sample comes back unsupported or implausibly small
+// — a renamed metric on a future runtime would otherwise freeze the
+// gauge at a bogus value for every pass — it falls back to
+// runtime.ReadMemStats, which cannot be absent.
 func (m *Metrics) SampleHeap() {
 	if m == nil {
 		return
 	}
-	if v := liveHeapBytes(); v > 0 {
-		m.HeapInUse.Store(v)
-		for {
-			peak := m.PeakHeap.Load()
-			if v <= peak || m.PeakHeap.CompareAndSwap(peak, v) {
-				break
-			}
+	v := liveHeapBytes()
+	if v < heapSampleFloor {
+		var st runtime.MemStats
+		runtime.ReadMemStats(&st)
+		v = int64(st.HeapInuse)
+	}
+	if v <= 0 {
+		return
+	}
+	m.HeapInUse.Store(v)
+	for {
+		peak := m.PeakHeap.Load()
+		if v <= peak || m.PeakHeap.CompareAndSwap(peak, v) {
+			break
 		}
 	}
 }
 
 const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// heapSampleFloor is the smallest live-heap reading taken at face
+// value: a Go process's runtime alone keeps far more than 64 KiB
+// live, so anything below it means the sample failed, not that the
+// heap is tiny.
+const heapSampleFloor = 64 << 10
 
 func liveHeapBytes() int64 {
 	sample := []metrics.Sample{{Name: heapMetric}}

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-exposition payload
+// (format v0.0.4) the way a scraper would: every family declares
+// HELP and TYPE before its first sample, samples of one family are
+// contiguous, no family is declared twice, names and labels are
+// syntactically valid, every value parses, the payload ends with a
+// newline, and histogram families have ascending le buckets ending in
+// +Inf whose count matches _count. It is the shared contract test for
+// every exporter in this repo (CLI -metrics, daemon /metrics), so the
+// two can never drift apart in format.
+func LintPrometheus(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("promlint: empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("promlint: exposition does not end with a newline")
+	}
+	families := map[string]*promFamily{}
+	var current string // family whose contiguous block we are inside
+	seenSamples := map[string]bool{}
+	// histogram bookkeeping: per family, per label-set-sans-le, the
+	// bucket series and the _count value.
+	type histSeries struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+		hasSum bool
+	}
+	hists := map[string]map[string]*histSeries{}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseMetaLine(line)
+			if err != nil {
+				return fmt.Errorf("promlint: line %d: %w", lineNo, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			f := families[name]
+			if f == nil {
+				f = &promFamily{}
+				families[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					return fmt.Errorf("promlint: line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.help = rest
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("promlint: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if f.sampled {
+					return fmt.Errorf("promlint: line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.typ = rest
+			}
+			current = name
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("promlint: line %d: %w", lineNo, err)
+		}
+		fam := sampleFamily(name, families)
+		f := families[fam]
+		if f == nil || f.typ == "" || f.help == "" {
+			return fmt.Errorf("promlint: line %d: sample %s before HELP/TYPE for %s", lineNo, name, fam)
+		}
+		if fam != current {
+			return fmt.Errorf("promlint: line %d: sample %s outside its family's contiguous block (in %s)", lineNo, name, current)
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if seenSamples[key] {
+			return fmt.Errorf("promlint: line %d: duplicate sample %s", lineNo, key)
+		}
+		seenSamples[key] = true
+		f.sampled = true
+
+		if f.typ == "histogram" {
+			hs := hists[fam]
+			if hs == nil {
+				hs = map[string]*histSeries{}
+				hists[fam] = hs
+			}
+			series := canonicalLabels(dropLabel(labels, "le"))
+			s := hs[series]
+			if s == nil {
+				s = &histSeries{}
+				hs[series] = s
+			}
+			switch {
+			case name == fam+"_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("promlint: line %d: %s_bucket without le label", lineNo, fam)
+				}
+				lf, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("promlint: line %d: %w", lineNo, err)
+				}
+				s.les = append(s.les, lf)
+				s.counts = append(s.counts, value)
+			case name == fam+"_sum":
+				s.hasSum = true
+			case name == fam+"_count":
+				s.count = value
+				s.hasCnt = true
+			default:
+				return fmt.Errorf("promlint: line %d: sample %s in histogram family %s", lineNo, name, fam)
+			}
+		}
+	}
+
+	for fam, hs := range hists {
+		keys := make([]string, 0, len(hs))
+		for k := range hs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, series := range keys {
+			s := hs[series]
+			if len(s.les) == 0 {
+				return fmt.Errorf("promlint: histogram %s{%s} has no buckets", fam, series)
+			}
+			for i := 1; i < len(s.les); i++ {
+				if s.les[i] <= s.les[i-1] {
+					return fmt.Errorf("promlint: histogram %s{%s} le not ascending", fam, series)
+				}
+				if s.counts[i] < s.counts[i-1] {
+					return fmt.Errorf("promlint: histogram %s{%s} bucket counts not cumulative", fam, series)
+				}
+			}
+			if !math.IsInf(s.les[len(s.les)-1], 1) {
+				return fmt.Errorf("promlint: histogram %s{%s} missing +Inf bucket", fam, series)
+			}
+			if !s.hasSum || !s.hasCnt {
+				return fmt.Errorf("promlint: histogram %s{%s} missing _sum or _count", fam, series)
+			}
+			if s.count != s.counts[len(s.counts)-1] {
+				return fmt.Errorf("promlint: histogram %s{%s} _count %v != +Inf bucket %v", fam, series, s.count, s.counts[len(s.counts)-1])
+			}
+		}
+	}
+	return nil
+}
+
+// parseMetaLine handles "# HELP name text" / "# TYPE name kind".
+// Other comments return an empty kind.
+func parseMetaLine(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return "", "", "", nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 || fields[3] == "" {
+			return "", "", "", fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return "", "", "", fmt.Errorf("invalid metric name %q", fields[2])
+		}
+		return "HELP", fields[2], fields[3], nil
+	case "TYPE":
+		if len(fields) != 4 {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return "", "", "", fmt.Errorf("invalid metric name %q", fields[2])
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", "", fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		return "TYPE", fields[2], fields[3], nil
+	}
+	return "", "", "", nil
+}
+
+// parseSampleLine decodes `name{l1="v1",...} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		end := strings.IndexByte(rest[brace:], '}')
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[brace+1 : brace+end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimLeft(rest[brace+end+1:], " ")
+	} else {
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value in %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimLeft(rest[sp:], " ")
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q in %q", fields[1], line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels decodes `k1="v1",k2="v2"`; values may contain the
+// standard \", \\, \n escapes.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case '"', '\\':
+					b.WriteByte(s[i])
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = b.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+// sampleFamily maps a sample name to the family that declared it:
+// histogram samples use the base name (_bucket/_sum/_count suffixes),
+// everything else is its own family.
+func sampleFamily(name string, families map[string]*promFamily) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f := families[base]; f != nil && (f.typ == "histogram" || f.typ == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// promFamily is the metadata LintPrometheus tracks per metric family.
+type promFamily struct {
+	help, typ string
+	sampled   bool
+}
+
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+strconv.Quote(labels[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func dropLabel(labels map[string]string, name string) map[string]string {
+	if _, ok := labels[name]; !ok {
+		return labels
+	}
+	out := make(map[string]string, len(labels)-1)
+	for k, v := range labels {
+		if k != name {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable le %q", s)
+	}
+	return v, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

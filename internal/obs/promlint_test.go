@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintPrometheusAccepts(t *testing.T) {
+	cases := map[string]string{
+		"counter": "# HELP a_total things\n# TYPE a_total counter\na_total 3\n",
+		"gauge with labels": "# HELP g stuff\n# TYPE g gauge\n" +
+			"g{job=\"x\",quote=\"sa\\\"y\"} 1.5\ng{job=\"y\"} 2\n",
+		"histogram": "# HELP h_seconds lat\n# TYPE h_seconds histogram\n" +
+			"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_bucket{le=\"1\"} 3\nh_seconds_bucket{le=\"+Inf\"} 4\n" +
+			"h_seconds_sum 2.5\nh_seconds_count 4\n",
+		"labeled histogram": "# HELP h lat\n# TYPE h histogram\n" +
+			"h_bucket{phase=\"a\",le=\"1\"} 1\nh_bucket{phase=\"a\",le=\"+Inf\"} 1\nh_sum{phase=\"a\"} 0.5\nh_count{phase=\"a\"} 1\n" +
+			"h_bucket{phase=\"b\",le=\"1\"} 0\nh_bucket{phase=\"b\",le=\"+Inf\"} 2\nh_sum{phase=\"b\"} 9\nh_count{phase=\"b\"} 2\n",
+		"timestamped":     "# HELP t x\n# TYPE t counter\nt 1 1700000000000\n",
+		"free comment":    "# just a comment\n# HELP a x\n# TYPE a counter\na 1\n",
+		"empty histogram": "# HELP h x\n# TYPE h histogram\n",
+		"special values":  "# HELP v x\n# TYPE v gauge\nv{k=\"a\"} +Inf\nv{k=\"b\"} NaN\n",
+	}
+	for name, in := range cases {
+		if err := LintPrometheus([]byte(in)); err != nil {
+			t.Errorf("%s: unexpected lint error: %v", name, err)
+		}
+	}
+}
+
+func TestLintPrometheusRejects(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want string
+	}{
+		"empty":               {"", "empty"},
+		"no trailing newline": {"# HELP a x\n# TYPE a counter\na 1", "newline"},
+		"sample before meta":  {"a 1\n# HELP a x\n# TYPE a counter\n", "before HELP/TYPE"},
+		"missing TYPE":        {"# HELP a x\na 1\n", "before HELP/TYPE"},
+		"duplicate HELP":      {"# HELP a x\n# HELP a y\n# TYPE a counter\na 1\n", "duplicate HELP"},
+		"duplicate sample":    {"# HELP a x\n# TYPE a counter\na 1\na 2\n", "duplicate sample"},
+		"interleaved families": {
+			"# HELP a x\n# TYPE a counter\na 1\n# HELP b y\n# TYPE b counter\nb 1\na{l=\"v\"} 2\n",
+			"contiguous"},
+		"bad metric name":     {"# HELP 0a x\n# TYPE 0a counter\n0a 1\n", "invalid metric name"},
+		"bad label name":      {"# HELP a x\n# TYPE a counter\na{0l=\"v\"} 1\n", "invalid label name"},
+		"bad value":           {"# HELP a x\n# TYPE a counter\na one\n", "unparseable value"},
+		"bad TYPE kind":       {"# HELP a x\n# TYPE a enum\na 1\n", "unknown TYPE"},
+		"unterminated labels": {"# HELP a x\n# TYPE a counter\na{l=\"v\" 1\n", "unterminated"},
+		"hist le not ascending": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"not ascending"},
+		"hist not cumulative": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"cumulative"},
+		"hist missing inf": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf"},
+		"hist count mismatch": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+			"_count"},
+		"hist missing sum": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"_sum"},
+		"hist bucket no le": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+			"without le"},
+	}
+	for name, c := range cases {
+		err := LintPrometheus([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+}
+
+// TestLintPrometheusOverRealExporters pins the contract: the actual
+// exposition of the engine's own metrics must lint.
+func TestLintPrometheusOverRealExporters(t *testing.T) {
+	var m Metrics
+	m.Comparisons.Add(7)
+	m.SampleHeap()
+	var sb strings.Builder
+	if err := m.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus([]byte(sb.String())); err != nil {
+		t.Fatalf("engine exporter does not lint: %v", err)
+	}
+}

@@ -164,6 +164,11 @@ type Report struct {
 	Spill       *SpillReport      `json:"spill,omitempty"`
 	Interrupted *InterruptReport  `json:"interrupted,omitempty"`
 
+	// PhaseLatency digests the duration distribution of every span
+	// kind the run emitted (p50/p90/p99), keyed by span name — the
+	// per-phase latency view the averages above cannot give.
+	PhaseLatency map[string]LatencySummary `json:"phase_latency,omitempty"`
+
 	Candidates []CandidateReport `json:"candidates"`
 	Metrics    Snapshot          `json:"metrics"`
 }
@@ -190,6 +195,7 @@ type Collector struct {
 	checkpoint  CheckpointReport
 	resume      *ResumeReport
 	interrupted *InterruptReport
+	phases      *PhaseHistograms
 }
 
 // NewCollector returns an empty collector.
@@ -197,11 +203,13 @@ func NewCollector() *Collector {
 	return &Collector{
 		candidates: make(map[string]*CandidateReport),
 		passes:     make(map[string][]PassReport),
+		phases:     NewPhaseHistograms(),
 	}
 }
 
 // Emit implements Sink.
 func (c *Collector) Emit(r Record) {
+	c.phases.Emit(r)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch r.Name {
@@ -320,6 +328,9 @@ func (c *Collector) Report(m *Metrics) *Report {
 		rep.FilterHitRate = float64(rep.Totals.FilteredOut) / float64(attempted)
 	}
 	rep.SimCacheHitRate = rep.Metrics.SimCacheHitRate
+	if s := c.phases.Summaries(); len(s) > 0 {
+		rep.PhaseLatency = s
+	}
 	if c.resume != nil {
 		if np := c.resumeNextPass(); len(np) > 0 {
 			rep.Resume.NextPass = np

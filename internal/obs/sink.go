@@ -3,7 +3,9 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"sync"
 )
 
@@ -140,6 +142,139 @@ func (j *JSONL) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// RotatingJSONL is a JSONL sink bound to a file path with size-capped
+// rotation: when appending a record would push the active file past
+// maxBytes, the file is rotated (path → path.1 → path.2 …) and a
+// fresh one started, keeping at most keep rotated segments. It exists
+// for long-running daemons with -trace, where an unbounded trace file
+// would eventually fill the disk. Rotation never loses the record
+// that triggered it, and the sink reopens an existing file in append
+// mode so restarts keep extending it.
+type RotatingJSONL struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64 // ≤0 = never rotate
+	keep     int   // rotated segments retained; ≤0 = discard on rotate
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64
+	err      error
+}
+
+// NewRotatingJSONL opens (or creates) path for appending with the
+// given rotation policy.
+func NewRotatingJSONL(path string, maxBytes int64, keep int) (*RotatingJSONL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingJSONL{
+		path:     path,
+		maxBytes: maxBytes,
+		keep:     keep,
+		f:        f,
+		bw:       bufio.NewWriter(f),
+		size:     info.Size(),
+	}, nil
+}
+
+// Emit implements Sink. The first I/O error is sticky, like JSONL.
+func (r *RotatingJSONL) Emit(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		r.err = err
+		return
+	}
+	n := int64(len(data)) + 1
+	if r.maxBytes > 0 && r.size > 0 && r.size+n > r.maxBytes {
+		if r.err = r.rotateLocked(); r.err != nil {
+			return
+		}
+	}
+	if _, err := r.bw.Write(data); err != nil {
+		r.err = err
+		return
+	}
+	if err := r.bw.WriteByte('\n'); err != nil {
+		r.err = err
+		return
+	}
+	r.size += n
+}
+
+// rotateLocked shifts the segment chain up and opens a fresh active
+// file. Callers hold r.mu.
+func (r *RotatingJSONL) rotateLocked() error {
+	if err := r.bw.Flush(); err != nil {
+		return err
+	}
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	if r.keep <= 0 {
+		os.Remove(r.path)
+	} else {
+		os.Remove(fmt.Sprintf("%s.%d", r.path, r.keep))
+		for i := r.keep - 1; i >= 1; i-- {
+			os.Rename(fmt.Sprintf("%s.%d", r.path, i), fmt.Sprintf("%s.%d", r.path, i+1))
+		}
+		if err := os.Rename(r.path, r.path+".1"); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	r.f = f
+	r.bw = bufio.NewWriter(f)
+	r.size = 0
+	return nil
+}
+
+// Flush drains the buffer and returns the sticky error, if any.
+func (r *RotatingJSONL) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	r.err = r.bw.Flush()
+	return r.err
+}
+
+// Close flushes and closes the active file. The first error wins.
+func (r *RotatingJSONL) Close() error {
+	err := r.Flush()
+	r.mu.Lock()
+	f := r.f
+	r.f = nil
+	r.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Err returns the sticky write/encode error, if any.
+func (r *RotatingJSONL) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // ParseJSONL decodes records previously written by a JSONL sink —

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rotRecord(i int) Record {
+	return Record{Kind: "event", Name: fmt.Sprintf("rec-%04d", i)}
+}
+
+func readSegment(t *testing.T, path string) []Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	recs, err := ParseJSONL(f)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	return recs
+}
+
+func TestRotatingJSONLRotatesAndKeepsN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	// Each record is ~40 bytes; cap at ~3 records per segment.
+	r, err := NewRotatingJSONL(path, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		r.Emit(rotRecord(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Active file + exactly `keep` rotated segments; path.3 must not
+	// exist (the chain is capped).
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("segment beyond keep=2 exists (stat err %v)", err)
+	}
+	var all []Record
+	for _, p := range []string{path + ".2", path + ".1", path} {
+		segment := readSegment(t, p)
+		if len(segment) == 0 {
+			t.Fatalf("segment %s is empty", p)
+		}
+		all = append(all, segment...)
+	}
+	// The retained window is a contiguous, in-order suffix of what was
+	// emitted: no record lost or reordered inside the kept segments.
+	want := total - len(all)
+	for i, rec := range all {
+		if rec.Name != rotRecord(want+i).Name {
+			t.Fatalf("record %d = %s, want %s (kept window not contiguous)",
+				i, rec.Name, rotRecord(want+i).Name)
+		}
+	}
+	// No individual segment may exceed the cap.
+	for _, p := range []string{path + ".2", path + ".1"} {
+		if info, err := os.Stat(p); err != nil || info.Size() > 128 {
+			t.Errorf("segment %s size %d exceeds cap (err %v)", p, info.Size(), err)
+		}
+	}
+}
+
+func TestRotatingJSONLKeepZeroDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	r, err := NewRotatingJSONL(path, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		r.Emit(rotRecord(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("keep=0 left a rotated segment behind (stat err %v)", err)
+	}
+	if recs := readSegment(t, path); len(recs) == 0 {
+		t.Fatal("active file empty after keep=0 rotation")
+	}
+}
+
+func TestRotatingJSONLNeverRotatesUncapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	r, err := NewRotatingJSONL(path, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.Emit(rotRecord(i))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatal("maxBytes=0 rotated anyway")
+	}
+	if recs := readSegment(t, path); len(recs) != 100 {
+		t.Fatalf("uncapped file holds %d records, want 100", len(recs))
+	}
+}
+
+// TestRotatingJSONLReopenAppends pins restart behavior: reopening an
+// existing trace file extends it, and the inherited size counts toward
+// the rotation cap.
+func TestRotatingJSONLReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	r, err := NewRotatingJSONL(path, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit(rotRecord(0))
+	r.Emit(rotRecord(1))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := NewRotatingJSONL(path, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Emit(rotRecord(2))
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := readSegment(t, path)
+	if len(recs) != 3 || recs[0].Name != "rec-0000" || recs[2].Name != "rec-0002" {
+		t.Fatalf("reopened file holds %d records: %+v", len(recs), recs)
+	}
+
+	// A reopen whose inherited size already busts a tighter cap rotates
+	// on the first emit instead of growing forever.
+	r3, err := NewRotatingJSONL(path, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Emit(rotRecord(3))
+	if err := r3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("inherited oversize file did not rotate: %v", err)
+	}
+	if recs := readSegment(t, path); len(recs) != 1 || recs[0].Name != "rec-0003" {
+		t.Fatalf("post-rotation active file: %+v", recs)
+	}
+}

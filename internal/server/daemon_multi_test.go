@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -99,6 +100,54 @@ func TestTwoDaemonTakeoverDifferential(t *testing.T) {
 	}
 	if got := b.Met.JobsResumed.Load(); got != 2 {
 		t.Errorf("daemon B JobsResumed = %d, want 2", got)
+	}
+
+	// The journal travels with the job: j1's single file must hold the
+	// full cross-daemon timeline — A's attempt, the takeover with the
+	// epoch bump and ownership chain, A's fencing, and B's finish.
+	evs := jobEvents(t, b, j1.id)
+	var sawAttemptA, sawAttemptB bool
+	var takeover, fenced, finished *JobEvent
+	for i := range evs {
+		ev := &evs[i]
+		if i > 0 && ev.Seq <= evs[i-1].Seq {
+			t.Errorf("journal seqs not increasing: %d then %d", evs[i-1].Seq, ev.Seq)
+		}
+		switch {
+		case ev.Type == EventAttempt && ev.Owner == "daemon-a":
+			sawAttemptA = true
+			if ev.Epoch != 1 {
+				t.Errorf("daemon A attempt at epoch %d, want 1", ev.Epoch)
+			}
+		case ev.Type == EventAttempt && ev.Owner == "daemon-b":
+			sawAttemptB = true
+			if ev.Epoch != 2 {
+				t.Errorf("daemon B attempt at epoch %d, want 2", ev.Epoch)
+			}
+		case ev.Type == EventTakeover:
+			takeover = ev
+		case ev.Type == EventFenced:
+			fenced = ev
+		case ev.Type == EventFinished:
+			finished = ev
+		}
+	}
+	if !sawAttemptA || !sawAttemptB {
+		t.Errorf("journal missing an owner's attempt: daemon-a=%v daemon-b=%v", sawAttemptA, sawAttemptB)
+	}
+	if takeover == nil {
+		t.Error("journal has no lease-takeover event")
+	} else if takeover.Owner != "daemon-b" || takeover.Epoch != 2 ||
+		takeover.PrevOwner != "daemon-a" || takeover.PrevEpoch != 1 {
+		t.Errorf("takeover event %+v, want daemon-b epoch 2 from daemon-a epoch 1", takeover)
+	}
+	if fenced == nil {
+		t.Error("journal has no fenced event for the displaced owner")
+	} else if fenced.Owner != "daemon-a" || fenced.Epoch != 1 {
+		t.Errorf("fenced event names %s@%d, want daemon-a@1", fenced.Owner, fenced.Epoch)
+	}
+	if finished == nil || finished.Owner != "daemon-b" || finished.State != StateDone {
+		t.Errorf("finished event %+v, want daemon-b done", finished)
 	}
 
 	// B is done: snapshot the durable truth for j1.
@@ -261,6 +310,21 @@ func TestTakeoverKilledAtEveryStep(t *testing.T) {
 					}
 				default:
 					t.Errorf("crash at %d (torn=%v): terminal state %s", n, torn, st)
+				}
+				// Whatever the crash did to the journal, it reads back as
+				// decodable events plus at most a typed torn/corrupt error —
+				// and the decodable sequence stays strictly increasing.
+				if raw, rerr := os.ReadFile(sp.journalPath(id)); rerr == nil {
+					lines, _, serr := scanJournal(raw)
+					if serr != nil && !errors.Is(serr, ErrJournalTorn) && !errors.Is(serr, ErrJournalCorrupt) {
+						t.Errorf("crash at %d (torn=%v): untyped journal error: %v", n, torn, serr)
+					}
+					for i := 1; i < len(lines); i++ {
+						if lines[i].Ev.Seq <= lines[i-1].Ev.Seq {
+							t.Errorf("crash at %d (torn=%v): journal seqs not increasing", n, torn)
+							break
+						}
+					}
 				}
 			}
 			drainSrv(t, b)

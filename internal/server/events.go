@@ -1,0 +1,236 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// GET /v1/jobs/{id}/events streams the job's journal as Server-Sent
+// Events: every persisted event is replayed first, then the stream
+// tails the journal live until the job reaches a terminal event. Each
+// SSE frame carries the journal sequence number as its id, so a client
+// that reconnects with Last-Event-ID resumes exactly where it stopped:
+//
+//	id: 3
+//	event: attempt-start
+//	data: {"schema":"sxnm/events/v1","seq":3,...}
+//
+// The tail is poll-based (Config.EventPollInterval) over the same
+// readJournalLinesFrom primitive recovery uses: the read offset only
+// ever advances past complete newline-terminated lines, so a torn
+// in-progress append is simply re-read whole on the next poll, never
+// emitted half-written.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.cfg.DisableJournal {
+		writeAPIError(w, &apiError{Status: http.StatusConflict, Code: "journal-disabled",
+			Message: "this daemon runs with the event journal disabled"})
+		return
+	}
+	j := s.Job(id)
+	if j == nil {
+		writeAPIError(w, &apiError{Status: http.StatusNotFound, Code: "unknown-job",
+			Message: "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeAPIError(w, &apiError{Status: http.StatusInternalServerError, Code: "streaming-unsupported",
+			Message: "response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// A reconnecting client sends the last sequence it saw; everything
+	// at or below it is filtered out of the replay.
+	var lastSeq int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			lastSeq = n
+		}
+	}
+
+	var offset int64
+	for {
+		lines, next, rerr := s.spool.readJournalLinesFrom(id, offset)
+		if rerr != nil && offset == 0 {
+			s.cfg.Logf("job %s: event stream read: %v", id, rerr)
+		}
+		offset = next
+		terminal := false
+		for _, l := range lines {
+			if l.Ev.Seq <= lastSeq {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", l.Ev.Seq, l.Ev.Type, l.Raw)
+			lastSeq = l.Ev.Seq
+			if l.Ev.Terminal() {
+				terminal = true
+			}
+		}
+		if len(lines) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		// The finished event lands in the journal BEFORE the in-memory
+		// state flips terminal, so "job terminal and the read above found
+		// nothing new" means the timeline is fully delivered (or its tail
+		// was lost to a best-effort append failure — either way there is
+		// nothing left to wait for).
+		j.mu.Lock()
+		done := j.state.Terminal()
+		j.mu.Unlock()
+		if done && len(lines) == 0 {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCtx.Done():
+			return
+		case <-time.After(s.cfg.EventPollInterval):
+		}
+	}
+}
+
+// FleetStatus is the GET /v1/fleet body: this daemon's own gauges plus
+// a lease-derived view of every owner sharing the spool — which is the
+// only ground truth a fleet has; there is no coordinator to ask.
+type FleetStatus struct {
+	Daemon DaemonStatus `json:"daemon"`
+	Owners []FleetOwner `json:"owners"`
+	Jobs   FleetJobs    `json:"jobs"`
+}
+
+// DaemonStatus describes the daemon answering the request.
+type DaemonStatus struct {
+	Owner          string `json:"owner"`
+	QueueDepth     int64  `json:"queue_depth"`
+	RunningJobs    int64  `json:"running_jobs"`
+	Draining       bool   `json:"draining"`
+	DiskPressure   bool   `json:"disk_pressure"`
+	LeasesAcquired int64  `json:"leases_acquired"`
+	LeaseTakeovers int64  `json:"lease_takeovers"`
+	LeasesFenced   int64  `json:"leases_fenced"`
+	JournalEvents  int64  `json:"journal_events"`
+}
+
+// FleetOwner aggregates the live leases held by one owner id.
+type FleetOwner struct {
+	Owner string `json:"owner"`
+	// Self marks the answering daemon's own row.
+	Self bool `json:"self,omitempty"`
+	// Jobs is how many unfinished jobs this owner's leases cover.
+	Jobs int `json:"jobs"`
+	// MaxEpoch is the highest fencing epoch among them — how contested
+	// this owner's work has been.
+	MaxEpoch int64 `json:"max_epoch"`
+	// NewestHeartbeat is the freshest heartbeat across its leases.
+	NewestHeartbeat time.Time `json:"newest_heartbeat"`
+	// Live is true while that heartbeat is within the lease TTL.
+	Live bool `json:"live"`
+	// Released counts leases the owner handed back (a clean drain).
+	Released int `json:"released,omitempty"`
+}
+
+// FleetJobs are spool-wide job totals.
+type FleetJobs struct {
+	Total      int `json:"total"`
+	Unfinished int `json:"unfinished"`
+	Terminal   int `json:"terminal"`
+	Unleased   int `json:"unleased,omitempty"`
+	Corrupt    int `json:"corrupt,omitempty"`
+}
+
+// GET /v1/fleet reads the shared spool's lease files and answers who
+// owns what right now. Any daemon on the spool returns the same
+// owner/job view (modulo in-flight churn); only the daemon section is
+// specific to the one asked.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	now := time.Now().UTC()
+	st := FleetStatus{
+		Daemon: DaemonStatus{
+			Owner:          s.owner,
+			QueueDepth:     s.Met.QueueDepth.Load(),
+			RunningJobs:    s.Met.RunningJobs.Load(),
+			Draining:       s.Draining(),
+			DiskPressure:   s.diskLow.Load(),
+			LeasesAcquired: s.Met.LeasesAcquired.Load(),
+			LeaseTakeovers: s.Met.LeaseTakeovers.Load(),
+			LeasesFenced:   s.Met.LeasesFenced.Load(),
+			JournalEvents:  s.Met.JournalEvents.Load(),
+		},
+		Owners: []FleetOwner{},
+	}
+	entries, err := s.spool.scan()
+	if err != nil {
+		writeAPIError(w, &apiError{Status: http.StatusInternalServerError, Code: "spool-error",
+			Message: fmt.Sprintf("scanning spool: %v", err)})
+		return
+	}
+	owners := map[string]*FleetOwner{}
+	for _, ent := range entries {
+		st.Jobs.Total++
+		if ent.rec == nil {
+			st.Jobs.Corrupt++
+			continue
+		}
+		if out, oerr := s.spool.loadOutcome(ent.id); oerr == nil && out != nil {
+			st.Jobs.Terminal++
+			continue
+		}
+		st.Jobs.Unfinished++
+		lease, lerr := s.spool.loadLease(ent.id)
+		if lerr != nil || lease == nil {
+			st.Jobs.Unleased++
+			continue
+		}
+		o := owners[lease.Owner]
+		if o == nil {
+			o = &FleetOwner{Owner: lease.Owner, Self: lease.Owner == s.owner}
+			owners[lease.Owner] = o
+		}
+		o.Jobs++
+		if lease.Epoch > o.MaxEpoch {
+			o.MaxEpoch = lease.Epoch
+		}
+		if lease.Heartbeat.After(o.NewestHeartbeat) {
+			o.NewestHeartbeat = lease.Heartbeat
+		}
+		if lease.Released {
+			o.Released++
+		}
+		if !lease.Released && !lease.Expired(now, s.cfg.LeaseTTL) {
+			o.Live = true
+		}
+	}
+	for _, o := range owners {
+		st.Owners = append(st.Owners, *o)
+	}
+	sortFleetOwners(st.Owners)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// sortFleetOwners orders the answering daemon first, then by owner id,
+// so the view is stable across polls.
+func sortFleetOwners(owners []FleetOwner) {
+	for i := 1; i < len(owners); i++ {
+		for k := i; k > 0 && fleetOwnerLess(owners[k], owners[k-1]); k-- {
+			owners[k], owners[k-1] = owners[k-1], owners[k]
+		}
+	}
+}
+
+func fleetOwnerLess(a, b FleetOwner) bool {
+	if a.Self != b.Self {
+		return a.Self
+	}
+	return a.Owner < b.Owner
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"time"
@@ -15,16 +16,21 @@ import (
 //	POST   /v1/jobs               submit (202 + job id, typed 4xx on rejection)
 //	GET    /v1/jobs/{id}          status + live partial stats
 //	GET    /v1/jobs/{id}/clusters clusters of a done job (409 otherwise)
+//	GET    /v1/jobs/{id}/events   SSE: journal replay + live tail (events.go)
 //	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/fleet              lease-derived who-owns-what view (events.go)
 //	GET    /healthz               process liveness (always 200)
 //	GET    /readyz                503 while draining
 //	GET    /metrics               Prometheus text: daemon + engine counters
+//	                              + latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/clusters", s.handleClusters)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -40,11 +46,35 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := s.Met.WritePrometheus(w, s.aggregateSnapshot()); err != nil {
+		if err := s.writeMetrics(w); err != nil {
 			s.cfg.Logf("metrics: %v", err)
 		}
 	})
 	return mux
+}
+
+// writeMetrics renders the full /metrics payload: daemon counters,
+// aggregated engine counters, the daemon latency histograms, and the
+// per-phase engine histogram family. One function so tests can lint
+// the exact exposition a scraper sees.
+func (s *Server) writeMetrics(w io.Writer) error {
+	if err := s.Met.WritePrometheus(w, s.aggregateSnapshot()); err != nil {
+		return err
+	}
+	if err := s.Hist.QueueWait.WritePrometheus(w, "sxnmd_queue_wait_seconds",
+		"Time jobs spend queued before a worker picks them up."); err != nil {
+		return err
+	}
+	if err := s.Hist.Attempt.WritePrometheus(w, "sxnmd_attempt_duration_seconds",
+		"Duration of individual engine attempts, successful or not."); err != nil {
+		return err
+	}
+	if err := s.Hist.JobLatency.WritePrometheus(w, "sxnmd_job_duration_seconds",
+		"End-to-end job latency from submission to terminal state."); err != nil {
+		return err
+	}
+	return s.phases.WritePrometheus(w, "sxnmd_engine_phase_duration_seconds",
+		"Engine phase (span) durations aggregated across all jobs.")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

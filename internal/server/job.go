@@ -217,20 +217,24 @@ type job struct {
 	// report.json in the spool.
 	ob  *sxnm.Observer
 	col *sxnm.Collector
+	// jr is the job's durable event journal appender (nil when
+	// journaling is disabled); set before the job is enqueued.
+	jr *journal
 
 	mu        sync.Mutex
 	state     JobState
 	attempts  int
+	enqueued  time.Time // last time the job entered the run queue
 	started   time.Time
 	finished  time.Time
 	errCode   string
 	errMsg    string
 	epoch     int64 // lease fencing token (0 ⇒ constructed without a lease)
 	fenced    bool  // lease lost to a takeover; no spool writes allowed
-	resumed   bool // re-enqueued from the spool by a restart
-	cancelled bool // DELETE received
-	counted   bool // holds a tenant-accounting slot (set at enqueue)
-	finalized bool // a finishJob claimed this job (exactly-once terminal)
+	resumed   bool  // re-enqueued from the spool by a restart
+	cancelled bool  // DELETE received
+	counted   bool  // holds a tenant-accounting slot (set at enqueue)
+	finalized bool  // a finishJob claimed this job (exactly-once terminal)
 	cancel    context.CancelFunc
 	result    *Outcome
 	lastSnap  obs.Snapshot // final engine counters once terminal/requeued

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+)
+
+// The per-job event journal is the spool's flight recorder: one
+// append-only JSONL file per job directory,
+//
+//	<spool>/<job-id>/journal.jsonl
+//	    {"e":{"schema":"sxnm/events/v1","seq":1,...},"crc":"89abcdef"}
+//	    {"e":{"schema":"sxnm/events/v1","seq":2,...},"crc":"0f1e2d3c"}
+//
+// recording every lifecycle transition the job goes through — across
+// daemons. Because the file lives with the job, a lease takeover
+// hands the new owner the old owner's history: the adopting daemon
+// keeps appending to the same file, so the full fleet-wide timeline
+// of a job is reconstructible from one place.
+//
+// Frame format: each line wraps the event JSON in {"e":…,"crc":…}
+// where crc is the CRC-32 (IEEE) of the event's exact bytes, hex
+// encoded. The checksum is over the raw inner bytes, so schema
+// evolution inside the event never invalidates old frames, and a torn
+// tail (a crash mid-append) is detected as such rather than decoded
+// as garbage.
+//
+// Durability and crash-safety: every append goes through the
+// checkpoint.FS seam (OpenAppend + one Write + Sync + Close), so the
+// faultfs kill harness covers journal I/O like all other spool
+// writes. A crash can tear at most the final line; the next opener
+// detects the unterminated tail and starts its first append with a
+// repair newline, turning the torn frame into one skippable corrupt
+// line while every event before and after it stays readable. Journal
+// writes are strictly best-effort: a failed append is logged and
+// counted, never a job or daemon failure — outcome.json remains the
+// source of truth, the journal is the explanation.
+//
+// Versioning rule: events carry Schema = JournalSchema
+// ("sxnm/events/v1"). Readers MUST ignore frames whose schema they do
+// not recognize (forward compatibility) and unknown fields within a
+// known schema (the decoder here does not reject them). Writers may
+// add fields freely under v1; removing or re-typing a field requires
+// bumping to v2.
+
+// JournalSchema identifies the journal event layout version.
+const JournalSchema = "sxnm/events/v1"
+
+const spoolJournalFile = "journal.jsonl"
+
+// Journal event types. Each event carries the fields that make it
+// reconstructible: owner+epoch on everything, attempt numbers and
+// retry causes on the attempt track, prev owner/epoch on takeovers.
+const (
+	EventAdmitted    = "admitted"            // job durably spooled and leased
+	EventQueued      = "queued"              // placed on a daemon's run queue
+	EventAttempt     = "attempt-start"       // one engine attempt begins
+	EventRetry       = "retry"               // transient fault; will re-attempt
+	EventProgress    = "checkpoint-progress" // engine wrote a durable checkpoint
+	EventDrainPark   = "drain-park"          // drain interrupted; parked resumable
+	EventTakeover    = "lease-takeover"      // another daemon claimed the lease
+	EventFenced      = "fenced"              // a previous owner was fenced off
+	EventQuarantined = "quarantined"         // entry moved to .quarantine/
+	EventFinished    = "finished"            // terminal: done, failed, or canceled
+)
+
+// JobEvent is one journal entry. Zero-valued optional fields are
+// omitted from the wire form.
+type JobEvent struct {
+	Schema  string    `json:"schema"`
+	Seq     int64     `json:"seq"`
+	Time    time.Time `json:"time"`
+	Job     string    `json:"job"`
+	Type    string    `json:"type"`
+	Owner   string    `json:"owner,omitempty"`
+	Epoch   int64     `json:"epoch,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	// Cause explains retries, parks, and quarantines.
+	Cause string `json:"cause,omitempty"`
+	// State and ErrorCode qualify finished events.
+	State     JobState `json:"state,omitempty"`
+	ErrorCode string   `json:"error_code,omitempty"`
+	// PrevOwner/PrevEpoch on lease-takeover and fenced events tie the
+	// ownership chain together.
+	PrevOwner string `json:"prev_owner,omitempty"`
+	PrevEpoch int64  `json:"prev_epoch,omitempty"`
+	// Progress snapshots the engine counters on checkpoint-progress,
+	// drain-park, and finished events.
+	Progress *JobProgress `json:"progress,omitempty"`
+}
+
+// JobProgress is the compact engine-progress slice carried by
+// progress-bearing events.
+type JobProgress struct {
+	CandidatesDone   int64 `json:"candidates_done"`
+	CandidatesTotal  int64 `json:"candidates_total,omitempty"`
+	PassesDone       int64 `json:"passes_done"`
+	DuplicatePairs   int64 `json:"duplicate_pairs"`
+	CheckpointWrites int64 `json:"checkpoint_writes"`
+	CheckpointBytes  int64 `json:"checkpoint_bytes,omitempty"`
+}
+
+// Terminal reports whether this event ends the job's timeline.
+func (e *JobEvent) Terminal() bool {
+	return e.Type == EventFinished || e.Type == EventQuarantined
+}
+
+// Typed journal read outcomes. Torn = the final line lacks its
+// newline or fails its checksum (a crash mid-append); Corrupt = a
+// mid-file line is damaged (bit rot, or a repaired tear). Both come
+// back WITH every decodable event — the prefix is always usable.
+var (
+	ErrJournalTorn    = errors.New("server: torn journal tail")
+	ErrJournalCorrupt = errors.New("server: corrupt journal record")
+)
+
+// errJournalFull is the internal signal that the retention cap
+// dropped a droppable event.
+var errJournalFull = errors.New("server: journal at retention cap")
+
+// encodeEvent renders one framed journal line, newline-terminated.
+func encodeEvent(ev *JobEvent) []byte {
+	body, _ := json.Marshal(ev) // no unmarshalable fields; cannot fail
+	return []byte(fmt.Sprintf("{\"e\":%s,\"crc\":\"%08x\"}\n", body, crc32.ChecksumIEEE(body)))
+}
+
+// journalLine is one decoded frame plus its raw inner bytes (which
+// the SSE stream passes through verbatim).
+type journalLine struct {
+	Ev  JobEvent
+	Raw []byte
+}
+
+// decodeJournalLine verifies and decodes one frame (without its
+// trailing newline).
+func decodeJournalLine(line []byte) (journalLine, error) {
+	var frame struct {
+		E   json.RawMessage `json:"e"`
+		CRC string          `json:"crc"`
+	}
+	if err := json.Unmarshal(line, &frame); err != nil {
+		return journalLine{}, fmt.Errorf("undecodable frame: %w", err)
+	}
+	if len(frame.E) == 0 {
+		return journalLine{}, errors.New("frame without event")
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(frame.CRC, "%08x", &sum); err != nil || len(frame.CRC) != 8 {
+		return journalLine{}, errors.New("malformed checksum")
+	}
+	if got := crc32.ChecksumIEEE(frame.E); got != sum {
+		return journalLine{}, fmt.Errorf("checksum mismatch (want %08x, got %08x)", sum, got)
+	}
+	var ev JobEvent
+	if err := json.Unmarshal(frame.E, &ev); err != nil {
+		return journalLine{}, fmt.Errorf("undecodable event: %w", err)
+	}
+	if ev.Seq < 1 || ev.Type == "" {
+		return journalLine{}, errors.New("event missing seq or type")
+	}
+	return journalLine{Ev: ev, Raw: append([]byte(nil), frame.E...)}, nil
+}
+
+// scanJournal walks raw journal bytes and returns every decodable
+// line, the offset just past the last complete (newline-terminated)
+// line, and the typed error for whatever damage it found. Events of
+// schemas this reader does not know are skipped, per the versioning
+// rule. It never panics on any input.
+func scanJournal(data []byte) (lines []journalLine, complete int64, err error) {
+	pos := 0
+	for pos < len(data) {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			// Unterminated tail: a torn append. The prefix stands.
+			if err == nil {
+				err = fmt.Errorf("%w: %d unterminated byte(s) at offset %d", ErrJournalTorn, len(data)-pos, pos)
+			}
+			return lines, int64(pos), err
+		}
+		line := data[pos : pos+nl]
+		pos += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		jl, derr := decodeJournalLine(line)
+		if derr != nil {
+			if err == nil {
+				err = fmt.Errorf("%w: %v", ErrJournalCorrupt, derr)
+			}
+			continue
+		}
+		if jl.Ev.Schema != JournalSchema {
+			continue // unknown version: ignore, do not fail
+		}
+		lines = append(lines, jl)
+	}
+	return lines, int64(pos), err
+}
+
+// ParseJournal decodes a journal stream into its events. The returned
+// events are always the usable prefix/subset; err (ErrJournalTorn or
+// ErrJournalCorrupt, wrapped with detail) reports damage.
+func ParseJournal(r io.Reader) ([]JobEvent, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines, _, serr := scanJournal(data)
+	events := make([]JobEvent, 0, len(lines))
+	for _, l := range lines {
+		events = append(events, l.Ev)
+	}
+	return events, serr
+}
+
+// journal is the append side, one per live job. Appends are
+// serialized by mu; each opens, writes one synced line, and closes,
+// so no descriptor outlives the append and a crash tears at most one
+// frame. The struct is nil-safe: a nil journal (journaling disabled)
+// swallows every append.
+type journal struct {
+	path     string
+	fsys     checkpoint.FS
+	maxBytes int64 // soft cap; ≤0 = unbounded
+
+	mu         sync.Mutex
+	nextSeq    int64
+	size       int64
+	needRepair bool // existing file ends without '\n' (torn tail)
+}
+
+func (s *spool) journalPath(id string) string {
+	return filepath.Join(s.jobDir(id), spoolJournalFile)
+}
+
+// openJournal binds an appender to a job's journal, learning the next
+// sequence number and tail state from whatever is on disk — including
+// a previous owner's events, which is how a takeover continues the
+// timeline instead of restarting it.
+func (s *spool) openJournal(id string, maxBytes int64) *journal {
+	jr := &journal{path: s.journalPath(id), fsys: s.fsys, maxBytes: maxBytes, nextSeq: 1}
+	raw, err := os.ReadFile(jr.path)
+	if err != nil {
+		return jr // absent (the common case) or unreadable: start fresh
+	}
+	lines, _, _ := scanJournal(raw)
+	for _, l := range lines {
+		if l.Ev.Seq >= jr.nextSeq {
+			jr.nextSeq = l.Ev.Seq + 1
+		}
+	}
+	jr.size = int64(len(raw))
+	jr.needRepair = len(raw) > 0 && raw[len(raw)-1] != '\n'
+	return jr
+}
+
+// append stamps schema/seq/time onto ev and durably appends it.
+// Returns errJournalFull when the retention cap drops a droppable
+// event; any other error means the event did not land.
+func (jr *journal) append(ev *JobEvent) error {
+	if jr == nil {
+		return nil
+	}
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	ev.Schema = JournalSchema
+	ev.Seq = jr.nextSeq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now().UTC()
+	}
+	line := encodeEvent(ev)
+	if jr.maxBytes > 0 && jr.size+int64(len(line)) > jr.maxBytes && ev.Type == EventProgress {
+		// Over the cap, high-rate progress events yield; lifecycle
+		// events keep appending so the timeline stays complete.
+		return errJournalFull
+	}
+	f, err := jr.fsys.OpenAppend(jr.path)
+	if err != nil {
+		return err
+	}
+	if jr.needRepair {
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return err
+		}
+		jr.size++
+		jr.needRepair = false
+	}
+	_, werr := f.Write(line)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	jr.size += int64(len(line))
+	jr.nextSeq++
+	return nil
+}
+
+// journalAppend emits one event onto j's journal, filling in the
+// common identity fields and keeping journal failures observational:
+// logged and counted, never propagated into the job lifecycle.
+func (s *Server) journalAppend(j *job, ev JobEvent) {
+	if j == nil || j.jr == nil {
+		return
+	}
+	ev.Job = j.id
+	if ev.Owner == "" {
+		ev.Owner = s.owner
+	}
+	if ev.Epoch == 0 {
+		j.mu.Lock()
+		ev.Epoch = j.epoch
+		j.mu.Unlock()
+	}
+	s.appendEvent(j.jr, ev)
+}
+
+// appendEvent writes ev through jr with the server's error
+// accounting; used directly for events not tied to a live job
+// (quarantine).
+func (s *Server) appendEvent(jr *journal, ev JobEvent) {
+	err := jr.append(&ev)
+	switch {
+	case err == nil:
+		s.Met.JournalEvents.Add(1)
+	case errors.Is(err, errJournalFull):
+		s.Met.JournalDropped.Add(1)
+	default:
+		s.Met.JournalErrors.Add(1)
+		s.cfg.Logf("job %s: journal append (%s): %v", ev.Job, ev.Type, err)
+	}
+}
+
+// progressOf compacts a job's live engine counters into the
+// journal-sized progress slice.
+func (s *Server) progressOf(j *job) *JobProgress {
+	m := j.ob.Metrics()
+	p := &JobProgress{
+		CandidatesDone:   m.CandidatesDone.Load(),
+		CandidatesTotal:  m.CandidatesTotal.Load(),
+		PassesDone:       m.PassesDone.Load(),
+		DuplicatePairs:   m.DuplicatePairs.Load(),
+		CheckpointWrites: m.CheckpointWrites.Load(),
+		CheckpointBytes:  m.CheckpointBytes.Load(),
+	}
+	if *p == (JobProgress{}) {
+		return nil
+	}
+	return p
+}
+
+// progressSink forwards the engine's checkpoint spans into
+// checkpoint-progress journal events: every time the run makes
+// durable progress, the journal says how far it got — which is what
+// makes a takeover's "resumed from where?" answerable after the fact.
+type progressSink struct {
+	s *Server
+	j *job
+}
+
+// Emit implements obs.Sink. Only checkpoint spans are journaled, so
+// the event rate tracks durable progress, not the hot loop.
+func (p *progressSink) Emit(r obs.Record) {
+	if r.Kind != "span" || r.Name != obs.SpanCheckpoint {
+		return
+	}
+	j := p.j
+	j.mu.Lock()
+	fenced := j.fenced
+	j.mu.Unlock()
+	if fenced {
+		// A fenced daemon writes NOTHING to the spool — the journal
+		// included; the new owner's events are the truth now.
+		return
+	}
+	pr := p.s.progressOf(j)
+	if pr == nil {
+		// Nothing measurable yet (the run's very first checkpoint): an
+		// empty progress event would say nothing.
+		return
+	}
+	p.s.journalAppend(j, JobEvent{Type: EventProgress, Progress: pr})
+}
+
+// readJournalLinesFrom reads and decodes the journal from a byte
+// offset, returning the new lines, the offset just past the last
+// complete line, and any damage error — the SSE tail loop's read
+// primitive. A missing journal is (nil, offset, nil).
+func (s *spool) readJournalLinesFrom(id string, offset int64) ([]journalLine, int64, error) {
+	f, err := os.Open(s.journalPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, offset, nil
+	}
+	if err != nil {
+		return nil, offset, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return nil, offset, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, offset, err
+	}
+	lines, complete, serr := scanJournal(data)
+	return lines, offset + complete, serr
+}

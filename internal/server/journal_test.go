@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/checkpoint/faultfs"
+)
+
+func testJournalSpool(t *testing.T, fsys checkpoint.FS) *spool {
+	t.Helper()
+	sp, err := newSpool(t.TempDir(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admission creates the job dir before any journal append; the
+	// journal tests skip admission, so stand the directory up here.
+	if err := os.MkdirAll(sp.jobDir("j1"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func mustAppend(t *testing.T, jr *journal, ev JobEvent) {
+	t.Helper()
+	if err := jr.append(&ev); err != nil {
+		t.Fatalf("append %s: %v", ev.Type, err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	sp := testJournalSpool(t, nil)
+	jr := sp.openJournal("j1", 0)
+	events := []JobEvent{
+		{Job: "j1", Type: EventAdmitted, Owner: "d-a", Epoch: 1},
+		{Job: "j1", Type: EventQueued, Owner: "d-a", Epoch: 1},
+		{Job: "j1", Type: EventAttempt, Owner: "d-a", Epoch: 1, Attempt: 1},
+		{Job: "j1", Type: EventRetry, Owner: "d-a", Epoch: 1, Attempt: 1, Cause: "io timeout"},
+		{Job: "j1", Type: EventProgress, Progress: &JobProgress{CandidatesDone: 7, PassesDone: 1}},
+		{Job: "j1", Type: EventFinished, State: StateDone, Attempt: 2},
+	}
+	for _, ev := range events {
+		mustAppend(t, jr, ev)
+	}
+	f, err := os.Open(sp.journalPath("j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ParseJournal(f)
+	if err != nil {
+		t.Fatalf("ParseJournal: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i, ev := range got {
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Schema != JournalSchema {
+			t.Errorf("event %d: schema %q", i, ev.Schema)
+		}
+		if ev.Type != events[i].Type {
+			t.Errorf("event %d: type %q, want %q", i, ev.Type, events[i].Type)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d: unstamped time", i)
+		}
+	}
+	if got[3].Cause != "io timeout" {
+		t.Errorf("retry cause %q", got[3].Cause)
+	}
+	if got[4].Progress == nil || got[4].Progress.CandidatesDone != 7 {
+		t.Errorf("progress not round-tripped: %+v", got[4].Progress)
+	}
+	if got[5].State != StateDone || !got[5].Terminal() {
+		t.Errorf("finished event: state %q terminal %v", got[5].State, got[5].Terminal())
+	}
+}
+
+func TestJournalTornTailThenRepair(t *testing.T) {
+	sp := testJournalSpool(t, nil)
+	jr := sp.openJournal("j1", 0)
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAdmitted})
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventQueued})
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAttempt})
+
+	// Tear the final line mid-frame, as a crash mid-append would.
+	path := sp.journalPath("j1")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, complete, serr := scanJournal(raw[:len(raw)-10])
+	if !errors.Is(serr, ErrJournalTorn) {
+		t.Fatalf("scan of torn file: err = %v, want ErrJournalTorn", serr)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("torn file yields %d events, want the 2 intact ones", len(lines))
+	}
+	if complete >= int64(len(raw)-10) {
+		t.Fatalf("complete offset %d includes the torn tail", complete)
+	}
+
+	// A new appender (a restarted daemon) must repair the tail: its
+	// first append starts with a newline that turns the torn frame into
+	// one skippable corrupt line.
+	jr2 := sp.openJournal("j1", 0)
+	if !jr2.needRepair {
+		t.Fatal("reopened journal did not detect the torn tail")
+	}
+	if jr2.nextSeq != 3 {
+		t.Fatalf("reopened nextSeq = %d, want 3 (two decodable events)", jr2.nextSeq)
+	}
+	mustAppend(t, jr2, JobEvent{Job: "j1", Type: EventFinished, State: StateDone})
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, perr := ParseJournal(f)
+	if !errors.Is(perr, ErrJournalCorrupt) {
+		t.Fatalf("post-repair parse err = %v, want ErrJournalCorrupt for the dead frame", perr)
+	}
+	types := make([]string, len(got))
+	for i, ev := range got {
+		types[i] = ev.Type
+	}
+	want := []string{EventAdmitted, EventQueued, EventFinished}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("post-repair events %v, want %v", types, want)
+	}
+	if got[2].Seq != 3 {
+		t.Fatalf("post-repair finished seq = %d, want 3", got[2].Seq)
+	}
+}
+
+func TestJournalCorruptMidLine(t *testing.T) {
+	sp := testJournalSpool(t, nil)
+	jr := sp.openJournal("j1", 0)
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAdmitted})
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventQueued})
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventFinished, State: StateDone})
+
+	path := sp.journalPath("j1")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the second line's event body.
+	first := bytes.IndexByte(raw, '\n')
+	mut := append([]byte(nil), raw...)
+	mut[first+20] ^= 0x01
+
+	lines, _, serr := scanJournal(mut)
+	if !errors.Is(serr, ErrJournalCorrupt) {
+		t.Fatalf("scan err = %v, want ErrJournalCorrupt", serr)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d events around the corrupt line, want 2", len(lines))
+	}
+	if lines[0].Ev.Type != EventAdmitted || lines[1].Ev.Type != EventFinished {
+		t.Fatalf("wrong survivors: %s, %s", lines[0].Ev.Type, lines[1].Ev.Type)
+	}
+}
+
+func TestJournalRetentionCapDropsOnlyProgress(t *testing.T) {
+	sp := testJournalSpool(t, nil)
+	jr := sp.openJournal("j1", 400) // tiny cap: a few frames
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAdmitted})
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAttempt, Attempt: 1})
+
+	var dropped int
+	for i := 0; i < 50; i++ {
+		err := jr.append(&JobEvent{Job: "j1", Type: EventProgress,
+			Progress: &JobProgress{CandidatesDone: int64(i)}})
+		if errors.Is(err, errJournalFull) {
+			dropped++
+		} else if err != nil {
+			t.Fatalf("progress append %d: %v", i, err)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("cap never dropped a progress event")
+	}
+	// Lifecycle events must still land past the cap.
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventFinished, State: StateDone})
+
+	f, err := os.Open(sp.journalPath("j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, perr := ParseJournal(f)
+	if perr != nil {
+		t.Fatalf("parse: %v", perr)
+	}
+	if got[len(got)-1].Type != EventFinished {
+		t.Fatalf("last event %s, want finished past the cap", got[len(got)-1].Type)
+	}
+}
+
+func TestJournalUnknownSchemaSkipped(t *testing.T) {
+	sp := testJournalSpool(t, nil)
+	jr := sp.openJournal("j1", 0)
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAdmitted})
+
+	// Hand-craft a valid frame of a future schema version and splice it
+	// in; readers of v1 must skip it without error.
+	body, err := json.Marshal(JobEvent{Schema: "sxnm/events/v9", Seq: 99, Job: "j1",
+		Type: "hologram", Time: time.Unix(0, 0).UTC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := []byte(fmt.Sprintf("{\"e\":%s,\"crc\":\"%08x\"}\n", body, crc32.ChecksumIEEE(body)))
+	path := sp.journalPath("j1")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventFinished, State: StateDone})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, _, serr := scanJournal(raw)
+	if serr != nil {
+		t.Fatalf("scan err = %v, want clean skip of the future frame", serr)
+	}
+	if len(lines) != 2 || lines[0].Ev.Type != EventAdmitted || lines[1].Ev.Type != EventFinished {
+		t.Fatalf("unexpected surviving events: %+v", lines)
+	}
+}
+
+func TestJournalAppendKilledAtEveryStep(t *testing.T) {
+	// Learn the step budget of the workload: three appends.
+	appendAll := func(jr *journal) []error {
+		var errs []error
+		for _, typ := range []string{EventAdmitted, EventAttempt, EventFinished} {
+			ev := JobEvent{Job: "j1", Type: typ}
+			errs = append(errs, jr.append(&ev))
+		}
+		return errs
+	}
+	counter := faultfs.New(checkpoint.OSFS())
+	sp := testJournalSpool(t, counter)
+	for _, err := range appendAll(sp.openJournal("j1", 0)) {
+		if err != nil {
+			t.Fatalf("uninjected append failed: %v", err)
+		}
+	}
+	steps := counter.Steps()
+	if steps < 12 { // 3 appends × (open + write + sync + close)
+		t.Fatalf("suspiciously few steps (%d); appends are not going through the FS seam", steps)
+	}
+
+	for _, torn := range []bool{false, true} {
+		for n := 1; n <= steps; n++ {
+			fsys := faultfs.New(checkpoint.OSFS())
+			sp, err := newSpool(t.TempDir(), fsys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(sp.jobDir("j1"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			fsys.CrashAt(n, torn)
+			var landed []string
+			for i, err := range appendAll(sp.openJournal("j1", 0)) {
+				if err == nil {
+					landed = append(landed, []string{EventAdmitted, EventAttempt, EventFinished}[i])
+				}
+			}
+			if !fsys.Crashed() {
+				t.Fatalf("crash point %d (torn=%v) never fired in %d steps", n, torn, steps)
+			}
+
+			// Whatever the crash left behind must scan without panic into
+			// either a clean prefix or a typed torn/corrupt error.
+			raw, rerr := os.ReadFile(sp.journalPath("j1"))
+			if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				t.Fatalf("crash at %d (torn=%v): read: %v", n, torn, rerr)
+			}
+			lines, complete, serr := scanJournal(raw)
+			if serr != nil && !errors.Is(serr, ErrJournalTorn) && !errors.Is(serr, ErrJournalCorrupt) {
+				t.Fatalf("crash at %d (torn=%v): untyped scan error %v", n, torn, serr)
+			}
+			if complete > int64(len(raw)) {
+				t.Fatalf("crash at %d (torn=%v): complete offset %d > file size %d", n, torn, complete, len(raw))
+			}
+			// Every append the crashed generation saw succeed must be
+			// readable: a synced frame survives the crash.
+			if len(lines) < len(landed) {
+				t.Fatalf("crash at %d (torn=%v): %d acknowledged appends but only %d readable",
+					n, torn, len(landed), len(lines))
+			}
+
+			// Generation 2: a fresh daemon (healthy FS) over the same
+			// spool reopens, repairs, and completes the timeline.
+			sp2, err := newSpool(sp.root, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jr2 := sp2.openJournal("j1", 0)
+			ev := JobEvent{Job: "j1", Type: EventFinished, State: StateDone}
+			if err := jr2.append(&ev); err != nil {
+				t.Fatalf("crash at %d (torn=%v): post-crash append: %v", n, torn, err)
+			}
+			raw, err = os.ReadFile(sp.journalPath("j1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines, _, serr = scanJournal(raw)
+			if serr != nil && !errors.Is(serr, ErrJournalCorrupt) && !errors.Is(serr, ErrJournalTorn) {
+				t.Fatalf("crash at %d (torn=%v): post-repair untyped error %v", n, torn, serr)
+			}
+			if len(lines) == 0 || lines[len(lines)-1].Ev.Type != EventFinished {
+				t.Fatalf("crash at %d (torn=%v): post-repair tail is not the new finished event", n, torn)
+			}
+			for i := 1; i < len(lines); i++ {
+				if lines[i].Ev.Seq <= lines[i-1].Ev.Seq {
+					t.Fatalf("crash at %d (torn=%v): seqs not increasing: %d then %d",
+						n, torn, lines[i-1].Ev.Seq, lines[i].Ev.Seq)
+				}
+			}
+		}
+	}
+}
+
+func TestJournalNilAndDisabledSafe(t *testing.T) {
+	var jr *journal
+	ev := JobEvent{Job: "x", Type: EventAdmitted}
+	if err := jr.append(&ev); err != nil {
+		t.Fatalf("nil journal append: %v", err)
+	}
+	var s Server
+	s.journalAppend(nil, JobEvent{Type: EventAdmitted})
+	s.journalAppend(&job{id: "x"}, JobEvent{Type: EventAdmitted}) // j.jr nil
+}
+
+func TestReadJournalLinesFromOffsets(t *testing.T) {
+	sp := testJournalSpool(t, nil)
+	jr := sp.openJournal("j1", 0)
+
+	// Missing journal: no lines, offset unchanged, no error.
+	lines, off, err := sp.readJournalLinesFrom("j1", 0)
+	if err != nil || lines != nil || off != 0 {
+		t.Fatalf("missing journal: lines=%v off=%d err=%v", lines, off, err)
+	}
+
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventAdmitted})
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventQueued})
+	lines, off, err = sp.readJournalLinesFrom("j1", 0)
+	if err != nil || len(lines) != 2 {
+		t.Fatalf("first read: %d lines, err %v", len(lines), err)
+	}
+
+	// Incremental read from the returned offset sees only new events.
+	mustAppend(t, jr, JobEvent{Job: "j1", Type: EventFinished, State: StateDone})
+	lines, off2, err := sp.readJournalLinesFrom("j1", off)
+	if err != nil || len(lines) != 1 || lines[0].Ev.Type != EventFinished {
+		t.Fatalf("incremental read: %d lines (err %v)", len(lines), err)
+	}
+	if off2 <= off {
+		t.Fatalf("offset did not advance: %d then %d", off, off2)
+	}
+	// Reading again from the end is empty and stable.
+	lines, off3, err := sp.readJournalLinesFrom("j1", off2)
+	if err != nil || len(lines) != 0 || off3 != off2 {
+		t.Fatalf("read at end: lines=%d off=%d err=%v", len(lines), off3, err)
+	}
+}
+
+func FuzzScanJournal(f *testing.F) {
+	sp, err := newSpool(f.TempDir(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := os.MkdirAll(sp.jobDir("seed"), 0o755); err != nil {
+		f.Fatal(err)
+	}
+	jr := sp.openJournal("seed", 0)
+	for _, typ := range []string{EventAdmitted, EventProgress, EventFinished} {
+		ev := JobEvent{Job: "seed", Type: typ, Time: time.Unix(0, 0).UTC()}
+		if err := jr.append(&ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	seed, err := os.ReadFile(sp.journalPath("seed"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-7])
+	f.Add([]byte(`{"e":{},"crc":"00000000"}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lines, complete, err := scanJournal(data)
+		if complete < 0 || complete > int64(len(data)) {
+			t.Fatalf("complete offset %d out of range [0,%d]", complete, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrJournalTorn) && !errors.Is(err, ErrJournalCorrupt) {
+			t.Fatalf("untyped error: %v", err)
+		}
+		for i, l := range lines {
+			if l.Ev.Seq < 1 || l.Ev.Type == "" || l.Ev.Schema != JournalSchema {
+				t.Fatalf("line %d violates decode invariants: %+v", i, l.Ev)
+			}
+		}
+		// The complete prefix must rescan to the same events.
+		again, c2, _ := scanJournal(data[:complete])
+		if len(again) != len(lines) || c2 != complete {
+			t.Fatalf("prefix rescan diverged: %d/%d events, %d/%d offset",
+				len(again), len(lines), c2, complete)
+		}
+	})
+}

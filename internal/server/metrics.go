@@ -14,17 +14,17 @@ import (
 // (internal/obs) across every job this process has run. All fields
 // are atomics; the zero value is ready to use.
 type Metrics struct {
-	JobsAccepted  atomic.Int64 // admitted submissions
-	JobsDone      atomic.Int64
-	JobsFailed    atomic.Int64
-	JobsCanceled  atomic.Int64
-	JobsResumed   atomic.Int64 // jobs re-enqueued from the spool at startup
-	JobsRequeued  atomic.Int64 // in-flight jobs checkpointed back to queued by a drain
-	Retries       atomic.Int64 // job attempts restarted after a transient fault
-	RejectsFull   atomic.Int64 // submissions rejected because the queue was full
-	RejectsTenant atomic.Int64 // submissions rejected by the per-tenant cap
-	RejectsRate   atomic.Int64 // submissions rejected by the per-tenant token bucket
-	RejectsDisk   atomic.Int64 // submissions rejected 507 by the disk-pressure gate
+	JobsAccepted    atomic.Int64 // admitted submissions
+	JobsDone        atomic.Int64
+	JobsFailed      atomic.Int64
+	JobsCanceled    atomic.Int64
+	JobsResumed     atomic.Int64 // jobs re-enqueued from the spool at startup
+	JobsRequeued    atomic.Int64 // in-flight jobs checkpointed back to queued by a drain
+	Retries         atomic.Int64 // job attempts restarted after a transient fault
+	RejectsFull     atomic.Int64 // submissions rejected because the queue was full
+	RejectsTenant   atomic.Int64 // submissions rejected by the per-tenant cap
+	RejectsRate     atomic.Int64 // submissions rejected by the per-tenant token bucket
+	RejectsDisk     atomic.Int64 // submissions rejected 507 by the disk-pressure gate
 	PanicsContained atomic.Int64
 
 	LeasesAcquired  atomic.Int64 // fresh epoch-1 lease claims (admission + adoption)
@@ -33,10 +33,26 @@ type Metrics struct {
 	JobsQuarantined atomic.Int64 // corrupt spool entries moved into .quarantine/
 	JobsGCed        atomic.Int64 // terminal spool entries removed after GCTTL
 
+	JournalEvents  atomic.Int64 // events appended to per-job journals
+	JournalDropped atomic.Int64 // progress events dropped by the journal size cap
+	JournalErrors  atomic.Int64 // journal appends that failed (logged, never fatal)
+
 	QueueDepth   atomic.Int64 // gauge: jobs waiting for a worker
 	RunningJobs  atomic.Int64 // gauge: jobs currently executing
 	Draining     atomic.Int64 // gauge: 1 while the daemon drains
 	DiskPressure atomic.Int64 // gauge: 1 while admission is closed for disk space
+}
+
+// ServerHistograms holds the daemon's latency distributions, exported
+// as Prometheus histograms at /metrics. The zero value is ready to
+// use; all observation paths are atomic.
+type ServerHistograms struct {
+	// QueueWait is submission-accepted (or requeue) to worker pickup.
+	QueueWait obs.Histogram
+	// Attempt is the duration of one engine attempt, successful or not.
+	Attempt obs.Histogram
+	// JobLatency is end-to-end: submission to terminal state.
+	JobLatency obs.Histogram
 }
 
 type srvRow struct {
@@ -64,6 +80,9 @@ var srvRows = []srvRow{
 	{"sxnmd_leases_fenced_total", "counter", "Local jobs abandoned after their lease was taken over.", func(m *Metrics) float64 { return float64(m.LeasesFenced.Load()) }},
 	{"sxnmd_jobs_quarantined_total", "counter", "Corrupt spool entries moved into quarantine.", func(m *Metrics) float64 { return float64(m.JobsQuarantined.Load()) }},
 	{"sxnmd_jobs_gced_total", "counter", "Terminal spool entries garbage-collected after their TTL.", func(m *Metrics) float64 { return float64(m.JobsGCed.Load()) }},
+	{"sxnmd_journal_events_total", "counter", "Events appended to per-job event journals.", func(m *Metrics) float64 { return float64(m.JournalEvents.Load()) }},
+	{"sxnmd_journal_dropped_total", "counter", "Progress events dropped by the journal size cap.", func(m *Metrics) float64 { return float64(m.JournalDropped.Load()) }},
+	{"sxnmd_journal_errors_total", "counter", "Journal appends that failed; journaling is best-effort.", func(m *Metrics) float64 { return float64(m.JournalErrors.Load()) }},
 	{"sxnmd_queue_depth", "gauge", "Jobs waiting for a worker.", func(m *Metrics) float64 { return float64(m.QueueDepth.Load()) }},
 	{"sxnmd_running_jobs", "gauge", "Jobs currently executing.", func(m *Metrics) float64 { return float64(m.RunningJobs.Load()) }},
 	{"sxnmd_draining", "gauge", "1 while the daemon is draining, 0 otherwise.", func(m *Metrics) float64 { return float64(m.Draining.Load()) }},

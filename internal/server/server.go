@@ -30,6 +30,7 @@ import (
 	"time"
 
 	sxnm "repro"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable except for
@@ -113,6 +114,19 @@ type Config struct {
 	// directory.
 	Runner func(ctx context.Context, det *sxnm.Detector, doc *sxnm.Document, fsys sxnm.CheckpointFS, ckptDir string) (*sxnm.Result, error)
 
+	// DisableJournal turns off the per-job event journal
+	// (journal.jsonl; see journal.go). On by default — the journal is
+	// how a job's cross-daemon timeline stays reconstructible.
+	DisableJournal bool
+	// JournalMaxBytes soft-caps one job's journal: past it,
+	// high-rate checkpoint-progress events are dropped (and counted)
+	// while lifecycle events still append. 0 means 1 MiB; negative
+	// means unbounded.
+	JournalMaxBytes int64
+	// EventPollInterval is the tail-poll cadence of the
+	// GET /v1/jobs/{id}/events stream. Default 250ms.
+	EventPollInterval time.Duration
+
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -164,6 +178,12 @@ func (c *Config) withDefaults() Config {
 	if out.CheckpointFS == nil {
 		out.CheckpointFS = sxnm.OSCheckpointFS()
 	}
+	if out.JournalMaxBytes == 0 {
+		out.JournalMaxBytes = 1 << 20
+	}
+	if out.EventPollInterval <= 0 {
+		out.EventPollInterval = 250 * time.Millisecond
+	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
 	}
@@ -189,6 +209,8 @@ type Server struct {
 	pool    *cachePool
 	limiter *rateLimiter
 	Met     Metrics
+	Hist    ServerHistograms
+	phases  *obs.PhaseHistograms
 	agg     engineAgg
 
 	diskLow atomic.Bool
@@ -227,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 		spool:   sp,
 		pool:    newCachePool(c.CacheEntries, c.Engine.SimCacheSize, c.CacheMaxDescSets),
 		limiter: newRateLimiter(c.TenantRPS, c.TenantBurst, nil),
+		phases:  obs.NewPhaseHistograms(),
 		jobs:    make(map[string]*job),
 		tenants: make(map[string]int),
 		// Admission bounds the queue by the QueueDepth gauge, not the
@@ -366,6 +389,22 @@ func (s *Server) adoptJob(ent spoolEntry, now time.Time) {
 	j := s.newJob(ent.id, ent.rec.Request, ent.rec.Submitted)
 	j.epoch = epoch
 	j.resumed = true
+	s.attachJournal(j)
+	// The journal travels with the job directory, so this append lands
+	// in the SAME file the previous owner wrote: the takeover is one
+	// more entry in one continuous timeline. The fenced event for the
+	// displaced owner is written here by the NEW owner — the fenced
+	// daemon itself must never touch the spool again, so it cannot
+	// record its own demise.
+	takeover := JobEvent{Type: EventTakeover, Epoch: epoch}
+	if lease != nil {
+		takeover.PrevOwner, takeover.PrevEpoch = lease.Owner, lease.Epoch
+	}
+	s.journalAppend(j, takeover)
+	if lease != nil && lease.Owner != s.owner && epoch > lease.Epoch {
+		s.journalAppend(j, JobEvent{Type: EventFenced, Owner: lease.Owner, Epoch: lease.Epoch,
+			Cause: fmt.Sprintf("lease expired; taken over by %s at epoch %d", s.owner, epoch)})
+	}
 	apiErr := ent.rec.Request.validate()
 	if apiErr == nil {
 		_, apiErr = ent.rec.Request.CompileConfig()
@@ -388,12 +427,19 @@ func (s *Server) adoptJob(ent spoolEntry, now time.Time) {
 		s.spool.renewLease(ent.id, s.owner, epoch, now, true)
 		return
 	}
+	s.journalAppend(j, JobEvent{Type: EventQueued})
 	s.Met.JobsResumed.Add(1)
 	s.cfg.Logf("spool: adopted job %s (epoch %d, submitted %s)", ent.id, epoch, ent.rec.Submitted.Format(time.RFC3339))
 }
 
 // quarantineEntry moves a corrupt entry aside; the daemon stays up.
 func (s *Server) quarantineEntry(id, reason string, now time.Time) {
+	if !s.cfg.DisableJournal {
+		// Written BEFORE the rename so the event travels with the
+		// quarantined directory — the journal explains why it is there.
+		s.appendEvent(s.spool.openJournal(id, s.cfg.JournalMaxBytes),
+			JobEvent{Job: id, Type: EventQuarantined, Owner: s.owner, Cause: reason, Time: now})
+	}
 	if err := s.spool.quarantine(id, reason, now); err != nil {
 		s.cfg.Logf("spool: job %s: quarantine failed: %v", id, err)
 		return
@@ -530,13 +576,13 @@ func isDiskFull(err error) bool { return errors.Is(err, syscall.ENOSPC) }
 
 func diskFullError() *apiError {
 	return &apiError{Status: http.StatusInsufficientStorage, Code: "spool-disk-full",
-		Message: "spool filesystem is out of space; retry after the operator frees room",
+		Message:    "spool filesystem is out of space; retry after the operator frees room",
 		RetryAfter: 15 * time.Second}
 }
 
 func (s *Server) newJob(id string, req *JobRequest, submitted time.Time) *job {
 	col := sxnm.NewCollector()
-	return &job{
+	j := &job{
 		id:        id,
 		req:       req,
 		submitted: submitted,
@@ -544,6 +590,20 @@ func (s *Server) newJob(id string, req *JobRequest, submitted time.Time) *job {
 		col:       col,
 		state:     StateQueued,
 	}
+	// Every job's spans also feed the daemon-wide phase histograms,
+	// so /metrics exposes engine phase latency across all jobs.
+	j.ob.AddSink(s.phases)
+	return j
+}
+
+// attachJournal binds j to its spool journal (unless journaling is
+// off) and routes the engine's checkpoint spans into it.
+func (s *Server) attachJournal(j *job) {
+	if s.cfg.DisableJournal {
+		return
+	}
+	j.jr = s.spool.openJournal(j.id, s.cfg.JournalMaxBytes)
+	j.ob.AddSink(&progressSink{s: s, j: j})
 }
 
 // Submit admits one validated request: config compiled, limits checked
@@ -567,7 +627,7 @@ func (s *Server) Submit(req *JobRequest) (*job, *apiError) {
 	if ok, wait := s.limiter.allow(req.Tenant); !ok {
 		s.Met.RejectsRate.Add(1)
 		return nil, &apiError{Status: http.StatusTooManyRequests, Code: "tenant-rate-limited",
-			Message: fmt.Sprintf("tenant %q exceeded its %.3g submissions/s budget", req.Tenant, s.cfg.TenantRPS),
+			Message:    fmt.Sprintf("tenant %q exceeded its %.3g submissions/s budget", req.Tenant, s.cfg.TenantRPS),
 			RetryAfter: wait}
 	}
 
@@ -587,7 +647,7 @@ func (s *Server) Submit(req *JobRequest) (*job, *apiError) {
 		s.Met.RejectsTenant.Add(1)
 		s.mu.Unlock()
 		return nil, &apiError{Status: http.StatusTooManyRequests, Code: "tenant-busy",
-			Message: fmt.Sprintf("tenant %q already has %d active job(s)", req.Tenant, s.cfg.PerTenantJobs),
+			Message:    fmt.Sprintf("tenant %q already has %d active job(s)", req.Tenant, s.cfg.PerTenantJobs),
 			RetryAfter: 5 * time.Second}
 	}
 
@@ -606,7 +666,10 @@ func (s *Server) Submit(req *JobRequest) (*job, *apiError) {
 	}
 	j.epoch = 1
 	s.Met.LeasesAcquired.Add(1)
+	s.attachJournal(j)
+	s.journalAppend(j, JobEvent{Type: EventAdmitted, Time: j.submitted})
 	s.enqueueLocked(j)
+	s.journalAppend(j, JobEvent{Type: EventQueued})
 	s.Met.JobsAccepted.Add(1)
 	s.mu.Unlock()
 	return j, nil
@@ -640,6 +703,9 @@ func (s *Server) enqueueLocked(j *job) {
 }
 
 func (s *Server) tryEnqueueLocked(j *job) bool {
+	j.mu.Lock()
+	j.enqueued = time.Now().UTC()
+	j.mu.Unlock()
 	select {
 	case s.queue <- j:
 	default:

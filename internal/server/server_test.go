@@ -214,10 +214,10 @@ func TestTypedRejections(t *testing.T) {
 	defer ts.Close()
 
 	cases := []struct {
-		name     string
-		body     []byte
-		status   int
-		code     string
+		name   string
+		body   []byte
+		status int
+		code   string
 	}{
 		{"malformed json", []byte("{nope"), 400, "malformed-request"},
 		{"trailing garbage", append(testBody(t, nil), []byte("{}")...), 400, "malformed-request"},

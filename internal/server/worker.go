@@ -116,7 +116,11 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now().UTC()
 	j.cancel = cancel
 	alreadyCancelled := j.cancelled
+	enqueued := j.enqueued
 	j.mu.Unlock()
+	if !enqueued.IsZero() {
+		s.Hist.QueueWait.Observe(time.Since(enqueued))
+	}
 	if alreadyCancelled {
 		s.finishJob(j, StateCanceled, &apiError{Code: "canceled", Message: "canceled before running"}, nil)
 		return
@@ -133,8 +137,11 @@ func (s *Server) runJob(j *job) {
 		j.attempts++
 		total := j.attempts
 		j.mu.Unlock()
+		s.journalAppend(j, JobEvent{Type: EventAttempt, Attempt: total})
 
+		attemptStart := time.Now()
 		res, err := s.runAttempt(ctx, j)
+		s.Hist.Attempt.Observe(time.Since(attemptStart))
 		switch {
 		case err == nil:
 			s.finishJob(j, StateDone, nil, res)
@@ -163,6 +170,7 @@ func (s *Server) runJob(j *job) {
 				return
 			}
 			s.Met.Retries.Add(1)
+			s.journalAppend(j, JobEvent{Type: EventRetry, Attempt: total, Cause: err.Error()})
 			s.cfg.Logf("job %s: attempt %d failed transiently, retrying: %v", j.id, attempt, err)
 			if !s.sleepBackoff(ctx, attempt) {
 				if j.isCancelled() {
@@ -326,6 +334,14 @@ func (s *Server) finishJob(j *job, state JobState, apiErr *apiError, res *sxnm.R
 	out.Attempts = j.attempts
 	j.mu.Unlock()
 
+	// The terminal journal event lands BEFORE the in-memory state
+	// flips (like outcome.json): whoever observes a terminal job can
+	// already read its complete timeline.
+	fin := JobEvent{Type: EventFinished, State: state, Attempt: out.Attempts, Progress: s.progressOf(j)}
+	if apiErr != nil {
+		fin.ErrorCode = apiErr.Code
+	}
+	s.journalAppend(j, fin)
 	if err := s.spool.finish(j.id, out); err != nil {
 		s.cfg.Logf("job %s: writing outcome: %v", j.id, err)
 	} else {
@@ -335,6 +351,9 @@ func (s *Server) finishJob(j *job, state JobState, apiErr *apiError, res *sxnm.R
 	}
 	s.writeReports(j, snap)
 	s.agg.add(snap)
+	if !j.submitted.IsZero() {
+		s.Hist.JobLatency.Observe(out.FinishedAt.Sub(j.submitted))
+	}
 
 	j.mu.Lock()
 	j.state = state
@@ -379,6 +398,7 @@ func (s *Server) requeueJob(j *job) {
 	j.cancel = nil
 	epoch := j.epoch
 	j.mu.Unlock()
+	s.journalAppend(j, JobEvent{Type: EventDrainPark, Cause: "drain", Progress: s.progressOf(j)})
 	s.writeReports(j, snap)
 	s.agg.add(snap)
 	if epoch > 0 {

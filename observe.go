@@ -32,6 +32,18 @@ type (
 	TraceRing = obs.Ring
 	// TraceJSONL streams records to a writer as JSON lines.
 	TraceJSONL = obs.JSONL
+	// RotatingTraceJSONL is a path-bound TraceJSONL with size-capped
+	// rotation (path → path.1 → …), for long-running traces.
+	RotatingTraceJSONL = obs.RotatingJSONL
+	// PhaseLatencies is a sink folding every completed span into a
+	// per-phase latency Histogram.
+	PhaseLatencies = obs.PhaseHistograms
+	// LatencyHistogram is a fixed log-bucket latency histogram; the
+	// zero value is ready to use and Observe is atomic.
+	LatencyHistogram = obs.Histogram
+	// LatencySummary is the count/mean/p50/p90/p99/max digest of a
+	// LatencyHistogram, as it appears in report.json.
+	LatencySummary = obs.LatencySummary
 	// RunMetrics is the live atomic counter/gauge set of a run (the
 	// name Metrics is taken by the evaluation package's quality
 	// metrics). When Options.SimCache is on, its SimCacheHits/Misses/
@@ -69,6 +81,22 @@ func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
 // NewTraceJSONL returns a sink streaming every record to w as one JSON
 // object per line. Call Flush (or Close) before reading the output.
 func NewTraceJSONL(w io.Writer) *TraceJSONL { return obs.NewJSONL(w) }
+
+// NewRotatingTraceJSONL opens (or appends to) a JSONL trace at path,
+// rotating it whenever it would exceed maxBytes (≤0 = never) and
+// keeping at most keep rotated segments.
+func NewRotatingTraceJSONL(path string, maxBytes int64, keep int) (*RotatingTraceJSONL, error) {
+	return obs.NewRotatingJSONL(path, maxBytes, keep)
+}
+
+// NewPhaseLatencies returns an empty per-phase latency sink; attach it
+// to an Observer to collect engine phase duration histograms.
+func NewPhaseLatencies() *PhaseLatencies { return obs.NewPhaseHistograms() }
+
+// LintPrometheus validates a Prometheus text exposition the way a
+// scraper would — the shared contract test for every exporter in this
+// repo.
+func LintPrometheus(data []byte) error { return obs.LintPrometheus(data) }
 
 // NewCollector returns a sink that assembles a Report; attach it to an
 // observer alongside (or instead of) trace sinks.
