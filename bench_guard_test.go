@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dataset"
 )
 
 // Bench-regression guard for the window-sweep hot path. Two modes,
@@ -37,20 +39,32 @@ const (
 	// looser drift bar.
 	benchSpillTolerance = 0.35
 	benchMinSpeedup     = 1.5
+	// The threshold-aware filter is CPU-bound and deterministic, so it
+	// gets a hard floor: the filtered sequential sweep must resolve the
+	// same pair stream at least this much faster than the unfiltered one.
+	benchFilterSpeedup = 2.0
 )
 
 // measureWindowSweep runs each sweep case — the worker/cache matrix
 // plus the external-sort spill matrix — through testing.Benchmark
-// (default 1s benchtime) and returns ns/op keyed by case name.
+// (default 1s benchtime) and returns ns/op keyed by case name. Each
+// case takes the best of two rounds: the sweep is deterministic CPU
+// work, so the minimum is the measurement and the gap between rounds
+// is scheduler noise — single samples on busy machines drift far more
+// than the regression tolerance.
 func measureWindowSweep() map[string]float64 {
 	out := make(map[string]float64, len(windowSweepCases)+len(spillSweepCases))
-	for _, c := range append(append([]struct {
-		name string
-		opts core.Options
-	}{}, windowSweepCases...), spillSweepCases...) {
-		opts := c.opts
-		r := testing.Benchmark(func(b *testing.B) { benchWindowSweep(b, opts) })
-		out[c.name] = float64(r.NsPerOp())
+	for round := 0; round < 2; round++ {
+		for _, c := range append(append([]struct {
+			name string
+			opts core.Options
+		}{}, windowSweepCases...), spillSweepCases...) {
+			opts := c.opts
+			r := testing.Benchmark(func(b *testing.B) { benchWindowSweep(b, opts) })
+			if ns := float64(r.NsPerOp()); round == 0 || ns < out[c.name] {
+				out[c.name] = ns
+			}
+		}
 	}
 	return out
 }
@@ -160,4 +174,46 @@ func TestBenchGuard(t *testing.T) {
 	} else {
 		t.Logf("skipping %.1fx speedup assertion: only %d usable CPU(s)", benchMinSpeedup, procs)
 	}
+	if speedup := measured["seq"] / measured["filtered"]; speedup < benchFilterSpeedup {
+		t.Errorf("filtered sweep speedup %.2fx < %.1fx over the unfiltered sequential sweep",
+			speedup, benchFilterSpeedup)
+	} else {
+		t.Logf("filtered sweep speedup: %.2fx", speedup)
+	}
+	checkFilterEffect(t, report)
+}
+
+// checkFilterEffect asserts the filter is live, not vestigial: a
+// filters-on detection over the movie corpus must skip a positive
+// fraction of attempted comparisons, and the committed run report —
+// regenerated by `make bench`, which runs the CLI with its default
+// -filter=true — must carry that rate.
+func checkFilterEffect(t *testing.T, report map[string]any) {
+	if rate, ok := report["filter_hit_rate"].(float64); !ok || rate <= 0 {
+		t.Errorf("committed %s filter_hit_rate = %v, want > 0 — re-run `make bench`",
+			benchBaselineFile, report["filter_hit_rate"])
+	}
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.DataSet1(5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kg, err := core.GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Detect(kg, cfg, core.Options{UseFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempted := res.Stats.Comparisons + res.Stats.FilteredOut
+	if attempted == 0 || res.Stats.FilteredOut == 0 {
+		t.Fatalf("filters-on movie run skipped nothing: comparisons=%d filtered=%d",
+			res.Stats.Comparisons, res.Stats.FilteredOut)
+	}
+	t.Logf("movie-corpus filter hit rate: %.1f%% (%d of %d attempted)",
+		100*float64(res.Stats.FilteredOut)/float64(attempted), res.Stats.FilteredOut, attempted)
 }

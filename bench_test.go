@@ -442,6 +442,8 @@ var windowSweepCases = []struct {
 	{"workers4", core.Options{PairWorkers: 4}},
 	{"cached", core.Options{SimCache: true}},
 	{"workers4+cached", core.Options{PairWorkers: 4, SimCache: true}},
+	{"filtered", core.Options{UseFilter: true}},
+	{"filtered+workers4", core.Options{UseFilter: true, PairWorkers: 4}},
 }
 
 // benchWindowSweep measures Detect only — keys are generated once, so

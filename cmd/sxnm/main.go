@@ -110,6 +110,7 @@ func run(args []string) error {
 		reportOut  = fs.String("report", "", "write a machine-readable run report (JSON) to this file (\"-\" = stdout)")
 		progress   = fs.Bool("progress", false, "print live progress with ETA to stderr")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/vars on this address for the run's duration")
+		useFilter  = fs.Bool("filter", true, "threshold-aware comparison fast path: sketch bounds + banded edit distance skip hopeless pairs (identical clusters; skipped pairs count as filtered, not compared)")
 		pairWork   = fs.Int("pair-workers", -1, "window-sweep comparison goroutines per pass (-1 = all cores, 0 = sequential); results are identical either way")
 		simCache   = fs.Bool("sim-cache", false, "memoize similarity computations per candidate (identical results; helps on repetitive values and multi-key configs)")
 		simCacheN  = fs.Int("sim-cache-size", 0, "similarity cache capacity per candidate (0 = default)")
@@ -151,6 +152,7 @@ func run(args []string) error {
 	det, err := sxnm.NewWithOptions(cfg, sxnm.Options{
 		Limits:             lim,
 		Observer:           o.ob,
+		UseFilter:          *useFilter,
 		PairWorkers:        *pairWork,
 		SimCache:           *simCache,
 		SimCacheSize:       *simCacheN,

@@ -105,6 +105,15 @@ func normalizeStats(s Stats) string {
 
 func snapshotRun(t *testing.T, kg *KeyGenResult, cfg *config.Config, opts Options) runSnapshot {
 	t.Helper()
+	snap, _ := snapshotRunStats(t, kg, cfg, opts)
+	return snap
+}
+
+// snapshotRunStats also hands back the raw Stats for suites that
+// compare folded invariants (the filter axis) rather than the
+// normalized string.
+func snapshotRunStats(t *testing.T, kg *KeyGenResult, cfg *config.Config, opts Options) (runSnapshot, Stats) {
+	t.Helper()
 	rec := newRecordingCkpt()
 	po := &pairRecorder{byCand: make(map[string][]PairObservation)}
 	opts.Checkpointer = rec
@@ -124,7 +133,7 @@ func snapshotRun(t *testing.T, kg *KeyGenResult, cfg *config.Config, opts Option
 	for name, cs := range res.Clusters {
 		snap.clusters[name] = cs.String()
 	}
-	return snap
+	return snap, res.Stats
 }
 
 func diffSnapshots(t *testing.T, label string, want, got runSnapshot) {
@@ -302,5 +311,197 @@ func TestDifferentialStatsIgnoreCache(t *testing.T) {
 	}
 	if got, want := normalizeStats(with.Stats), normalizeStats(without.Stats); got != want {
 		t.Errorf("SimCache leaked into Stats:\nwithout:\n%s\nwith:\n%s", want, got)
+	}
+}
+
+// foldedStats renders the Stats invariants that must survive the
+// filter axis: the filter converts Comparisons into FilteredOut one
+// for one, so the attempted-comparison sum, window pair counts, and
+// every duplicate/cluster figure are filter-independent.
+func foldedStats(s Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attempted=%d dups=%d\n", s.Comparisons+s.FilteredOut, s.DuplicatePairs)
+	names := make([]string, 0, len(s.Candidates))
+	for name := range s.Candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := s.Candidates[name]
+		fmt.Fprintf(&b, "%s: rows=%d attempted=%d windowPairs=%d dups=%d clusters=%d nonSingleton=%d\n",
+			name, c.Rows, c.Comparisons+c.FilteredOut, c.WindowPairs,
+			c.DuplicatePairs, c.Clusters, c.NonSingleton)
+	}
+	return b.String()
+}
+
+// diffFilterSnapshots compares a filters-on run against the unfiltered
+// baseline. Clusters, checkpoint streams, completion order, and the
+// folded Stats must match exactly. Pair observations match field for
+// field except ODSim, where the fast path's licensed deviation is a
+// deterministic bound: an upper bound for filtered pairs, a lower
+// bound for short-circuited duplicates, and the identical float64
+// everywhere else.
+func diffFilterSnapshots(t *testing.T, label string, slow, fast runSnapshot, slowStats, fastStats Stats) {
+	t.Helper()
+	if !reflect.DeepEqual(fast.clusters, slow.clusters) {
+		t.Errorf("%s: cluster sets differ from unfiltered baseline\nwant %v\ngot  %v",
+			label, slow.clusters, fast.clusters)
+	}
+	if want, got := foldedStats(slowStats), foldedStats(fastStats); got != want {
+		t.Errorf("%s: folded Stats differ from unfiltered baseline\nwant:\n%s\ngot:\n%s",
+			label, want, got)
+	}
+	if !reflect.DeepEqual(fast.ckpt, slow.ckpt) {
+		t.Errorf("%s: checkpoint callback streams differ\nwant %v\ngot  %v",
+			label, slow.ckpt, fast.ckpt)
+	}
+	if !reflect.DeepEqual(fast.doneOrder, slow.doneOrder) {
+		t.Errorf("%s: CandidateDone order differs: want %v, got %v",
+			label, slow.doneOrder, fast.doneOrder)
+	}
+	for cand, slowObs := range slow.pairObs {
+		fastObs := fast.pairObs[cand]
+		if len(fastObs) != len(slowObs) {
+			t.Errorf("%s: %s: %d observations, want %d", label, cand, len(fastObs), len(slowObs))
+			continue
+		}
+		for i, want := range slowObs {
+			got := fastObs[i]
+			if got.Candidate != want.Candidate || got.KeyIndex != want.KeyIndex ||
+				got.A != want.A || got.B != want.B ||
+				got.DescSim != want.DescSim || got.HasDesc != want.HasDesc ||
+				got.Duplicate != want.Duplicate {
+				t.Errorf("%s: %s[%d]: observation differs\nwant %+v\ngot  %+v", label, cand, i, want, got)
+				continue
+			}
+			switch {
+			case got.Filtered:
+				if got.Duplicate {
+					t.Errorf("%s: %s[%d]: filtered pair marked duplicate: %+v", label, cand, i, got)
+				}
+				if got.ODSim < want.ODSim {
+					t.Errorf("%s: %s[%d]: filtered ODSim %v is not an upper bound of exact %v",
+						label, cand, i, got.ODSim, want.ODSim)
+				}
+			case got.Duplicate:
+				if got.ODSim > want.ODSim {
+					t.Errorf("%s: %s[%d]: short-circuited ODSim %v is not a lower bound of exact %v",
+						label, cand, i, got.ODSim, want.ODSim)
+				}
+			default:
+				if got.ODSim != want.ODSim {
+					t.Errorf("%s: %s[%d]: fully compared ODSim %v != exact %v",
+						label, cand, i, got.ODSim, want.ODSim)
+				}
+			}
+		}
+	}
+	for cand := range fast.pairObs {
+		if _, ok := slow.pairObs[cand]; !ok {
+			t.Errorf("%s: unexpected observations for candidate %s", label, cand)
+		}
+	}
+}
+
+// TestDifferentialFilterMatrix is the filter-axis equivalence proof:
+// across every corpus, filters on × PairWorkers {0,4} × SimCache
+// {off,on} must reproduce the unfiltered run's clusters, checkpoints,
+// and folded Stats, with pair-level ODSim deviating only within the
+// licensed bound semantics — and all filters-on variants must be
+// bitwise identical to each other (the never-cache-capped-values and
+// order-independence guarantees).
+func TestDifferentialFilterMatrix(t *testing.T) {
+	for _, sc := range differentialScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			kg, err := GenerateKeys(sc.doc, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowOpts := sc.base
+			slowOpts.UseFilter = false
+			slow, slowStats := snapshotRunStats(t, kg, sc.cfg, slowOpts)
+			var fastBase *runSnapshot
+			filteredTotal := 0
+			for _, workers := range []int{0, 4} {
+				for _, cache := range []bool{false, true} {
+					opts := sc.base
+					opts.UseFilter = true
+					opts.PairWorkers = workers
+					opts.SimCache = cache
+					label := fmt.Sprintf("filter workers=%d cache=%v", workers, cache)
+					got, gotStats := snapshotRunStats(t, kg, sc.cfg, opts)
+					diffFilterSnapshots(t, label, slow, got, slowStats, gotStats)
+					filteredTotal += gotStats.FilteredOut
+					if fastBase == nil {
+						base := got
+						fastBase = &base
+					} else {
+						diffSnapshots(t, label+" vs filters-on baseline", *fastBase, got)
+					}
+				}
+			}
+			// The corpora are dirty enough that a working filter must
+			// actually skip comparisons somewhere in the matrix.
+			if filteredTotal == 0 {
+				t.Errorf("filter never fired on %s: FilteredOut = 0 across the whole matrix", sc.name)
+			}
+		})
+	}
+}
+
+// TestDifferentialFilterInterrupted pins the interruption seam across
+// the filter axis: the MaxComparisons budget counts enumerated pairs
+// before the filter sees them, so an interrupted filtered run must
+// stop at the same pair and flush the identical partial state as the
+// unfiltered run.
+func TestDifferentialFilterInterrupted(t *testing.T) {
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustValidate(t, config.DataSet1(5))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type partial struct {
+		incomplete Incomplete
+		ckpt       map[string][]string
+		clusters   map[string]string
+	}
+	run := func(useFilter bool, workers int, cache bool) partial {
+		rec := newRecordingCkpt()
+		opts := Options{
+			UseFilter:    useFilter,
+			PairWorkers:  workers,
+			SimCache:     cache,
+			Checkpointer: rec,
+			Limits:       Limits{MaxComparisons: 700},
+		}
+		res, err := Detect(kg, cfg, opts)
+		if err == nil {
+			t.Fatalf("filter=%v workers=%d: expected an interrupted run", useFilter, workers)
+		}
+		if res == nil || res.Incomplete == nil {
+			t.Fatalf("filter=%v workers=%d: interrupted run returned no partial result", useFilter, workers)
+		}
+		p := partial{incomplete: *res.Incomplete, ckpt: rec.perCand,
+			clusters: make(map[string]string)}
+		p.incomplete.Cause = nil
+		for name, cs := range res.Clusters {
+			p.clusters[name] = cs.String()
+		}
+		return p
+	}
+	want := run(false, 0, false)
+	for _, workers := range []int{0, 4} {
+		for _, cache := range []bool{false, true} {
+			got := run(true, workers, cache)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("filter workers=%d cache=%v: interrupted snapshot differs\nwant %+v\ngot  %+v",
+					workers, cache, want, got)
+			}
+		}
 	}
 }

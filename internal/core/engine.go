@@ -24,10 +24,19 @@ type PairObservation struct {
 	Candidate string
 	KeyIndex  int // pass (key) during which the pair was first compared
 	A, B      int // element IDs, A < B
+	// ODSim is the exact Def. 2 aggregate for fully compared pairs.
+	// For pairs decided early by the Sec. 5 filter (Filtered, or a
+	// duplicate short-circuited by the pessimistic bound) it is a
+	// deterministic bound on the exact value instead: an upper bound
+	// when Filtered, a lower bound for a short-circuited duplicate.
 	ODSim     float64
 	DescSim   float64
 	HasDesc   bool
 	Duplicate bool
+	// Filtered marks pairs the Sec. 5 comparison filter skipped
+	// (counted in Stats.FilteredOut rather than Stats.Comparisons);
+	// such pairs are never duplicates.
+	Filtered bool
 }
 
 // Options tune a detection run.
@@ -50,12 +59,17 @@ type Options struct {
 	// both sides) instead of the aggregate. Takes precedence over
 	// DecisionRule.
 	FieldRule func(c *config.Candidate, fieldSims []float64, descSim float64, hasDesc bool) bool
-	// UseFilter enables the comparison filter of Sec. 5: a length-based
-	// upper bound on the OD similarity skips the edit-distance
-	// computation for pairs that could not be classified duplicates
-	// even in the best case. Disabled automatically when a custom
-	// DecisionRule or FieldRule is set (the bound only understands the
-	// built-in rules).
+	// UseFilter enables the threshold-aware comparison fast path of
+	// Sec. 5 (see fastpath.go): precomputed per-row sketches, a
+	// frequency-histogram bound that prunes whole pairs, banded
+	// edit distance with a threshold-derived cut-off, and early
+	// termination of the weighted sum in both directions. Duplicate
+	// verdicts, clusters, Stats, and checkpoint streams are
+	// byte-identical to the unfiltered run; skipped pairs count in
+	// Stats.FilteredOut and report a deterministic upper bound as
+	// their ODSim. Disabled automatically when a custom DecisionRule
+	// or FieldRule is set (the bounds only understand the built-in
+	// rules).
 	UseFilter bool
 	// Parallel runs candidates of the same nesting depth concurrently;
 	// bottom-up dependencies only point to strictly deeper candidates,
@@ -557,15 +571,26 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 	// sorts each pass externally and streams the rows in; descendant
 	// resolution then happens per decoded row instead of across the
 	// resident table (same function, same results).
+	// The threshold-aware fast path only serves the built-in decision
+	// rules; custom rules consume exact similarities, never bounds.
+	fastFilter := opts.UseFilter && opts.DecisionRule == nil && opts.FieldRule == nil
+
 	var spiller *candSpiller
 	if st := opts.spill; st != nil && len(t.Rows) > st.threshold {
 		spiller = newCandSpiller(st, t, useDesc, clusters, cache)
+		spiller.sketch = fastFilter
 	}
 	if useDesc && spiller == nil {
 		resolveDescClusters(t, clusters)
 		if cache != nil {
 			internDescSets(t, cache)
 		}
+	}
+	if fastFilter && spiller == nil {
+		// Precompute the per-row value sketches once, before the sweep:
+		// window comparisons then never re-normalize or re-decode a
+		// value. Spilled runs sketch per decoded row instead.
+		ensureSketches(t)
 	}
 
 	keys := cand.CompiledKeys()
@@ -688,6 +713,7 @@ func detectCandidate(bud *budget, t *GKTable, clusters map[string]*cluster.Clust
 					DescSim:   v.descSim,
 					HasDesc:   v.hasDesc,
 					Duplicate: v.dup,
+					Filtered:  v.filtered,
 				})
 			}
 			if v.dup {
@@ -1010,13 +1036,15 @@ func comparePair(t *GKTable, a, b *GKRow, useDesc bool, opts Options, cache *sim
 		return odSim, descSim, hasDesc, dup, false, nil
 	}
 	if opts.UseFilter && opts.DecisionRule == nil {
-		ub := similarity.ODUpperBound(t.fields, t.bounds, a.OD, b.OD)
-		if !decide(t.Candidate, ub, descSim, hasDesc) {
-			// Even the most optimistic OD similarity cannot make this
-			// pair a duplicate: skip the edit-distance computation and
-			// report the bound.
-			return ub, descSim, hasDesc, false, true, nil
+		// Threshold-aware fast path (fastpath.go): sketch bounds,
+		// banded edit distance, and early termination of the weighted
+		// sum, with escalation to exact values whenever the bounds
+		// leave the verdict open.
+		odSim, dup, filtered, err = comparePairFiltered(t, a, b, descSim, hasDesc, cache)
+		if err != nil {
+			return 0, 0, false, false, false, fmt.Errorf("core: candidate %q: %w", t.Candidate.Name, err)
 		}
+		return odSim, descSim, hasDesc, dup, filtered, nil
 	}
 	odSim, err = cache.ODSimilarity(t.fields, a.OD, b.OD)
 	if err != nil {

@@ -35,6 +35,15 @@ type GKRow struct {
 	// the run uses a similarity cache (Options.SimCache); absence of a
 	// name means the empty multiset (SetID 0).
 	descSets map[string]similarity.SetID
+
+	// odSketch holds, per OD field with the edit measure, one
+	// ValueSketch per value (nil entries for other fields); prepared by
+	// GKTable.sketchRow for the threshold-aware fast path. sketched
+	// distinguishes a prepared row with no edit fields from an
+	// unprepared one. Derived data: never serialized, recomputed when a
+	// spilled row is decoded.
+	odSketch [][]similarity.ValueSketch
+	sketched bool
 }
 
 // GKTable is the GK_s relation for one candidate plus the resolved OD

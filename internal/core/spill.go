@@ -427,6 +427,11 @@ type candSpiller struct {
 	nOD      int
 	prefix   string
 	fp       string
+	// sketch re-derives the fast-path value sketches per decoded row
+	// (set when the run uses the threshold-aware filter); sketches are
+	// detection-time state like descClusters, never serialized, so
+	// spill fingerprints are unaffected.
+	sketch bool
 }
 
 func newCandSpiller(st *spillState, t *GKTable, useDesc bool, clusters map[string]*cluster.ClusterSet, cache *similarity.Cache) *candSpiller {
@@ -479,6 +484,9 @@ func (c *candSpiller) decodeRow(p []byte) (*GKRow, error) {
 		if c.cache != nil {
 			internRowDescSets(r, c.cache)
 		}
+	}
+	if c.sketch {
+		c.t.sketchRow(r)
 	}
 	return r, nil
 }

@@ -205,10 +205,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		ResumedPairs:        m.ResumedPairs.Load(),
 		ElapsedSeconds:      m.Elapsed().Seconds(),
 	}
+	// Both rates share the attempted-comparison denominator
+	// (Comparisons + FilteredOut, the pairs the sweep enumerated):
+	// throughput then measures pairs resolved per second whether the
+	// filter skipped them or not, and filter_hit_rate is the fraction
+	// of that same stream the filter absorbed. DESIGN.md §11 pins the
+	// definitions; TestReportMatchesStats pins them against Stats.
+	attempted := s.Comparisons + s.FilteredOut
 	if s.ElapsedSeconds > 0 {
-		s.ComparisonsPerSec = float64(s.Comparisons) / s.ElapsedSeconds
+		s.ComparisonsPerSec = float64(attempted) / s.ElapsedSeconds
 	}
-	if attempted := s.Comparisons + s.FilteredOut; attempted > 0 {
+	if attempted > 0 {
 		s.FilterHitRate = float64(s.FilteredOut) / float64(attempted)
 	}
 	if lookups := s.SimCacheHits + s.SimCacheMisses; lookups > 0 {
@@ -252,8 +259,8 @@ var promRows = []promRow{
 	{"sxnm_spill_wall_seconds", "counter", "Cumulative wall time spent sorting and spilling runs.", func(s *Snapshot) float64 { return s.SpillWallSeconds }},
 	{"sxnm_resumed_candidates_total", "counter", "Candidates adopted from a checkpoint instead of re-detected.", func(s *Snapshot) float64 { return float64(s.ResumedCandidates) }},
 	{"sxnm_resumed_pairs_total", "counter", "Duplicate pairs seeded from a checkpoint.", func(s *Snapshot) float64 { return float64(s.ResumedPairs) }},
-	{"sxnm_comparisons_per_second", "gauge", "Comparison throughput since detection start.", func(s *Snapshot) float64 { return s.ComparisonsPerSec }},
-	{"sxnm_filter_hit_rate", "gauge", "Fraction of attempted comparisons the filter skipped.", func(s *Snapshot) float64 { return s.FilterHitRate }},
+	{"sxnm_comparisons_per_second", "gauge", "Attempted-comparison throughput (computed + filtered) since detection start.", func(s *Snapshot) float64 { return s.ComparisonsPerSec }},
+	{"sxnm_filter_hit_rate", "gauge", "Fraction of attempted comparisons (computed + filtered) the filter skipped.", func(s *Snapshot) float64 { return s.FilterHitRate }},
 	{"sxnm_sim_cache_hit_rate", "gauge", "Fraction of memo lookups served from memory.", func(s *Snapshot) float64 { return s.SimCacheHitRate }},
 }
 

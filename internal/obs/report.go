@@ -151,7 +151,11 @@ type Report struct {
 	SlidingWindowCPUMS     float64 `json:"sliding_window_cpu_ms"`
 	TransitiveClosureCPUMS float64 `json:"transitive_closure_cpu_ms"`
 
-	Totals        Totals  `json:"totals"`
+	Totals Totals `json:"totals"`
+	// FilterHitRate is FilteredOut / (Comparisons + FilteredOut) over
+	// Totals — the same attempted-comparison denominator the metrics
+	// snapshot and Stats use (DESIGN.md §11), so report and engine
+	// Stats agree exactly.
 	FilterHitRate float64 `json:"filter_hit_rate"`
 	// SimCacheHitRate is the fraction of memo lookups served from
 	// memory when Options.SimCache is on (0 when the cache is off —

@@ -130,6 +130,39 @@ func (c *Cache) Score(field int, sim Func, a, b string) float64 {
 	return v
 }
 
+// Lookup returns the memoized score for (field, a, b) without
+// computing on a miss — the probe the threshold-aware fast path uses
+// before deciding between a banded and a full edit-distance run. A hit
+// counts toward the hit statistics; a miss counts nothing (the miss is
+// accounted by the Insert that follows a computation, and a cut-off
+// banded run inserts nothing). Nil-safe: a nil Cache never hits.
+func (c *Cache) Lookup(field int, a, b string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	sh := &c.shards[pairShard(field, a, b)&(cacheShards-1)]
+	if v, ok := sh.get(valueKey{field: int32(field), a: a, b: b}); ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	return 0, false
+}
+
+// Insert memoizes an externally computed score under (field, a, b).
+// The caller must only ever insert the exact value the field's
+// similarity Func would produce for (a, b) — the purity contract all
+// memo hits rely on. The fast path satisfies it by inserting only
+// within-band edit scores, which are bit-identical to NormalizedEdit;
+// cut-off (upper-bound) results are never inserted. Nil-safe no-op.
+func (c *Cache) Insert(field int, a, b string, v float64) {
+	if c == nil {
+		return
+	}
+	c.misses.Add(1)
+	sh := &c.shards[pairShard(field, a, b)&(cacheShards-1)]
+	c.evictions.Add(sh.put(valueKey{field: int32(field), a: a, b: b}, v))
+}
+
 // ODSimilarity is the memoized equivalent of the package-level
 // ODSimilarity: identical field iteration, weighting, and best-match
 // early exit, with each value-pair score routed through the cache. A

@@ -71,6 +71,28 @@ func ODUpperBound(fields []ODField, bounded []bool, a, b [][]string) float64 {
 	return sum / weight
 }
 
+// EditUpperBoundValues bounds the best-match similarity of one OD
+// field (the bestMatch cross product) from above using precomputed
+// sketches: the field's best match cannot exceed the best pairwise
+// sketch bound. Never weaker than EditUpperBound on the same values —
+// the histogram lower bound subsumes the length bound — and never
+// below the exact best match (term-wise: EditUpperBoundSketch >=
+// NormalizedEdit, and max is monotone).
+func EditUpperBoundValues(ska, skb []ValueSketch) float64 {
+	best := 0.0
+	for i := range ska {
+		for j := range skb {
+			if u := EditUpperBoundSketch(&ska[i], &skb[j]); u > best {
+				best = u
+				if best >= 1 {
+					return best
+				}
+			}
+		}
+	}
+	return best
+}
+
 // FieldBounds reports, per configured OD similarity function name,
 // whether the length-based upper bound applies (only the edit measure
 // qualifies; all other functions get the trivial bound).

@@ -72,6 +72,19 @@ func ODFieldSims(fields []ODField, a, b [][]string) ([]float64, error) {
 	return out, nil
 }
 
+// BestMatch is the exported cache-dispatching best match of one OD
+// field: the memoized path when c is non-nil, the direct computation
+// otherwise — the same dispatch ODSimilarity performs internally, so
+// the returned float is bit-identical to the aggregate's per-field
+// term either way. The engine's threshold-aware fast path uses it to
+// escalate a single field to an exact value.
+func BestMatch(c *Cache, field int, sim Func, va, vb []string) float64 {
+	if c == nil {
+		return bestMatch(sim, va, vb)
+	}
+	return c.bestMatch(field, sim, va, vb)
+}
+
 // bestMatch returns the maximum similarity over the cross product of
 // values; paths selecting multiple nodes (e.g. several <artist>
 // children) match on their most similar pair.

@@ -55,7 +55,11 @@ func Levenshtein(a, b string) int {
 
 // LevenshteinBounded returns the edit distance if it is at most max,
 // or max+1 otherwise. The banded computation makes window comparisons
-// cheap when strings are clearly different.
+// cheap when strings are clearly different; it is the default edit
+// path under the threshold-aware filter, which derives max from the
+// classification threshold and the field's weight (see
+// core/fastpath.go). FuzzBoundSoundness pins the contract: exact
+// whenever the true distance fits the band, max+1 beyond it.
 func LevenshteinBounded(a, b string, max int) int {
 	ra, rb := []rune(a), []rune(b)
 	if abs(len(ra)-len(rb)) > max {

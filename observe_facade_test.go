@@ -49,6 +49,30 @@ func TestFacadeObservedRun(t *testing.T) {
 		t.Error("parse phase not traced through RunReader")
 	}
 
+	// The derived rates share the attempted-comparison denominator —
+	// Comparisons + FilteredOut, the pairs the sweep enumerated
+	// (DESIGN.md §11). Pin both the report's and the metrics
+	// snapshot's filter_hit_rate against the same formula over
+	// Result.Stats, and comparisons_per_sec against attempted/elapsed.
+	if res.Stats.FilteredOut == 0 {
+		t.Error("filters-on observed run skipped nothing: Stats.FilteredOut = 0")
+	}
+	snap := m.Snapshot()
+	if attempted := res.Stats.Comparisons + res.Stats.FilteredOut; attempted > 0 {
+		want := float64(res.Stats.FilteredOut) / float64(attempted)
+		if rep.FilterHitRate != want {
+			t.Errorf("report filter_hit_rate = %v, want %v from Stats", rep.FilterHitRate, want)
+		}
+		if snap.FilterHitRate != want {
+			t.Errorf("metrics filter_hit_rate = %v, want %v from Stats", snap.FilterHitRate, want)
+		}
+	}
+	if snap.ElapsedSeconds > 0 {
+		if want := float64(snap.Comparisons+snap.FilteredOut) / snap.ElapsedSeconds; snap.ComparisonsPerSec != want {
+			t.Errorf("comparisons_per_sec = %v, want attempted/elapsed = %v", snap.ComparisonsPerSec, want)
+		}
+	}
+
 	if err := jl.Flush(); err != nil {
 		t.Fatal(err)
 	}
