@@ -7,9 +7,9 @@ GO       ?= go
 FUZZTIME ?= 10s
 BENCHN   ?= 1000
 
-.PHONY: check vet build test smallspill fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke daemon-multi daemon-obs
+.PHONY: check vet build test smallspill smallshard fuzz-short bench bench-overhead bench-check bench-baseline daemon-smoke daemon-multi daemon-obs
 
-check: vet build test smallspill bench-overhead fuzz-short
+check: vet build test smallspill smallshard bench-overhead fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,13 @@ test:
 # in-memory and spilled engines fails an existing test.
 smallspill:
 	$(GO) test -race -tags=smallspill ./...
+
+# Run the whole suite with every pass swept through the sharded engine
+# at the minimum legal shard size (one owned row per shard): any
+# behavioural difference between the sharded and sequential sweeps
+# fails an existing test.
+smallshard:
+	$(GO) test -race -tags=smallshard ./...
 
 # Regenerate the committed BENCH_sxnm.json baseline: a deterministic
 # movies corpus (seed 1, $(BENCHN) objects) run end to end with the
@@ -74,6 +81,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzBoundSoundness -fuzztime $(FUZZTIME) ./internal/similarity
 	$(GO) test -run '^$$' -fuzz FuzzMergeInvariants -fuzztime $(FUZZTIME) ./internal/extsort
 	$(GO) test -run '^$$' -fuzz FuzzSpillRowCodec -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzShardPlan$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzJobConfigDecode -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz FuzzLeaseDecode -fuzztime $(FUZZTIME) ./internal/server
 

@@ -471,6 +471,33 @@ func BenchmarkWindowSweep(b *testing.B) {
 	}
 }
 
+// shardSweepCases is the sharded-sweep matrix shared with the
+// bench-regression guard: shards=1 runs the full shard machinery —
+// planner, worker goroutine, batch channel, verdict replay — over a
+// single range, so its gap from the plain sequential sweep IS the
+// coordination overhead (guarded to ≤15% in bench_guard_test.go);
+// shards=4 is the scale-out shape, alone, with the in-shard pair pool,
+// and over the external-sort range readers. Every case computes the
+// exact same clusters (see TestDifferentialSharded); only ns/op may
+// differ.
+var shardSweepCases = []struct {
+	name string
+	opts core.Options
+}{
+	{"shards1", core.Options{Shards: 1}},
+	{"shards4", core.Options{Shards: 4}},
+	{"shards4+workers4", core.Options{Shards: 4, PairWorkers: 4}},
+	{"shards4+spill-256", core.Options{Shards: 4, SpillThresholdRows: 256}},
+}
+
+// BenchmarkWindowSweepSharded sweeps the 500-movie document through the
+// shard matrix.
+func BenchmarkWindowSweepSharded(b *testing.B) {
+	for _, c := range shardSweepCases {
+		b.Run(c.name, func(b *testing.B) { benchWindowSweep(b, c.opts) })
+	}
+}
+
 // spillSweepCases is the external-sort matrix shared with the
 // bench-regression guard: spill disabled (must cost the same as the
 // plain sequential sweep — the gate is one nil check per candidate),

@@ -1,0 +1,71 @@
+package cluster
+
+// Merge combines two union-finds into a fresh one whose partition is
+// the join of the inputs: elements in the same set in either input are
+// in the same set in the result, and sets sharing an element fuse.
+// Shards of one detection pass build their closures independently and
+// fold them with Merge; because the result is canonicalized, the fold
+// is order-independent and associative — Merge(a, b) and Merge(b, a)
+// produce identical structures, and any fold tree over the same shards
+// lands on the same result.
+//
+// The inputs are not modified beyond path compression (which changes
+// internal tree shape, never set membership). nil inputs are treated
+// as empty.
+func Merge(a, b *UnionFind) *UnionFind {
+	u := NewUnionFind()
+	absorb := func(in *UnionFind) {
+		if in == nil {
+			return
+		}
+		// Union each element with its representative. Map iteration
+		// order varies run to run, but union is commutative and
+		// associative over the final partition, and canonicalize below
+		// erases every order-dependent artifact (tree shape, which
+		// element happens to be root) from the output.
+		for id := range in.parent {
+			u.Union(id, in.Find(id))
+		}
+	}
+	absorb(a)
+	absorb(b)
+	return canonicalize(u)
+}
+
+// canonicalize rebuilds a union-find in canonical form: every set's
+// representative is its smallest member and every element points at
+// its representative directly (depth-1 trees). Two union-finds over
+// the same partition canonicalize to identical structures regardless
+// of the union order that built them — the "stable root election"
+// that makes shard merges deterministic.
+func canonicalize(u *UnionFind) *UnionFind {
+	min := make(map[int]int, len(u.parent))  // transient root -> smallest member
+	card := make(map[int]int, len(u.parent)) // transient root -> set size
+	for id := range u.parent {
+		r := u.Find(id)
+		if m, ok := min[r]; !ok || id < m {
+			min[r] = id
+		}
+		card[r]++
+	}
+	out := &UnionFind{
+		parent: make(map[int]int, len(u.parent)),
+		size:   make(map[int]int, len(u.parent)),
+	}
+	for id := range u.parent {
+		r := u.Find(id)
+		root := min[r]
+		out.parent[id] = root
+		if id == root {
+			out.size[id] = card[r]
+		} else {
+			// Non-root sizes are never consulted by union by size; 1 is
+			// what a freshly absorbed singleton would carry.
+			out.size[id] = 1
+		}
+	}
+	// Every element beyond the first of each set implies exactly one
+	// successful union, however the partition was actually built.
+	out.unions = len(out.parent) - len(min)
+	return out
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomParts builds k union-finds over a shared id space by dealing a
+// random pair list across them — the shape of per-shard closures.
+func randomParts(rng *rand.Rand, ids, pairs, k int) ([]*UnionFind, []int, []Pair) {
+	universe := make([]int, ids)
+	for i := range universe {
+		universe[i] = i*3 + 1 // non-contiguous IDs, like real EIDs
+	}
+	all := make([]Pair, 0, pairs)
+	parts := make([]*UnionFind, k)
+	for i := range parts {
+		parts[i] = NewUnionFind()
+	}
+	for i := 0; i < pairs; i++ {
+		a := universe[rng.Intn(ids)]
+		b := universe[rng.Intn(ids)]
+		if a == b {
+			continue
+		}
+		all = append(all, MakePair(a, b))
+		parts[rng.Intn(k)].Union(a, b)
+	}
+	return parts, universe, all
+}
+
+func TestMergeOrderIndependence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		parts, _, _ := randomParts(rng, 2+rng.Intn(30), rng.Intn(40), 2)
+		ab := Merge(parts[0], parts[1])
+		ba := Merge(parts[1], parts[0])
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("seed %d: Merge(A,B) != Merge(B,A):\n%v\nvs\n%v", seed, ab.Sets(), ba.Sets())
+		}
+		// Root election is stable: every element's representative is the
+		// set's smallest member.
+		for _, set := range ab.Sets() {
+			for _, id := range set {
+				if got := ab.Find(id); got != set[0] {
+					t.Fatalf("seed %d: Find(%d) = %d, want smallest member %d", seed, id, got, set[0])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		k := 3 + rng.Intn(3)
+		parts, _, _ := randomParts(rng, 2+rng.Intn(30), rng.Intn(60), k)
+		// Left fold.
+		left := parts[0]
+		for _, p := range parts[1:] {
+			left = Merge(left, p)
+		}
+		// Right fold.
+		right := parts[k-1]
+		for i := k - 2; i >= 0; i-- {
+			right = Merge(parts[i], right)
+		}
+		// Shuffled fold.
+		order := rng.Perm(k)
+		shuffled := parts[order[0]]
+		for _, i := range order[1:] {
+			shuffled = Merge(shuffled, parts[i])
+		}
+		if !reflect.DeepEqual(left, right) || !reflect.DeepEqual(left, shuffled) {
+			t.Fatalf("seed %d: fold shape changed the merge result", seed)
+		}
+	}
+}
+
+// TestMergeAllPairsOracle checks the shard fold against the one-shot
+// closure: dealing a pair list across shards, folding with Merge, and
+// adding the universe must build the exact ClusterSet that FromPairs
+// builds from the undivided list.
+func TestMergeAllPairsOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		k := 1 + rng.Intn(6)
+		parts, universe, all := randomParts(rng, 1+rng.Intn(25), rng.Intn(50), k)
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			merged = Merge(merged, p)
+		}
+		for _, id := range universe {
+			merged.Add(id)
+		}
+		got := Build(merged)
+		want := FromPairs(universe, all)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d (k=%d): sharded closure diverged:\n%swant:\n%s", seed, k, got, want)
+		}
+	}
+}
+
+func TestMergeNilAndEmpty(t *testing.T) {
+	if got := Merge(nil, nil); got.Len() != 0 {
+		t.Fatalf("Merge(nil, nil).Len() = %d", got.Len())
+	}
+	a := NewUnionFind()
+	a.Union(1, 2)
+	got := Merge(a, nil)
+	if !got.Same(1, 2) || got.Len() != 2 || got.Unions() != 1 {
+		t.Fatalf("Merge(a, nil) lost the partition: %v", got.Sets())
+	}
+	if got := Merge(nil, a); !reflect.DeepEqual(got, Merge(a, nil)) {
+		t.Fatal("nil side changed the result")
+	}
+}
+
+// Merge must not change set membership in its inputs (path compression
+// aside, which is invisible through the public API).
+func TestMergeLeavesInputsIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	parts, _, _ := randomParts(rng, 20, 30, 2)
+	before0, before1 := parts[0].Sets(), parts[1].Sets()
+	Merge(parts[0], parts[1])
+	if !reflect.DeepEqual(parts[0].Sets(), before0) || !reflect.DeepEqual(parts[1].Sets(), before1) {
+		t.Fatal("Merge mutated an input partition")
+	}
+}
+
+func TestMergeUnionsCount(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed + 900))
+		parts, _, _ := randomParts(rng, 2+rng.Intn(20), rng.Intn(40), 2)
+		m := Merge(parts[0], parts[1])
+		if want := m.Len() - len(m.Sets()); m.Unions() != want {
+			t.Fatalf("seed %d: Unions() = %d, want elements-sets = %d", seed, m.Unions(), want)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !smallshard
+
+package core
+
+// forcedShardCount is 0 in normal builds: sharding happens only when
+// Options.Shards asks for it. The smallshard build tag (see
+// shard_small.go) forces the minimum legal shard size instead, running
+// every test in the tree through the sharded sweep.
+const forcedShardCount = 0

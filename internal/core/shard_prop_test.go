@@ -1,0 +1,124 @@
+// Property-based equivalence for the sharded sweep, mirroring the
+// spill property suite: randomized corpora from every generator are
+// run unsharded and with a corpus-derived shard count — including
+// counts far beyond the row count, which the planner clamps to
+// one-row shards smaller than any window — and must agree exactly.
+// Failures shrink to the smallest reproducing corpus size.
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// shardPropOptions derives the sharded run's options for one corpus:
+// the shard count cycles through small counts, a CPU-derived count,
+// and a count far beyond any table size; every third corpus also
+// spills, exercising the range-reader path over shared run files.
+func shardPropOptions(c propCorpus) core.Options {
+	opts := core.Options{}
+	switch c.seed % 4 {
+	case 0:
+		opts.Shards = 1000 // far beyond rows: one-row shards, shard < window
+	case 1:
+		opts.Shards = -1 // one shard per CPU
+	default:
+		opts.Shards = 2 + int(c.seed)%6
+	}
+	if c.seed%3 == 0 {
+		opts.SpillThresholdRows = 1 + int(c.seed)%7
+	}
+	if c.seed%5 == 0 {
+		opts.PairWorkers = 1 + int(c.seed)%4
+	}
+	return opts
+}
+
+// shardDisagrees reports whether the sharded and sequential engines
+// disagree on a corpus — the property under test, factored out so the
+// shrink loop can re-ask it for smaller corpora.
+func shardDisagrees(t *testing.T, c propCorpus, opts core.Options) (string, bool) {
+	t.Helper()
+	doc, cfg, err := c.gen(c.n, c.seed)
+	if err != nil {
+		t.Fatalf("%s: generate: %v", c.label(), err)
+	}
+	seq := propClusters(t, doc, cfg, core.Options{})
+	shd := propClusters(t, doc, cfg, opts)
+	for name, want := range seq {
+		if shd[name] != want {
+			return fmt.Sprintf("candidate %q: sequential %s, sharded %s", name, want, shd[name]), true
+		}
+	}
+	if len(shd) != len(seq) {
+		return fmt.Sprintf("candidate sets differ: %d vs %d", len(seq), len(shd)), true
+	}
+	return "", false
+}
+
+// TestShardPropertyRandomCorpora is the randomized half of the shard
+// equivalence proof: ~50 (generator, size, seed) corpora, each checked
+// with seed-derived shard/spill/worker options. A failure is shrunk to
+// the smallest reproducing size before reporting, so the log always
+// names a minimal (kind, n, seed, options) repro.
+func TestShardPropertyRandomCorpora(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized corpus sweep skipped in -short mode")
+	}
+	gens := propGenerators()
+	var corpora []propCorpus
+	for kind := range gens {
+		for i := 0; i < 17; i++ {
+			corpora = append(corpora, propCorpus{
+				kind: kind,
+				n:    3 + (i*7+11)%28, // 3..30, scattered
+				seed: int64(i*13 + 5), // deterministic, distinct
+				gen:  gens[kind],
+			})
+		}
+	}
+	if len(corpora) < 50 {
+		t.Fatalf("only %d corpora generated", len(corpora))
+	}
+	for _, c := range corpora {
+		opts := shardPropOptions(c)
+		msg, bad := shardDisagrees(t, c, opts)
+		if !bad {
+			continue
+		}
+		// Shrink: smallest n of the same kind/seed that still disagrees.
+		min := c
+		minMsg := msg
+		for n := 0; n < c.n; n++ {
+			small := c
+			small.n = n
+			if m, b := shardDisagrees(t, small, opts); b {
+				min, minMsg = small, m
+				break
+			}
+		}
+		t.Fatalf("sharded sweep diverged; minimal repro %s shards=%d spill=%d workers=%d:\n%s",
+			min.label(), opts.Shards, opts.SpillThresholdRows, opts.PairWorkers, minMsg)
+	}
+}
+
+// TestShardPropertyTinyTables pins the degenerate end of the planner
+// domain on every generator: empty, single-row, and two-row tables
+// under shard counts from 1 to far beyond the rows must all match the
+// sequential engine (an empty table plans no shards at all; a one-row
+// table owns its row in a single shard with no pairs).
+func TestShardPropertyTinyTables(t *testing.T) {
+	gens := propGenerators()
+	for kind, gen := range gens {
+		for n := 0; n <= 2; n++ {
+			for _, shards := range []int{1, 2, 5, 100} {
+				c := propCorpus{kind: kind, n: n, seed: 42, gen: gen}
+				if msg, bad := shardDisagrees(t, c, core.Options{Shards: shards}); bad {
+					t.Errorf("%s shards=%d: %s", c.label(), shards, msg)
+				}
+			}
+		}
+	}
+}

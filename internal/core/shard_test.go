@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// shardMatrix is the shard axis from the issue: 1 = the full shard
+// machinery over a single range (the coordinator/replay anchor), 2/4 =
+// even splits, 7 = uneven ranges that do not divide the row counts of
+// any test corpus.
+var shardMatrix = []int{1, 2, 4, 7}
+
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		n, keep, want int
+		ranges        []shardRange
+	}{
+		{n: 0, keep: 4, want: 3, ranges: nil},
+		{n: -1, keep: 4, want: 3, ranges: nil},
+		{n: 1, keep: 4, want: 8, ranges: []shardRange{{0, 0, 0, 1}}},
+		{n: 5, keep: 1, want: 1, ranges: []shardRange{{0, 0, 0, 5}}},
+		{n: 5, keep: 1, want: 0, ranges: []shardRange{{0, 0, 0, 5}}},
+		// keep=3: halo reaches two rows back, clamped at 0.
+		{n: 6, keep: 3, want: 2, ranges: []shardRange{{0, 0, 0, 3}, {1, 1, 3, 6}}},
+		// More shards than rows clamps to one owned row per shard.
+		{n: 3, keep: 4, want: 100, ranges: []shardRange{{0, 0, 0, 1}, {1, 0, 1, 2}, {2, 0, 2, 3}}},
+		// Uneven split: 7 rows over 3 shards → 2/3/2.
+		{n: 7, keep: 2, want: 3, ranges: []shardRange{{0, 0, 0, 2}, {1, 1, 2, 4}, {2, 3, 4, 7}}},
+	}
+	for _, tc := range cases {
+		got := planShards(tc.n, tc.keep, tc.want)
+		if !reflect.DeepEqual(got, tc.ranges) {
+			t.Errorf("planShards(%d, %d, %d) = %v, want %v", tc.n, tc.keep, tc.want, got, tc.ranges)
+		}
+	}
+}
+
+// checkShardPlan asserts the planner invariants for one plan: the
+// owned ranges partition [0, n) exactly (every row owned exactly once,
+// no halo double-ownership), every shard owns at least one row, and
+// each halo reaches back exactly keep-1 rows clamped at the table
+// start.
+func checkShardPlan(t *testing.T, n, keep, want int, shards []shardRange) {
+	t.Helper()
+	if n <= 0 {
+		if shards != nil {
+			t.Fatalf("planShards(%d, %d, %d): want nil, got %v", n, keep, want, shards)
+		}
+		return
+	}
+	maxShards := want
+	if maxShards > n {
+		maxShards = n
+	}
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	if len(shards) < 1 || len(shards) > maxShards {
+		t.Fatalf("planShards(%d, %d, %d): %d shards outside [1, %d]", n, keep, want, len(shards), maxShards)
+	}
+	if shards[0].start != 0 || shards[len(shards)-1].end != n {
+		t.Fatalf("plan does not span [0, %d): %v", n, shards)
+	}
+	for i, sr := range shards {
+		if sr.index != i {
+			t.Fatalf("shard %d has index %d", i, sr.index)
+		}
+		if sr.start >= sr.end {
+			t.Fatalf("shard %d owns no rows: %v", i, sr)
+		}
+		if i > 0 && sr.start != shards[i-1].end {
+			t.Fatalf("shard %d not contiguous with predecessor: %v", i, shards)
+		}
+		wantHalo := sr.start - (keep - 1)
+		if wantHalo < 0 {
+			wantHalo = 0
+		}
+		if sr.haloStart != wantHalo {
+			t.Fatalf("shard %d haloStart = %d, want %d (keep=%d)", i, sr.haloStart, wantHalo, keep)
+		}
+	}
+}
+
+// FuzzShardPlan fuzzes the planner invariants: deterministic plans
+// whose owned ranges cover every row exactly once outside halos, with
+// halo width exactly the window lookback (keep-1) clamped at zero.
+func FuzzShardPlan(f *testing.F) {
+	f.Add(10, 4, 3)
+	f.Add(0, 1, 1)
+	f.Add(1, 8, 100)
+	f.Add(7, 2, 3)
+	f.Add(4096, 64, 16)
+	f.Fuzz(func(t *testing.T, n, keep, want int) {
+		// Bound the domain: planners only ever see keep >= 1 (window >=
+		// 2, clamped to the table) and any row count the engine admits.
+		n %= 1 << 14
+		keep = 1 + abs(keep)%256
+		want %= 1 << 20
+		shards := planShards(n, keep, want)
+		checkShardPlan(t, n, keep, want, shards)
+		if again := planShards(n, keep, want); !reflect.DeepEqual(again, shards) {
+			t.Fatalf("planShards(%d, %d, %d) is not deterministic: %v vs %v", n, keep, want, shards, again)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestDifferentialSharded is the sharded-sweep equivalence proof:
+// shards {1,2,4,7} × PairWorkers {0,4} × spill {off,on} over every
+// differential corpus must reproduce the unsharded sequential run
+// observable-for-observable — clusters, normalized Stats, the full
+// pair observation stream, and the checkpoint callback sequence.
+func TestDifferentialSharded(t *testing.T) {
+	for _, sc := range differentialScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			kg, err := GenerateKeys(sc.doc, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline := snapshotRun(t, kg, sc.cfg, sc.base)
+			for _, shards := range shardMatrix {
+				for _, workers := range []int{0, 4} {
+					for _, spill := range []int{0, 8} {
+						opts := sc.base
+						opts.Shards = shards
+						opts.PairWorkers = workers
+						opts.SpillThresholdRows = spill
+						label := fmt.Sprintf("shards=%d workers=%d spill=%d", shards, workers, spill)
+						diffSnapshots(t, label, baseline, snapshotRun(t, kg, sc.cfg, opts))
+					}
+				}
+			}
+			// CPU-derived shard count composed with the cache and the
+			// batching sweeper inside each shard.
+			opts := sc.base
+			opts.Shards = -1
+			opts.PairWorkers = 4
+			opts.SimCache = true
+			opts.SimCacheSize = 64
+			diffSnapshots(t, "shards=-1+workers=4+tiny-cache", baseline, snapshotRun(t, kg, sc.cfg, opts))
+		})
+	}
+}
+
+// TestDifferentialShardedInterrupted pins the interruption seam of the
+// sharded sweep: a MaxComparisons budget trips at a deterministic
+// replay position, so the partial result — completed clusters,
+// Incomplete bookkeeping, and the best-effort checkpoint flush — must
+// be identical to the sequential engine's across shard counts and the
+// spill axis.
+func TestDifferentialShardedInterrupted(t *testing.T) {
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustValidate(t, config.DataSet1(5))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type partial struct {
+		incomplete Incomplete
+		ckpt       map[string][]string
+		clusters   map[string]string
+	}
+	run := func(shards, workers, spill int) partial {
+		rec := newRecordingCkpt()
+		opts := Options{
+			Shards:             shards,
+			PairWorkers:        workers,
+			SpillThresholdRows: spill,
+			Checkpointer:       rec,
+			Limits:             Limits{MaxComparisons: 700},
+		}
+		res, err := Detect(kg, cfg, opts)
+		if err == nil {
+			t.Fatalf("shards=%d: expected an interrupted run", shards)
+		}
+		if res == nil || res.Incomplete == nil {
+			t.Fatalf("shards=%d: interrupted run returned no partial result", shards)
+		}
+		p := partial{incomplete: *res.Incomplete, ckpt: rec.perCand,
+			clusters: make(map[string]string)}
+		p.incomplete.Cause = nil // same typed cause, compared via the error above
+		for name, cs := range res.Clusters {
+			p.clusters[name] = cs.String()
+		}
+		return p
+	}
+	want := run(0, 0, 0)
+	for _, shards := range shardMatrix {
+		for _, workers := range []int{0, 4} {
+			for _, spill := range []int{0, 8} {
+				got := run(shards, workers, spill)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d workers=%d spill=%d: interrupted snapshot differs\nwant %+v\ngot  %+v",
+						shards, workers, spill, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardObservability checks the obs layering of the sharded sweep:
+// shard counters surface through metrics, per-shard spans, and the
+// report's Sharding section — and never through Stats, which must stay
+// byte-identical to the unsharded run.
+func TestShardObservability(t *testing.T) {
+	doc, _, err := dataset.DataSet1(dataset.Movies1Options{Movies: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mustValidate(t, config.DataSet1(5))
+	kg, err := GenerateKeys(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Detect(kg, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(1 << 16)
+	col := obs.NewCollector()
+	ob := obs.New(ring, col)
+	res, err := Detect(kg, cfg, Options{Shards: 3, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := normalizeStats(res.Stats), normalizeStats(plain.Stats); got != want {
+		t.Errorf("sharding leaked into Stats:\nplain:\n%s\nsharded:\n%s", want, got)
+	}
+	snap := ob.Metrics().Snapshot()
+	if snap.ShardCount != 3 {
+		t.Errorf("ShardCount = %d, want 3", snap.ShardCount)
+	}
+	if snap.ShardSweeps == 0 {
+		t.Errorf("ShardSweeps = 0, want > 0")
+	}
+	rep := col.Report(ob.Metrics())
+	if rep.Sharding == nil {
+		t.Fatalf("report has no Sharding section")
+	}
+	if rep.Sharding.ShardCount != 3 || rep.Sharding.ShardSweeps != snap.ShardSweeps ||
+		rep.Sharding.HaloPairsDeduped != snap.HaloPairsDeduped {
+		t.Errorf("Sharding section %+v disagrees with snapshot %+v", rep.Sharding, snap)
+	}
+	shardSpans := 0
+	for _, r := range ring.Records() {
+		if r.Kind == "span" && r.Name == obs.SpanShard {
+			shardSpans++
+		}
+	}
+	// 60 movies → one candidate with 3 key passes, 3 shards per pass.
+	if shardSpans == 0 {
+		t.Errorf("no %q spans recorded", obs.SpanShard)
+	}
+
+	// An unsharded run reports no shard state at all.
+	col2 := obs.NewCollector()
+	ob2 := obs.New(col2)
+	if _, err := Detect(kg, cfg, Options{Observer: ob2}); err != nil {
+		t.Fatal(err)
+	}
+	if forcedShardCount == 0 {
+		if s := ob2.Metrics().Snapshot(); s.ShardCount != 0 || s.ShardSweeps != 0 {
+			t.Errorf("unsharded run reported shard metrics: %+v", s)
+		}
+		if rep2 := col2.Report(ob2.Metrics()); rep2.Sharding != nil {
+			t.Errorf("unsharded run reported a Sharding section: %+v", rep2.Sharding)
+		}
+	}
+}

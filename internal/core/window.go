@@ -25,9 +25,13 @@ import (
 const pairBatchSize = 2048
 
 // pairVerdict carries one window pair through the compare stage: the
-// rows going in, the comparison outcome coming out.
+// rows going in, the comparison outcome coming out. skip marks a pair
+// the producer already knows was compared (a sharded sweep checking
+// its compared-set snapshot): the compare stage leaves it untouched
+// and the consumer replays only its enumeration bookkeeping.
 type pairVerdict struct {
 	a, b     *GKRow
+	skip     bool
 	odSim    float64
 	descSim  float64
 	hasDesc  bool
@@ -62,6 +66,13 @@ type sweeper struct {
 	compare func(*pairVerdict)
 	merge   func(*pairVerdict) error
 	batch   []pairVerdict
+	// shipPanics delivers a worker panic to merge as verdict data
+	// (v.panicked set) instead of re-raising it here. Shard workers set
+	// it: their enumerating goroutine has no candidate-level recover, so
+	// the panic must travel to the coordinator as an event and re-raise
+	// at its replay position. The inline workers==0 path then also runs
+	// compare through compareSafe, for the same reason.
+	shipPanics bool
 }
 
 func newSweeper(workers int, compare func(*pairVerdict), merge func(*pairVerdict) error) *sweeper {
@@ -76,12 +87,22 @@ func newSweeper(workers int, compare func(*pairVerdict), merge func(*pairVerdict
 // fills. An error is a hard comparison error already merged in order;
 // the caller aborts exactly as the sequential loop would.
 func (s *sweeper) add(a, b *GKRow) error {
+	return s.addVerdict(pairVerdict{a: a, b: b})
+}
+
+// addVerdict is add for a caller-constructed verdict — the sharded
+// sweep uses it to feed pre-marked skip pairs through the same
+// batching machinery.
+func (s *sweeper) addVerdict(v pairVerdict) error {
 	if s.workers == 0 {
-		v := pairVerdict{a: a, b: b}
-		s.compare(&v)
+		if s.shipPanics {
+			s.compareSafe(&v)
+		} else {
+			s.compare(&v)
+		}
 		return s.merge(&v)
 	}
-	s.batch = append(s.batch, pairVerdict{a: a, b: b})
+	s.batch = append(s.batch, v)
 	if len(s.batch) >= pairBatchSize {
 		return s.flush()
 	}
@@ -126,15 +147,16 @@ func (s *sweeper) flush() error {
 		}
 	}
 	// Merge in enumeration order. A panic re-raises at the position the
-	// sequential run would have panicked; an error stops the merge at
-	// the position the sequential run would have returned it.
+	// sequential run would have panicked (unless shipPanics hands it to
+	// merge as data); an error stops the merge at the position the
+	// sequential run would have returned it.
 	var err error
 	for i := range s.batch {
 		v := &s.batch[i]
 		if err != nil {
 			break
 		}
-		if v.panicked != nil {
+		if v.panicked != nil && !s.shipPanics {
 			s.batch = s.batch[:0]
 			panic(v.panicked)
 		}

@@ -1,0 +1,160 @@
+package extsort
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// sortedCorpus writes a shuffled string corpus through a Sorter and
+// returns its runs plus the expected merged order.
+func sortedCorpus(t *testing.T, dir string, n, maxInMemory int, seed int64) (Config[string], []RunFile, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]string, n)
+	for i := range recs {
+		recs[i] = fmt.Sprintf("rec-%04d", rng.Intn(n*2))
+	}
+	cfg := stringConfig(dir, maxInMemory)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]string(nil), recs...)
+	sort.Strings(want)
+	return cfg, runs, want
+}
+
+// TestMergeRunsRangeSlices checks [lo, hi) against the full merged
+// order for a spread of ranges, including empty, prefix, suffix, and
+// whole-stream ranges, across several run layouts.
+func TestMergeRunsRangeSlices(t *testing.T) {
+	for _, maxInMemory := range []int{1, 3, 7, 1000} {
+		t.Run(fmt.Sprintf("maxInMemory=%d", maxInMemory), func(t *testing.T) {
+			cfg, runs, want := sortedCorpus(t, t.TempDir(), 60, maxInMemory, 7)
+			n := int64(len(want))
+			ranges := [][2]int64{{0, 0}, {0, n}, {0, 1}, {n - 1, n}, {n, n}, {5, 5}, {3, 17}, {n / 2, n}, {0, n / 2}}
+			for _, r := range ranges {
+				it, err := MergeRunsRange(cfg, runs, r[0], r[1])
+				if err != nil {
+					t.Fatalf("range [%d,%d): %v", r[0], r[1], err)
+				}
+				got := drain(t, it)
+				it.Close()
+				if int64(len(got)) != r[1]-r[0] {
+					t.Fatalf("range [%d,%d): got %d records", r[0], r[1], len(got))
+				}
+				for i, rec := range got {
+					if rec != want[r[0]+int64(i)] {
+						t.Fatalf("range [%d,%d) record %d = %q, want %q", r[0], r[1], i, rec, want[r[0]+int64(i)])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRunsRangePartition proves the sharding invariant directly:
+// chopping [0, n) into random contiguous ranges and concatenating the
+// streams reproduces the full merge exactly.
+func TestMergeRunsRangePartition(t *testing.T) {
+	cfg, runs, want := sortedCorpus(t, t.TempDir(), 80, 5, 11)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		cuts := []int64{0, int64(len(want))}
+		for i := 0; i < rng.Intn(6); i++ {
+			cuts = append(cuts, int64(rng.Intn(len(want)+1)))
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+		var got []string
+		for i := 0; i+1 < len(cuts); i++ {
+			it, err := MergeRunsRange(cfg, runs, cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, drain(t, it)...)
+			it.Close()
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: partition %v yielded %d records, want %d", trial, cuts, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: record %d = %q, want %q", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeRunsRangeInvalid(t *testing.T) {
+	cfg, runs, want := sortedCorpus(t, t.TempDir(), 10, 4, 3)
+	n := int64(len(want))
+	for _, r := range [][2]int64{{-1, 2}, {4, 3}, {0, n + 1}, {n + 1, n + 2}} {
+		if _, err := MergeRunsRange(cfg, runs, r[0], r[1]); err == nil {
+			t.Errorf("range [%d,%d) over %d records: want error", r[0], r[1], n)
+		}
+	}
+}
+
+// A corrupt record is caught even when it lies in the skipped prefix:
+// range readers verify everything they pass over, not just what they
+// yield.
+func TestMergeRunsRangeCorruptPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cfg, runs, want := sortedCorpus(t, dir, 40, 1000, 5) // single run
+	path := filepath.Join(dir, runs[0].Name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(runMagic)+8] ^= 0x40 // flip a bit in an early record
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	it, err := MergeRunsRange(cfg, runs, int64(len(want))-2, int64(len(want)))
+	if err == nil {
+		_, _, err = it.Next()
+		it.Close()
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt skipped record: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Finish exposes the runs without consuming the sort, so several
+// readers can be opened over the same files.
+func TestSorterFinishMultipleReaders(t *testing.T) {
+	cfg, runs, want := sortedCorpus(t, t.TempDir(), 30, 4, 9)
+	a, err := MergeRuns(cfg, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := MergeRunsRange(cfg, runs, 0, int64(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ga, gb := drain(t, a), drain(t, b)
+	if len(ga) != len(want) || len(gb) != len(want) {
+		t.Fatalf("reader lengths %d/%d, want %d", len(ga), len(gb), len(want))
+	}
+	for i := range want {
+		if ga[i] != want[i] || gb[i] != want[i] {
+			t.Fatalf("record %d: %q / %q, want %q", i, ga[i], gb[i], want[i])
+		}
+	}
+}
